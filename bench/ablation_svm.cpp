@@ -1,0 +1,60 @@
+// Ablation A4: model class — MLP vs linear SVM baseline.
+//
+// §6 suggests "a Support Vector Machine (SVM) can be used instead of
+// neural network".  This bench trains both on the same offline data across
+// Gimli-Hash round counts.  Expected shape: the linear model keeps up at
+// very low rounds (strong linear structure) and loses to the MLP as the
+// signal becomes nonlinear.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/arch_zoo.hpp"
+#include "core/dataset.hpp"
+#include "core/linear_baseline.hpp"
+#include "nn/optimizer.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mldist;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header("Ablation - MLP vs linear SVM baseline (Gimli-Hash)",
+                      opt);
+
+  const std::size_t train_base = opt.base(4000, 40000);
+  const std::size_t val_base = train_base / 5;
+  const int epochs = opt.epochs(3, 10);
+
+  std::printf("%-8s %-12s %-12s %-12s\n", "rounds", "MLP acc", "SVM acc",
+              "MLP - SVM");
+  bench::print_rule();
+  for (int rounds : {2, 3, 4, 5, 6, 7}) {
+    const core::GimliHashTarget target(rounds);
+    util::Xoshiro256 data_rng(opt.seed + static_cast<std::uint64_t>(rounds));
+    const nn::Dataset train =
+        core::collect_dataset(target, train_base, data_rng);
+    const nn::Dataset val = core::collect_dataset(target, val_base, data_rng);
+
+    util::Xoshiro256 rng(opt.seed ^ 0x57a0);
+    auto mlp = core::build_default_mlp(128, 2, rng);
+    nn::Adam adam(1e-3f);
+    nn::FitOptions fit;
+    fit.epochs = epochs;
+    fit.batch_size = 128;
+    fit.shuffle_seed = opt.seed;
+    util::Timer timer;
+    (void)mlp->fit(train, adam, fit);
+    const double mlp_acc = mlp->evaluate(val).accuracy;
+
+    core::LinearSvm svm(128, 2);
+    core::LinearSvmOptions sopt;
+    sopt.epochs = epochs;
+    (void)svm.fit(train, sopt);
+    const double svm_acc = svm.accuracy(val);
+
+    std::printf("%-8d %-12.4f %-12.4f %+-12.4f (%.1fs)\n", rounds, mlp_acc,
+                svm_acc, mlp_acc - svm_acc, timer.seconds());
+  }
+  bench::print_rule();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Shared support for the experiment benches: CLI scale selection and table
+// printing.  Every bench prints the paper's reported numbers next to the
+// measured ones and accepts:
+//   --quick   seconds-scale budgets (default) — shape-preserving
+//   --full    larger budgets, closer to the paper's 2^17.6-sample scale
+//   --seed N  override the experiment seed
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mldist::bench {
+
+struct Options {
+  bool full = false;
+  std::uint64_t seed = 0xb0155eedULL;
+  std::size_t base_override = 0;  ///< 0 = use the bench's default budget
+  int epochs_override = 0;        ///< 0 = use the bench's default epochs
+
+  /// The bench's chosen base-input budget after applying any override.
+  std::size_t base(std::size_t quick, std::size_t full_scale) const {
+    if (base_override != 0) return base_override;
+    return full ? full_scale : quick;
+  }
+  int epochs(int quick, int full_scale) const {
+    if (epochs_override != 0) return epochs_override;
+    return full ? full_scale : quick;
+  }
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      opt.full = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.full = false;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--base") == 0 && i + 1 < argc) {
+      opt.base_override = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc) {
+      opt.epochs_override = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [--quick|--full] [--seed N] [--base N] [--epochs N]\n",
+          argv[0]);
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+inline void print_header(const char* title, const Options& opt) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("mode: %s   seed: 0x%llx\n", opt.full ? "full" : "quick",
+              static_cast<unsigned long long>(opt.seed));
+  std::printf("==============================================================\n");
+}
+
+inline void print_rule() {
+  std::printf("--------------------------------------------------------------\n");
+}
+
+/// Machine-readable companion to the printed tables: one CSV per bench,
+/// written under results/ in the working directory so plotting scripts can
+/// regenerate the paper's tables/figures without scraping stdout.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& bench_name, const std::string& header) {
+    std::filesystem::create_directories("results");
+    out_.open("results/" + bench_name + ".csv");
+    if (out_) out_ << header << "\n";
+  }
+
+  /// Append one row (caller formats the comma-separated values).
+  void row(const std::string& csv_row) {
+    if (out_) out_ << csv_row << "\n";
+  }
+
+  template <typename... Args>
+  void rowf(const char* fmt, Args... args) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    row(buf);
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace mldist::bench

@@ -1,0 +1,92 @@
+// §4 headline experiment: distinguish 8-round Gimli-Cipher with 2^17.6
+// offline data and 2^14.3 online data.
+//
+// Paper numbers: online accuracy 0.5120 on cipher data vs 0.5001 on random
+// data.  We train the default MLP, then play the full ORACLE game of §3.1
+// repeatedly and report (a) the mean online accuracy on each oracle type
+// and (b) how often the decision rule names the oracle correctly.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/arch_zoo.hpp"
+#include "core/distinguisher.hpp"
+#include "core/online_game.hpp"
+#include "core/targets.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mldist;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header("Online oracle game - 8-round Gimli-Cipher (paper "
+                      "sec. 4)", opt);
+
+  // Offline: paper 2^17.6 samples / 20 epochs; quick: 20k base inputs / 5
+  // (the 8-round signal is ~0.51, so the offline budget cannot be tiny).
+  const std::size_t offline_base = opt.base(20000, 99000);
+  const int epochs = opt.epochs(5, 20);
+  // Online: the paper's 2^14.3 ~ 20171 samples (10085 base inputs x 2).
+  const std::size_t online_base = 10085;
+  const std::size_t games = opt.full ? 20 : 12;
+
+  int rounds = 8;
+  util::Timer timer;
+  core::DistinguisherOptions dopt;
+  dopt.epochs = epochs;
+  dopt.seed = opt.seed ^ 0x911e;
+  // The 8-round advantage is small; decide the game at 2.5 sigma over the
+  // paper-scale online budget instead of the framework's 3-sigma default.
+  dopt.z_threshold = 2.5;
+  dopt.validation_fraction = 0.25;  // a itself must be measured precisely
+
+  // Algorithm 2's offline gate: train at 8 rounds; if a is not
+  // significantly above 1/t at this budget, the attacker ABORTS (the
+  // paper's line 15).  Quick budgets usually abort at 8 rounds (the paper
+  // needed 2^17.6 samples for a = 0.512); we then demonstrate the game at
+  // 7 rounds, clearly labelled.
+  std::unique_ptr<core::MLDistinguisher> dist;
+  std::unique_ptr<core::GimliCipherTarget> target;
+  core::TrainReport train;
+  for (;;) {
+    target = std::make_unique<core::GimliCipherTarget>(rounds);
+    util::Xoshiro256 rng(opt.seed);
+    dist = std::make_unique<core::MLDistinguisher>(
+        core::build_default_mlp(128, 2, rng), dopt);
+    timer.reset();
+    train = dist->train(*target, offline_base);
+    std::printf("offline @ %d rounds: %zu base inputs (2^%.1f oracle "
+                "queries), %d epochs, %.1fs\n",
+                rounds, offline_base, train.log2_data, epochs,
+                timer.seconds());
+    std::printf("  training accuracy a = %.4f (validation %.4f), usable: "
+                "%s\n",
+                train.train_accuracy, train.val_accuracy,
+                train.usable ? "yes (a > 1/t)" : "no (abort per Algorithm 2)");
+    if (train.usable || rounds == 7) break;
+    std::printf("  -> Algorithm 2 aborts at this budget; rerun with --full "
+                "for the paper-scale\n     8-round game.  Demonstrating the "
+                "online game at 7 rounds instead.\n\n");
+    rounds = 7;
+  }
+  std::printf("\n");
+
+  timer.reset();
+  const core::GameReport game =
+      play_games(*dist, *target, games, online_base, opt.seed ^ 0xfade);
+
+  std::printf("%-40s %-10s %-10s\n", "quantity", "paper", "measured");
+  bench::print_rule();
+  std::printf("%-40s %-10s %.4f\n", "online accuracy a' (ORACLE = CIPHER)",
+              "0.5120", game.mean_cipher_accuracy);
+  std::printf("%-40s %-10s %.4f\n", "online accuracy a' (ORACLE = RANDOM)",
+              "0.5001", game.mean_random_accuracy);
+  std::printf("%-40s %-10s 2^%.1f\n", "online data per game", "2^14.3",
+              std::log2(static_cast<double>(online_base) * 3));
+  bench::print_rule();
+  std::printf("oracle games: %zu   correct: %zu   inconclusive: %zu   "
+              "success rate: %.2f   (%.1fs)\n",
+              game.games, game.correct, game.inconclusive, game.success_rate,
+              timer.seconds());
+  return 0;
+}

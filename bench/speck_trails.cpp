@@ -1,0 +1,49 @@
+// Classical counterpart bench: optimal differential characteristics of
+// round-reduced SPECK-32/64 from Gohr's input difference (0x0040, 0x0000),
+// found by branch-and-bound over the exact Lipmaa–Moriai round
+// probabilities — the "branch number / MILP style" modelling the paper
+// says underestimates the attacker.  Each characteristic's probability is
+// verified empirically (the Markov product rule holds for SPECK because
+// the rounds are keyed — contrast with bench_fig1_toy_gift).
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/speck_trails.hpp"
+#include "bench_common.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mldist;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header("SPECK-32/64 optimal characteristics from (0040, 0000) "
+                      "- classical B&B", opt);
+
+  const int max_rounds = opt.full ? 6 : 5;
+  const std::uint64_t verify_samples = opt.full ? 4000000 : 400000;
+
+  std::printf("%-7s %-8s %-26s %-22s\n", "rounds", "weight", "output diff "
+              "(dx, dy)", "empirical vs 2^-w");
+  bench::print_rule();
+  for (int r = 1; r <= max_rounds; ++r) {
+    util::Timer timer;
+    const analysis::SpeckTrail t =
+        analysis::speck_best_characteristic(0x0040, 0x0000, r, 30);
+    if (!t.found) {
+      std::printf("%-7d (none within weight 30)\n", r);
+      continue;
+    }
+    const double measured =
+        analysis::speck_characteristic_empirical(t, verify_samples,
+                                                 opt.seed + static_cast<std::uint64_t>(r));
+    std::printf("%-7d %-8d (%04x, %04x)%-13s 2^%-6.2f vs 2^-%-4d (%.1fs)\n",
+                r, t.total_weight, t.states.back().first,
+                t.states.back().second, "",
+                measured > 0 ? std::log2(measured) : -99.0, t.total_weight,
+                timer.seconds());
+  }
+  bench::print_rule();
+  std::printf("the per-round weights multiply exactly (Markov holds: SPECK "
+              "XORs a subkey every round);\ncompare bench_fig1_toy_gift "
+              "where the keyless toy cipher breaks the product rule.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 1: optimal differential trail weights for round-reduced Gimli
+// (designers' SAT/SMT result, cited by the paper), plus the paper's point
+// of comparison: the classical 8-round distinguisher needs 2^52 data while
+// the ML distinguisher of §4 needs ~2^17.6 offline / 2^14.3 online.
+//
+// We cannot re-run the designers' SAT search on this budget; what we verify
+// empirically is the cheap prefix: Monte-Carlo estimation of the best
+// output-difference weight over single-bit input differences confirms
+// weight 0 at rounds 1-2 and weight <= 2 at round 3, and shows the rapid
+// growth after round 4 that motivates the ML approach.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/trail_weights.hpp"
+#include "bench_common.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mldist;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header("Table 1 - optimal Gimli trail weights (designers) vs "
+                      "empirical single-bit estimates", opt);
+
+  std::printf("%-8s %-14s %-20s\n", "rounds", "paper weight",
+              "empirical estimate (upper bound on optimum)");
+  bench::print_rule();
+
+  const int verify_rounds = opt.full ? 5 : 4;
+  const std::uint64_t samples = opt.full ? 16384 : 1024;
+  util::Xoshiro256 rng(opt.seed);
+  util::Timer timer;
+  const auto estimates =
+      analysis::best_single_bit_weights(verify_rounds, samples, rng);
+
+  for (int r = 1; r <= 8; ++r) {
+    const int paper = analysis::kGimliOptimalTrailWeights[r - 1];
+    if (r <= verify_rounds) {
+      const auto& e = estimates[static_cast<std::size_t>(r - 1)];
+      std::printf("%-8d %-14d %.2f%s (best single-bit diff, 2^%.0f pairs)\n",
+                  r, paper, e.weight, e.deterministic ? " (deterministic)" : "",
+                  std::log2(static_cast<double>(samples)));
+    } else {
+      std::printf("%-8d %-14d (beyond Monte-Carlo budget; SAT-proved)\n", r,
+                  paper);
+    }
+  }
+  bench::print_rule();
+  std::printf("sweep time: %.1fs\n", timer.seconds());
+  std::printf("\nComplexity comparison the paper draws from this table:\n");
+  std::printf("  classical 8-round distinguisher (best trail, weight 52): "
+              ">= 2^52 data\n");
+  std::printf("  ML distinguisher (paper's sec. 4): 2^17.6 offline + 2^14.3 "
+              "online data\n");
+  std::printf("  reduction: ~cube root (52 -> ~17.6 bits)\n");
+  return 0;
+}

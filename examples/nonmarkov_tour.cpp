@@ -1,0 +1,101 @@
+// A tour of the Markov/non-Markov distinction (§2.1) with code:
+//  1. the exhaustive toy-GIFT example (true 2^-6 vs Markov 2^-9),
+//  2. the dependence probe — how keying the rounds restores the Markov
+//     property,
+//  3. Salsa20-core and Trivium round-reduced differentials, the keyless
+//     primitives the paper names as non-Markov.
+//
+//   $ ./nonmarkov_tour
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/markov.hpp"
+#include "analysis/toy_gift.hpp"
+#include "ciphers/gift_toy.hpp"
+#include "ciphers/salsa20.hpp"
+#include "ciphers/trivium.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace mldist;
+
+  std::printf("1. Toy GIFT (Fig. 1): exhaustive truth vs Eq. 2\n");
+  const auto v = analysis::verify_toy_example(
+      analysis::paper_toy_characteristic());
+  std::printf("   true probability   : 2^%.0f\n", std::log2(v.true_probability));
+  std::printf("   Markov prediction  : 2^%.0f\n",
+              std::log2(v.markov_probability));
+  std::printf("   -> the product rule is off by 8x for keyless rounds.\n\n");
+
+  std::printf("2. Keying the rounds restores the Markov property\n");
+  const auto ch = analysis::paper_toy_characteristic();
+  // Unkeyed: P(dW2 | X = gamma) depends violently on gamma.
+  const auto unkeyed = analysis::markov_dependence_probe(
+      [](std::uint32_t x) {
+        return static_cast<std::uint32_t>(
+            ciphers::toy_cipher(static_cast<std::uint8_t>(x)));
+      },
+      8, ch.dy1, ch.dw2);
+  std::printf("   unkeyed : min %.3f  max %.3f  (spread = non-Markov)\n",
+              unkeyed.min_prob, unkeyed.max_prob);
+  // Keyed: average over a uniform whitening key before the rounds — the
+  // per-gamma probability becomes the same for every gamma.
+  double key_min = 1.0;
+  double key_max = 0.0;
+  for (std::uint32_t gamma = 0; gamma < 256; ++gamma) {
+    int hits = 0;
+    for (std::uint32_t k = 0; k < 256; ++k) {
+      const std::uint8_t a =
+          ciphers::toy_cipher(static_cast<std::uint8_t>(gamma ^ k));
+      const std::uint8_t b = ciphers::toy_cipher(
+          static_cast<std::uint8_t>((gamma ^ ch.dy1) ^ k));
+      hits += ((a ^ b) == ch.dw2);
+    }
+    const double p = hits / 256.0;
+    key_min = std::min(key_min, p);
+    key_max = std::max(key_max, p);
+  }
+  std::printf("   keyed   : min %.5f  max %.5f  (flat = Markov)\n\n", key_min,
+              key_max);
+
+  std::printf("3. Keyless ARX/NLFSR primitives leave visible structure\n");
+  util::Xoshiro256 rng(5);
+  {
+    ciphers::SalsaState s;
+    for (auto& w : s) w = rng.next_u32();
+    ciphers::SalsaState s2 = s;
+    s2[6] ^= 1u;
+    for (int rounds : {2, 4, 8, 20}) {
+      const auto o1 = ciphers::salsa20_core(s, rounds);
+      const auto o2 = ciphers::salsa20_core(s2, rounds);
+      int flipped = 0;
+      for (int i = 0; i < 16; ++i) flipped += __builtin_popcount(o1[i] ^ o2[i]);
+      std::printf("   salsa20-core %2d rounds: %3d / 512 output bits flip\n",
+                  rounds, flipped);
+    }
+  }
+  {
+    std::array<std::uint8_t, 10> key;
+    rng.fill_bytes(key.data(), key.size());
+    std::array<std::uint8_t, 10> iv;
+    rng.fill_bytes(iv.data(), iv.size());
+    auto iv2 = iv;
+    iv2[0] ^= 0x80;
+    for (int clocks : {192, 384, 768, 1152}) {
+      ciphers::Trivium a(key, iv, clocks);
+      ciphers::Trivium b(key, iv2, clocks);
+      const auto ka = a.keystream(16);
+      const auto kb = b.keystream(16);
+      int flipped = 0;
+      for (std::size_t i = 0; i < ka.size(); ++i) {
+        flipped += __builtin_popcount(static_cast<unsigned>(ka[i] ^ kb[i]));
+      }
+      std::printf("   trivium %4d init clocks: %3d / 128 keystream bits flip\n",
+                  clocks, flipped);
+    }
+  }
+  std::printf("\n   random-looking would be ~50%%; anything else is signal a\n"
+              "   classifier can learn — exactly what the ML distinguisher "
+              "does.\n");
+  return 0;
+}

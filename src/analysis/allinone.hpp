@@ -1,0 +1,72 @@
+// Sampled all-in-one difference distributions (Albrecht–Leander; §2.3).
+//
+// Gohr computed the full difference distribution of round-reduced
+// SPECK-32/64 under one input difference; with our CPU budget we estimate it
+// by sampling and derive two classical distinguisher statistics from the
+// estimate:
+//   * the best single output difference (the classical 1-trail distinguisher
+//     the paper's Table 1 comparison is about), and
+//   * an all-in-one score — the log-likelihood-ratio classifier between the
+//     empirical cipher distribution and uniform, evaluated on held-out data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mldist::analysis {
+
+/// Histogram over 32-bit output differences.
+class DiffHistogram {
+ public:
+  void add(std::uint32_t diff) { ++counts_[diff]; ++total_; }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::uint32_t diff) const;
+  std::size_t support_size() const { return counts_.size(); }
+
+  /// Most frequent output difference and its empirical probability.
+  struct Mode {
+    std::uint32_t diff = 0;
+    std::uint64_t count = 0;
+    double probability = 0.0;
+  };
+  Mode mode() const;
+
+  /// -log2 of the mode probability: the empirical weight of the best trail.
+  double best_weight() const;
+
+  const std::unordered_map<std::uint32_t, std::uint64_t>& raw() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Sample `n` pairs through `pair_diff` (a functor returning the output
+/// difference for a fresh random input pair) and histogram the results.
+DiffHistogram sample_diff_distribution(
+    const std::function<std::uint32_t(util::Xoshiro256&)>& pair_diff,
+    std::uint64_t n, util::Xoshiro256& rng);
+
+/// All-in-one distinguisher: score held-out samples by whether the output
+/// difference was frequent in the training histogram.  Returns the accuracy
+/// of classifying cipher-vs-random, the classical analogue of the paper's
+/// neural accuracy.
+struct AllInOneResult {
+  double accuracy = 0.0;     ///< cipher-vs-random decision accuracy
+  double cipher_hit = 0.0;   ///< P(score > threshold | cipher)
+  double random_hit = 0.0;   ///< P(score > threshold | random)
+};
+
+AllInOneResult allinone_distinguisher(
+    const DiffHistogram& train,
+    const std::function<std::uint32_t(util::Xoshiro256&)>& cipher_pair_diff,
+    std::uint32_t bits, std::uint64_t test_n, util::Xoshiro256& rng);
+
+}  // namespace mldist::analysis

@@ -1,0 +1,28 @@
+#include "analysis/arx.hpp"
+
+#include <cmath>
+
+namespace mldist::analysis {
+
+double xdp_add_probability(std::uint16_t alpha, std::uint16_t beta,
+                           std::uint16_t gamma) {
+  if (!xdp_add_valid(alpha, beta, gamma)) return 0.0;
+  return std::pow(2.0, -xdp_add_weight(alpha, beta, gamma));
+}
+
+double xdp_add_exhaustive(unsigned n, std::uint32_t alpha, std::uint32_t beta,
+                          std::uint32_t gamma) {
+  const std::uint32_t mask = (1u << n) - 1;
+  std::uint64_t hits = 0;
+  for (std::uint32_t x = 0; x <= mask; ++x) {
+    for (std::uint32_t y = 0; y <= mask; ++y) {
+      const std::uint32_t s1 = (x + y) & mask;
+      const std::uint32_t s2 = ((x ^ alpha) + (y ^ beta)) & mask;
+      hits += ((s1 ^ s2) == (gamma & mask));
+    }
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(1ULL << (2 * n));
+}
+
+}  // namespace mldist::analysis

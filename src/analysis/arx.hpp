@@ -1,0 +1,52 @@
+// ARX differential machinery: the Lipmaa–Moriai theory of additive
+// differential probabilities, specialised to the 16-bit words of
+// SPECK-32/64.
+//
+// xdp+(alpha, beta -> gamma) is the probability over uniform (x, y) that
+//   (x + y) ^ ((x ^ alpha) + (y ^ beta)) == gamma.
+// Lipmaa–Moriai (FSE 2001): the differential is valid iff
+//   eq(alpha<<1, beta<<1, gamma<<1) & (alpha ^ beta ^ gamma ^ (beta<<1)) == 0
+// with eq(a,b,c) marking the bit positions where a, b and c agree, and then
+//   xdp+ = 2^-hw( ~eq(alpha,beta,gamma) & (2^(n-1) - 1) ).
+//
+// This gives the classical counterpart of the paper's "branch number or
+// MILP" modelling for ARX: exact per-round probabilities that the
+// trail-search in speck_trails.hpp multiplies via the Markov assumption.
+#pragma once
+
+#include <cstdint>
+
+namespace mldist::analysis {
+
+/// Bit positions where a, b and c agree.
+constexpr std::uint16_t eq16(std::uint16_t a, std::uint16_t b, std::uint16_t c) {
+  return static_cast<std::uint16_t>(~(a ^ b) & ~(a ^ c));
+}
+
+/// True iff xdp+(alpha, beta -> gamma) > 0.
+constexpr bool xdp_add_valid(std::uint16_t alpha, std::uint16_t beta,
+                             std::uint16_t gamma) {
+  const std::uint16_t a1 = static_cast<std::uint16_t>(alpha << 1);
+  const std::uint16_t b1 = static_cast<std::uint16_t>(beta << 1);
+  const std::uint16_t g1 = static_cast<std::uint16_t>(gamma << 1);
+  return (eq16(a1, b1, g1) &
+          static_cast<std::uint16_t>(alpha ^ beta ^ gamma ^ b1)) == 0;
+}
+
+/// -log2 xdp+(alpha, beta -> gamma); only meaningful when valid.
+constexpr int xdp_add_weight(std::uint16_t alpha, std::uint16_t beta,
+                             std::uint16_t gamma) {
+  return __builtin_popcount(
+      static_cast<std::uint16_t>(~eq16(alpha, beta, gamma)) & 0x7fff);
+}
+
+/// xdp+ as a probability (0 when invalid).
+double xdp_add_probability(std::uint16_t alpha, std::uint16_t beta,
+                           std::uint16_t gamma);
+
+/// Exhaustive reference for testing on n-bit words (n <= 10): counts pairs
+/// (x, y) realising the differential and divides by 2^(2n).
+double xdp_add_exhaustive(unsigned n, std::uint32_t alpha, std::uint32_t beta,
+                          std::uint32_t gamma);
+
+}  // namespace mldist::analysis

@@ -1,0 +1,38 @@
+#include "analysis/ddt.hpp"
+
+#include <algorithm>
+
+namespace mldist::analysis {
+
+Ddt4::Ddt4(std::span<const std::uint8_t, 16> sbox) {
+  std::copy(sbox.begin(), sbox.end(), sbox_.begin());
+  for (int din = 0; din < 16; ++din) {
+    for (int x = 0; x < 16; ++x) {
+      const int dout = sbox_[x] ^ sbox_[x ^ din];
+      ++table_[din][dout];
+    }
+  }
+}
+
+std::vector<std::uint8_t> Ddt4::valid_inputs(std::uint8_t din,
+                                             std::uint8_t dout) const {
+  std::vector<std::uint8_t> out;
+  for (int x = 0; x < 16; ++x) {
+    if ((sbox_[x] ^ sbox_[x ^ (din & 0xf)]) == (dout & 0xf)) {
+      out.push_back(static_cast<std::uint8_t>(x));
+    }
+  }
+  return out;
+}
+
+int Ddt4::uniformity() const {
+  int best = 0;
+  for (int din = 1; din < 16; ++din) {
+    for (int dout = 0; dout < 16; ++dout) {
+      best = std::max(best, table_[din][dout]);
+    }
+  }
+  return best;
+}
+
+}  // namespace mldist::analysis

@@ -1,0 +1,39 @@
+// Difference distribution tables for 4-bit S-boxes (§2.1 of the paper works
+// from the DDT of the GIFT S-box).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mldist::analysis {
+
+/// DDT of a 4-bit S-box: entry(din, dout) counts inputs x with
+/// S(x) ^ S(x ^ din) == dout.
+class Ddt4 {
+ public:
+  explicit Ddt4(std::span<const std::uint8_t, 16> sbox);
+
+  int count(std::uint8_t din, std::uint8_t dout) const {
+    return table_[din & 0xf][dout & 0xf];
+  }
+
+  /// Transition probability count/16.
+  double probability(std::uint8_t din, std::uint8_t dout) const {
+    return count(din, dout) / 16.0;
+  }
+
+  /// All inputs x satisfying S(x) ^ S(x ^ din) == dout.
+  std::vector<std::uint8_t> valid_inputs(std::uint8_t din, std::uint8_t dout) const;
+
+  /// Maximum DDT entry over nonzero input differences (differential
+  /// uniformity).
+  int uniformity() const;
+
+ private:
+  std::array<std::uint8_t, 16> sbox_;
+  std::array<std::array<int, 16>, 16> table_{};
+};
+
+}  // namespace mldist::analysis

@@ -1,0 +1,42 @@
+#include "analysis/markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mldist::analysis {
+
+double markov_characteristic_probability(
+    const Ddt4& ddt, const std::vector<SboxTransition>& t) {
+  double p = 1.0;
+  for (const auto& tr : t) p *= ddt.probability(tr.din, tr.dout);
+  return p;
+}
+
+double markov_characteristic_weight(const Ddt4& ddt,
+                                    const std::vector<SboxTransition>& t) {
+  const double p = markov_characteristic_probability(ddt, t);
+  if (p <= 0.0) return std::numeric_limits<double>::infinity();
+  return -std::log2(p);
+}
+
+MarkovProbe markov_dependence_probe(
+    const std::function<std::uint32_t(std::uint32_t)>& f, int bits,
+    std::uint32_t alpha, std::uint32_t beta) {
+  const std::uint32_t n = 1u << bits;
+  MarkovProbe out;
+  out.min_prob = 1.0;
+  out.max_prob = 0.0;
+  double sum = 0.0;
+  for (std::uint32_t gamma = 0; gamma < n; ++gamma) {
+    const double p =
+        (f(gamma) ^ f(gamma ^ alpha)) == beta ? 1.0 : 0.0;
+    out.min_prob = std::min(out.min_prob, p);
+    out.max_prob = std::max(out.max_prob, p);
+    sum += p;
+  }
+  out.mean_prob = sum / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace mldist::analysis

@@ -1,0 +1,51 @@
+// Markov-cipher machinery (§2.1, Lai–Massey–Murphy).
+//
+// Eq. 2 of the paper computes a characteristic's probability as the product
+// of per-round transition probabilities — valid only for Markov ciphers with
+// independent round keys.  `markov_characteristic_probability` evaluates that
+// product; `markov_dependence_test` measures how far a (possibly unkeyed)
+// round function is from satisfying Definition 2 by sampling
+// P(dY = beta | dX = alpha, X = gamma) across fixed inputs gamma.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/ddt.hpp"
+
+namespace mldist::analysis {
+
+/// One S-box transition inside a characteristic: input difference -> output
+/// difference through a given DDT.
+struct SboxTransition {
+  std::uint8_t din = 0;
+  std::uint8_t dout = 0;
+};
+
+/// Product of DDT probabilities over all transitions (Eq. 2 applied to an
+/// S-box characteristic).  Returns 0 if any transition is impossible.
+double markov_characteristic_probability(const Ddt4& ddt,
+                                         const std::vector<SboxTransition>& t);
+
+/// log2 of the above; +infinity weight (represented as a large value) maps
+/// to an impossible characteristic.
+double markov_characteristic_weight(const Ddt4& ddt,
+                                    const std::vector<SboxTransition>& t);
+
+/// Result of probing Definition 2 on a width-limited round function.
+struct MarkovProbe {
+  double min_prob = 0.0;   ///< min over gamma of P(dY = beta | X = gamma)
+  double max_prob = 0.0;   ///< max over gamma
+  double mean_prob = 0.0;  ///< average over gamma (the "Markov" value)
+};
+
+/// Exhaustively evaluate P(F(x) ^ F(x ^ alpha) == beta) restricted to each
+/// input x = gamma of an n-bit function F (n <= 16), reporting the spread.
+/// A Markov round function keyed with uniform subkeys would show
+/// min == max; the unkeyed toy cipher shows a large spread.
+MarkovProbe markov_dependence_probe(const std::function<std::uint32_t(std::uint32_t)>& f,
+                                    int bits, std::uint32_t alpha,
+                                    std::uint32_t beta);
+
+}  // namespace mldist::analysis

@@ -1,0 +1,139 @@
+#include "analysis/speck_trails.hpp"
+
+#include <array>
+
+#include "analysis/arx.hpp"
+#include "ciphers/speck3264.hpp"
+#include "util/rng.hpp"
+
+namespace mldist::analysis {
+
+namespace {
+
+constexpr std::uint16_t rotl16(std::uint16_t v, int r) {
+  return static_cast<std::uint16_t>((v << r) | (v >> (16 - r)));
+}
+constexpr std::uint16_t rotr16(std::uint16_t v, int r) {
+  return static_cast<std::uint16_t>((v >> r) | (v << (16 - r)));
+}
+
+struct Search {
+  int rounds = 0;
+  int best = 0;  // current bound (strictly better solutions only)
+  SpeckTrail best_trail;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> cur_states;
+  std::vector<int> cur_weights;
+
+  void descend_round(std::uint16_t dx, std::uint16_t dy, int round, int acc);
+
+  /// Enumerate valid gamma for (alpha, beta) bit by bit.  `i` is the next
+  /// bit to fix; `w` the weight accumulated inside this addition.
+  void enum_gamma(std::uint16_t alpha, std::uint16_t beta, std::uint16_t gamma,
+                  int i, int w, std::uint16_t dy, int round, int acc);
+};
+
+void Search::enum_gamma(std::uint16_t alpha, std::uint16_t beta,
+                        std::uint16_t gamma, int i, int w, std::uint16_t dy,
+                        int round, int acc) {
+  if (acc + w >= best) return;  // bound
+  if (i == 16) {
+    // Round complete: dx' = gamma, dy' = (dy <<< 2) ^ gamma.
+    const std::uint16_t ndx = gamma;
+    const std::uint16_t ndy = static_cast<std::uint16_t>(rotl16(dy, 2) ^ gamma);
+    cur_weights.push_back(w);
+    cur_states.emplace_back(ndx, ndy);
+    descend_round(ndx, ndy, round + 1, acc + w);
+    cur_states.pop_back();
+    cur_weights.pop_back();
+    return;
+  }
+  const auto bit = [](std::uint16_t v, int k) { return (v >> k) & 1; };
+  if (i == 0) {
+    // eq at the virtual position -1 (all zero after <<1): gamma0 forced.
+    const std::uint16_t g0 = static_cast<std::uint16_t>(bit(alpha, 0) ^ bit(beta, 0));
+    enum_gamma(alpha, beta, static_cast<std::uint16_t>(gamma | g0), 1, w, dy,
+               round, acc);
+    return;
+  }
+  const int a_prev = bit(alpha, i - 1);
+  const int b_prev = bit(beta, i - 1);
+  const int g_prev = bit(gamma, i - 1);
+  if (a_prev == b_prev && b_prev == g_prev) {
+    // eq position: next bit is forced, no weight.
+    const std::uint16_t gi = static_cast<std::uint16_t>(
+        bit(alpha, i) ^ bit(beta, i) ^ b_prev);
+    enum_gamma(alpha, beta, static_cast<std::uint16_t>(gamma | (gi << i)),
+               i + 1, w, dy, round, acc);
+  } else {
+    // Non-eq position i-1 costs one weight unit (positions 0..14) and the
+    // next bit branches.
+    for (int gi = 0; gi <= 1; ++gi) {
+      enum_gamma(alpha, beta,
+                 static_cast<std::uint16_t>(gamma | (gi << i)), i + 1, w + 1,
+                 dy, round, acc);
+    }
+  }
+}
+
+void Search::descend_round(std::uint16_t dx, std::uint16_t dy, int round,
+                           int acc) {
+  if (round == rounds) {
+    if (acc < best) {
+      best = acc;
+      best_trail.found = true;
+      best_trail.total_weight = acc;
+      best_trail.states = cur_states;
+      best_trail.round_weights = cur_weights;
+    }
+    return;
+  }
+  const std::uint16_t alpha = rotr16(dx, 7);
+  enum_gamma(alpha, dy, 0, 0, 0, dy, round, acc);
+}
+
+}  // namespace
+
+SpeckTrail speck_best_characteristic(std::uint16_t dx, std::uint16_t dy,
+                                     int rounds, int max_weight) {
+  Search s;
+  s.rounds = rounds;
+  s.best = max_weight + 1;
+  s.cur_states.emplace_back(dx, dy);
+  s.descend_round(dx, dy, 0, 0);
+  return s.best_trail;
+}
+
+double speck_characteristic_empirical(const SpeckTrail& trail,
+                                      std::uint64_t samples,
+                                      std::uint64_t seed) {
+  if (!trail.found || trail.states.size() < 2) return 0.0;
+  util::Xoshiro256 rng(seed);
+  const int rounds = static_cast<int>(trail.states.size()) - 1;
+  std::uint64_t hits = 0;
+  for (std::uint64_t n = 0; n < samples; ++n) {
+    const std::array<std::uint16_t, 4> key = {
+        static_cast<std::uint16_t>(rng.next_u32()),
+        static_cast<std::uint16_t>(rng.next_u32()),
+        static_cast<std::uint16_t>(rng.next_u32()),
+        static_cast<std::uint16_t>(rng.next_u32())};
+    const ciphers::Speck3264 cipher(key);
+    ciphers::SpeckBlock a{static_cast<std::uint16_t>(rng.next_u32()),
+                          static_cast<std::uint16_t>(rng.next_u32())};
+    ciphers::SpeckBlock b{
+        static_cast<std::uint16_t>(a.x ^ trail.states[0].first),
+        static_cast<std::uint16_t>(a.y ^ trail.states[0].second)};
+    bool follows = true;
+    for (int r = 0; r < rounds && follows; ++r) {
+      a = ciphers::Speck3264::round(a, cipher.round_keys()[static_cast<std::size_t>(r)]);
+      b = ciphers::Speck3264::round(b, cipher.round_keys()[static_cast<std::size_t>(r)]);
+      follows = (static_cast<std::uint16_t>(a.x ^ b.x) ==
+                 trail.states[static_cast<std::size_t>(r + 1)].first) &&
+                (static_cast<std::uint16_t>(a.y ^ b.y) ==
+                 trail.states[static_cast<std::size_t>(r + 1)].second);
+    }
+    hits += follows;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+}  // namespace mldist::analysis

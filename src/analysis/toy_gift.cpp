@@ -1,0 +1,71 @@
+#include "analysis/toy_gift.hpp"
+
+#include <algorithm>
+
+#include "analysis/ddt.hpp"
+#include "analysis/markov.hpp"
+#include "ciphers/gift64.hpp"
+#include "ciphers/gift_toy.hpp"
+
+namespace mldist::analysis {
+
+using ciphers::toy_pack;
+
+ToyCharacteristic paper_toy_characteristic() {
+  ToyCharacteristic ch;
+  ch.dy1 = toy_pack(2, 3);
+  ch.dw1 = toy_pack(5, 8);
+  ch.dy2 = toy_pack(6, 2);
+  ch.dw2 = toy_pack(2, 5);
+  return ch;
+}
+
+ToyVerification verify_toy_example(const ToyCharacteristic& ch) {
+  ToyVerification out;
+  for (int x = 0; x < 256; ++x) {
+    const auto a = ciphers::toy_trace(static_cast<std::uint8_t>(x));
+    const auto b = ciphers::toy_trace(static_cast<std::uint8_t>(x ^ ch.dy1));
+    const bool r1 = (a.w1 ^ b.w1) == ch.dw1;
+    const bool mid = (a.y2 ^ b.y2) == ch.dy2;
+    const bool r2 = (a.w2 ^ b.w2) == ch.dw2;
+    if (r1) ++out.follow_round1;
+    if (r1 && mid && r2) {
+      ++out.follow_full;
+      out.surviving_inputs.push_back(static_cast<std::uint8_t>(x));
+    }
+  }
+  out.true_probability = out.follow_full / 256.0;
+
+  const Ddt4 ddt(std::span<const std::uint8_t, 16>(ciphers::kGiftSbox));
+  const std::vector<SboxTransition> transitions = {
+      {static_cast<std::uint8_t>(ch.dy1 & 0xf), static_cast<std::uint8_t>(ch.dw1 & 0xf)},
+      {static_cast<std::uint8_t>(ch.dy1 >> 4), static_cast<std::uint8_t>(ch.dw1 >> 4)},
+      {static_cast<std::uint8_t>(ch.dy2 & 0xf), static_cast<std::uint8_t>(ch.dw2 & 0xf)},
+      {static_cast<std::uint8_t>(ch.dy2 >> 4), static_cast<std::uint8_t>(ch.dw2 >> 4)},
+  };
+  out.markov_probability = markov_characteristic_probability(ddt, transitions);
+  return out;
+}
+
+std::array<double, 256> toy_diff_distribution(std::uint8_t din) {
+  std::array<double, 256> dist{};
+  for (int x = 0; x < 256; ++x) {
+    const std::uint8_t d =
+        ciphers::toy_cipher(static_cast<std::uint8_t>(x)) ^
+        ciphers::toy_cipher(static_cast<std::uint8_t>(x ^ din));
+    dist[d] += 1.0 / 256.0;
+  }
+  return dist;
+}
+
+double toy_allinone_bayes_accuracy(std::uint8_t din0, std::uint8_t din1) {
+  const auto p0 = toy_diff_distribution(din0);
+  const auto p1 = toy_diff_distribution(din1);
+  double acc = 0.0;
+  for (int d = 0; d < 256; ++d) {
+    acc += 0.5 * std::max(p0[d], p1[d]);
+  }
+  return acc;
+}
+
+}  // namespace mldist::analysis

@@ -1,0 +1,78 @@
+#include "analysis/trail_weights.hpp"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace mldist::analysis {
+
+namespace {
+
+/// Mix a 384-bit state difference down to a 64-bit histogram key.  A random
+/// collision among <= 2^26 sampled diffs is vanishingly unlikely and would
+/// only make a weight estimate slightly optimistic.
+std::uint64_t state_key(const ciphers::GimliState& s) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  for (std::uint32_t w : s) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+ciphers::GimliState random_state(mldist::util::Xoshiro256& rng) {
+  ciphers::GimliState s;
+  for (auto& w : s) w = rng.next_u32();
+  return s;
+}
+
+}  // namespace
+
+WeightEstimate estimate_best_weight(const ciphers::GimliState& input_diff,
+                                    int rounds, std::uint64_t samples,
+                                    util::Xoshiro256& rng) {
+  std::unordered_map<std::uint64_t, std::uint64_t> hist;
+  hist.reserve(static_cast<std::size_t>(samples));
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    ciphers::GimliState a = random_state(rng);
+    ciphers::GimliState b = a;
+    for (int j = 0; j < 12; ++j) b[j] ^= input_diff[j];
+    ciphers::gimli_reduced(a, rounds);
+    ciphers::gimli_reduced(b, rounds);
+    ciphers::GimliState d;
+    for (int j = 0; j < 12; ++j) d[j] = a[j] ^ b[j];
+    ++hist[state_key(d)];
+  }
+  WeightEstimate out;
+  out.rounds = rounds;
+  out.samples = samples;
+  for (const auto& [key, count] : hist) {
+    (void)key;
+    if (count > out.mode_count) out.mode_count = count;
+  }
+  out.weight = std::max(0.0, -std::log2(static_cast<double>(out.mode_count) /
+                                        static_cast<double>(samples)));
+  out.deterministic = (out.mode_count == samples);
+  return out;
+}
+
+std::vector<WeightEstimate> best_single_bit_weights(int max_rounds,
+                                                    std::uint64_t samples,
+                                                    util::Xoshiro256& rng) {
+  std::vector<WeightEstimate> best(static_cast<std::size_t>(max_rounds));
+  for (int r = 1; r <= max_rounds; ++r) {
+    WeightEstimate round_best;
+    round_best.weight = std::numeric_limits<double>::infinity();
+    for (int bit = 0; bit < 384; ++bit) {
+      ciphers::GimliState diff{};
+      diff[bit / 32] = 1u << (bit % 32);
+      const WeightEstimate e = estimate_best_weight(diff, r, samples, rng);
+      if (e.weight < round_best.weight) round_best = e;
+    }
+    best[static_cast<std::size_t>(r - 1)] = round_best;
+  }
+  return best;
+}
+
+}  // namespace mldist::analysis

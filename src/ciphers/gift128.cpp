@@ -1,0 +1,130 @@
+#include "ciphers/gift128.hpp"
+
+#include <cassert>
+
+#include "ciphers/gift64.hpp"
+
+namespace mldist::ciphers {
+
+namespace {
+
+constexpr std::uint16_t rotr16(std::uint16_t v, int r) {
+  return static_cast<std::uint16_t>((v >> r) | (v << (16 - r)));
+}
+
+constexpr std::array<int, 6> kConstBits = {3, 7, 11, 15, 19, 23};
+
+int get_bit(const Gift128Block& b, int i) {
+  return i < 64 ? static_cast<int>((b.lo >> i) & 1)
+                : static_cast<int>((b.hi >> (i - 64)) & 1);
+}
+
+void set_bit(Gift128Block& b, int i, int v) {
+  if (v == 0) return;
+  if (i < 64) {
+    b.lo |= 1ULL << i;
+  } else {
+    b.hi |= 1ULL << (i - 64);
+  }
+}
+
+std::uint8_t inverse_sbox(std::uint8_t y) { return gift_sbox_inverse(y); }
+
+}  // namespace
+
+int gift128_bit_permutation(int i) {
+  assert(i >= 0 && i < 128);
+  // P128(i) = 4*floor(i/16) + 32*((3*floor((i mod 16)/4) + (i mod 4)) mod 4)
+  //           + (i mod 4)           (GIFT paper, Table "P128")
+  const int q = i / 16;
+  const int r = (i % 16) / 4;
+  const int b = i % 4;
+  return 4 * q + 32 * ((3 * r + b) % 4) + b;
+}
+
+Gift128Block Gift128::sub_perm(Gift128Block s) {
+  Gift128Block t{};
+  for (int n = 0; n < 16; ++n) {
+    t.lo |= static_cast<std::uint64_t>(kGiftSbox[(s.lo >> (4 * n)) & 0xf])
+            << (4 * n);
+    t.hi |= static_cast<std::uint64_t>(kGiftSbox[(s.hi >> (4 * n)) & 0xf])
+            << (4 * n);
+  }
+  Gift128Block p{};
+  for (int i = 0; i < 128; ++i) {
+    set_bit(p, gift128_bit_permutation(i), get_bit(t, i));
+  }
+  return p;
+}
+
+Gift128Block Gift128::sub_perm_inverse(Gift128Block s) {
+  Gift128Block t{};
+  for (int i = 0; i < 128; ++i) {
+    set_bit(t, i, get_bit(s, gift128_bit_permutation(i)));
+  }
+  Gift128Block p{};
+  for (int n = 0; n < 16; ++n) {
+    p.lo |= static_cast<std::uint64_t>(
+                inverse_sbox(static_cast<std::uint8_t>((t.lo >> (4 * n)) & 0xf)))
+            << (4 * n);
+    p.hi |= static_cast<std::uint64_t>(
+                inverse_sbox(static_cast<std::uint8_t>((t.hi >> (4 * n)) & 0xf)))
+            << (4 * n);
+  }
+  return p;
+}
+
+Gift128::Gift128(const std::array<std::uint16_t, 8>& key) {
+  std::array<std::uint16_t, 8> k{};
+  for (int j = 0; j < 8; ++j) k[7 - j] = key[j];
+
+  std::uint8_t c = 0;
+  for (int r = 0; r < kGift128Rounds; ++r) {
+    // GIFT-128 round key: U = k5 || k4, V = k1 || k0 (32 bits each);
+    // V_i -> state bit 4i + 1, U_i -> state bit 4i + 2.
+    const std::uint32_t u =
+        (static_cast<std::uint32_t>(k[5]) << 16) | k[4];
+    const std::uint32_t v =
+        (static_cast<std::uint32_t>(k[1]) << 16) | k[0];
+    Gift128Block mask{};
+    for (int i = 0; i < 32; ++i) {
+      set_bit(mask, 4 * i + 1, static_cast<int>((v >> i) & 1));
+      set_bit(mask, 4 * i + 2, static_cast<int>((u >> i) & 1));
+    }
+    c = static_cast<std::uint8_t>(
+        ((c << 1) | (((c >> 5) ^ (c >> 4) ^ 1) & 1)) & 0x3f);
+    for (int i = 0; i < 6; ++i) {
+      set_bit(mask, kConstBits[i], static_cast<int>((c >> i) & 1));
+    }
+    set_bit(mask, 127, 1);
+    masks_[r] = mask;
+
+    const std::uint16_t nk7 = rotr16(k[1], 2);
+    const std::uint16_t nk6 = rotr16(k[0], 12);
+    for (int j = 0; j < 6; ++j) k[j] = k[j + 2];
+    k[6] = nk6;
+    k[7] = nk7;
+  }
+}
+
+Gift128Block Gift128::encrypt(Gift128Block p, int rounds) const {
+  assert(rounds >= 0 && rounds <= kGift128Rounds);
+  for (int r = 0; r < rounds; ++r) {
+    p = sub_perm(p);
+    p.lo ^= masks_[r].lo;
+    p.hi ^= masks_[r].hi;
+  }
+  return p;
+}
+
+Gift128Block Gift128::decrypt(Gift128Block cblock, int rounds) const {
+  assert(rounds >= 0 && rounds <= kGift128Rounds);
+  for (int r = rounds - 1; r >= 0; --r) {
+    cblock.lo ^= masks_[r].lo;
+    cblock.hi ^= masks_[r].hi;
+    cblock = sub_perm_inverse(cblock);
+  }
+  return cblock;
+}
+
+}  // namespace mldist::ciphers

@@ -1,0 +1,48 @@
+// GIFT-128 (Banik et al., CHES 2017): the wider GIFT family member the
+// paper's Fig. 1 caption names; implemented for the §6 future-scope
+// experiments alongside GIFT-64.
+//
+//   block 128 bits, key 128 bits, 40 rounds; same S-box as GIFT-64.
+//
+// The state is kept as two 64-bit words: lo holds bits 0..63, hi bits
+// 64..127 (LSB-first numbering, S-box i on bits 4i..4i+3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mldist::ciphers {
+
+inline constexpr int kGift128Rounds = 40;
+
+struct Gift128Block {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Gift128Block&, const Gift128Block&) = default;
+};
+
+/// GIFT-128 bit permutation: bit i moves to gift128_bit_permutation(i).
+int gift128_bit_permutation(int i);
+
+class Gift128 {
+ public:
+  /// 128-bit key as eight 16-bit words k7..k0 (key[0] = k7 ... key[7] = k0).
+  explicit Gift128(const std::array<std::uint16_t, 8>& key);
+
+  Gift128Block encrypt(Gift128Block p, int rounds = kGift128Rounds) const;
+  Gift128Block decrypt(Gift128Block c, int rounds = kGift128Rounds) const;
+
+  /// The unkeyed round function: S-box layer then bit permutation.
+  static Gift128Block sub_perm(Gift128Block s);
+  static Gift128Block sub_perm_inverse(Gift128Block s);
+
+  const std::array<Gift128Block, kGift128Rounds>& round_masks() const {
+    return masks_;
+  }
+
+ private:
+  std::array<Gift128Block, kGift128Rounds> masks_{};
+};
+
+}  // namespace mldist::ciphers

@@ -1,0 +1,112 @@
+#include "ciphers/gift64.hpp"
+
+#include <cassert>
+
+namespace mldist::ciphers {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 16> make_inverse_sbox() {
+  std::array<std::uint8_t, 16> inv{};
+  for (int i = 0; i < 16; ++i) inv[kGiftSbox[i]] = static_cast<std::uint8_t>(i);
+  return inv;
+}
+constexpr std::array<std::uint8_t, 16> kGiftSboxInv = make_inverse_sbox();
+
+constexpr std::uint16_t rotr16(std::uint16_t v, int r) {
+  return static_cast<std::uint16_t>((v >> r) | (v << (16 - r)));
+}
+
+/// Round-constant bit positions: constants land on bits 3, 7, 11, 15, 19, 23
+/// and the top bit 63 is always set (GIFT spec).
+constexpr std::array<int, 6> kConstBits = {3, 7, 11, 15, 19, 23};
+
+}  // namespace
+
+std::uint8_t gift_sbox_inverse(std::uint8_t y) { return kGiftSboxInv[y & 0xf]; }
+
+int gift64_bit_permutation(int i) {
+  assert(i >= 0 && i < 64);
+  // P64(i) = 4*floor(i/16) + 16*((3*floor((i mod 16)/4) + (i mod 4)) mod 4)
+  //          + (i mod 4)            (GIFT paper, Table "P64")
+  const int q = i / 16;
+  const int r = (i % 16) / 4;
+  const int b = i % 4;
+  return 4 * q + 16 * ((3 * r + b) % 4) + b;
+}
+
+std::uint64_t Gift64::sub_perm(std::uint64_t s) {
+  std::uint64_t t = 0;
+  for (int n = 0; n < 16; ++n) {
+    t |= static_cast<std::uint64_t>(kGiftSbox[(s >> (4 * n)) & 0xf]) << (4 * n);
+  }
+  std::uint64_t p = 0;
+  for (int i = 0; i < 64; ++i) {
+    p |= ((t >> i) & 1ULL) << gift64_bit_permutation(i);
+  }
+  return p;
+}
+
+std::uint64_t Gift64::sub_perm_inverse(std::uint64_t s) {
+  std::uint64_t t = 0;
+  for (int i = 0; i < 64; ++i) {
+    t |= ((s >> gift64_bit_permutation(i)) & 1ULL) << i;
+  }
+  std::uint64_t p = 0;
+  for (int n = 0; n < 16; ++n) {
+    p |= static_cast<std::uint64_t>(kGiftSboxInv[(t >> (4 * n)) & 0xf]) << (4 * n);
+  }
+  return p;
+}
+
+Gift64::Gift64(const std::array<std::uint16_t, 8>& key) {
+  // Key state words k7..k0; key[j] holds k_{7-j}.
+  std::array<std::uint16_t, 8> k{};
+  for (int j = 0; j < 8; ++j) k[7 - j] = key[j];
+
+  std::uint8_t c = 0;  // 6-bit round-constant LFSR
+  for (int r = 0; r < kGift64Rounds; ++r) {
+    // Round key RK = U || V = k1 || k0; V on bits 4i, U on bits 4i+1.
+    const std::uint16_t u = k[1];
+    const std::uint16_t v = k[0];
+    std::uint64_t mask = 0;
+    for (int i = 0; i < 16; ++i) {
+      mask |= static_cast<std::uint64_t>((v >> i) & 1) << (4 * i);
+      mask |= static_cast<std::uint64_t>((u >> i) & 1) << (4 * i + 1);
+    }
+    // LFSR: (c5..c0) <- (c4..c0, c5 ^ c4 ^ 1), advanced before use.
+    c = static_cast<std::uint8_t>(((c << 1) | (((c >> 5) ^ (c >> 4) ^ 1) & 1)) & 0x3f);
+    for (int i = 0; i < 6; ++i) {
+      mask |= static_cast<std::uint64_t>((c >> i) & 1) << kConstBits[i];
+    }
+    mask |= 1ULL << 63;
+    masks_[r] = mask;
+
+    // Key state rotation: (k7..k0) <- (k1 >>> 2, k0 >>> 12, k7, ..., k2).
+    const std::uint16_t nk7 = rotr16(k[1], 2);
+    const std::uint16_t nk6 = rotr16(k[0], 12);
+    for (int j = 0; j < 6; ++j) k[j] = k[j + 2];
+    k[6] = nk6;
+    k[7] = nk7;
+  }
+}
+
+std::uint64_t Gift64::encrypt(std::uint64_t p, int rounds) const {
+  assert(rounds >= 0 && rounds <= kGift64Rounds);
+  for (int r = 0; r < rounds; ++r) {
+    p = sub_perm(p);
+    p ^= masks_[r];
+  }
+  return p;
+}
+
+std::uint64_t Gift64::decrypt(std::uint64_t cblock, int rounds) const {
+  assert(rounds >= 0 && rounds <= kGift64Rounds);
+  for (int r = rounds - 1; r >= 0; --r) {
+    cblock ^= masks_[r];
+    cblock = sub_perm_inverse(cblock);
+  }
+  return cblock;
+}
+
+}  // namespace mldist::ciphers

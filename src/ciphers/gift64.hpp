@@ -1,0 +1,56 @@
+// GIFT-64 (Banik et al., CHES 2017): the bit-permutation SPN whose S-box
+// drives the paper's §2.1 Markov/non-Markov toy example, and the Markov
+// cipher suggested for future work in §6.
+//
+//   block 64 bits, key 128 bits, 28 rounds
+//   S-box GS = 1A4C6F392DB7508E (nibble i maps to kGiftSbox[i])
+//
+// Bit numbering is LSB-first: state bit 0 is the least significant bit of
+// the 64-bit word, S-box i acts on bits 4i..4i+3.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mldist::ciphers {
+
+inline constexpr int kGift64Rounds = 28;
+
+/// The GIFT 4-bit S-box, exactly the table printed in the paper (§2.1).
+inline constexpr std::array<std::uint8_t, 16> kGiftSbox = {
+    0x1, 0xa, 0x4, 0xc, 0x6, 0xf, 0x3, 0x9,
+    0x2, 0xd, 0xb, 0x7, 0x5, 0x0, 0x8, 0xe};
+
+/// Inverse S-box.
+std::uint8_t gift_sbox_inverse(std::uint8_t y);
+
+/// GIFT-64 bit permutation: bit i of the state moves to position
+/// gift64_bit_permutation(i).
+int gift64_bit_permutation(int i);
+
+class Gift64 {
+ public:
+  /// 128-bit key as eight 16-bit words k7..k0 (key[0] = k7 ... key[7] = k0),
+  /// matching the spec's K = k7 || k6 || ... || k0.
+  explicit Gift64(const std::array<std::uint16_t, 8>& key);
+
+  /// Encrypt through the first `rounds` rounds (default: full 28).
+  std::uint64_t encrypt(std::uint64_t p, int rounds = kGift64Rounds) const;
+  /// Inverse of encrypt(p, rounds).
+  std::uint64_t decrypt(std::uint64_t c, int rounds = kGift64Rounds) const;
+
+  /// Round key material already expanded into its 64-bit XOR mask (round
+  /// key bits and round constants placed at their state positions).
+  const std::array<std::uint64_t, kGift64Rounds>& round_masks() const {
+    return masks_;
+  }
+
+  /// The unkeyed round function: S-box layer then bit permutation.
+  static std::uint64_t sub_perm(std::uint64_t s);
+  static std::uint64_t sub_perm_inverse(std::uint64_t s);
+
+ private:
+  std::array<std::uint64_t, kGift64Rounds> masks_{};
+};
+
+}  // namespace mldist::ciphers

@@ -1,0 +1,31 @@
+#include "ciphers/gift_toy.hpp"
+
+#include "ciphers/gift64.hpp"
+
+namespace mldist::ciphers {
+
+std::uint8_t toy_sbox_layer(std::uint8_t s) {
+  return toy_pack(kGiftSbox[s & 0xf], kGiftSbox[s >> 4]);
+}
+
+std::uint8_t toy_permute_bits(std::uint8_t s) {
+  std::uint8_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<std::uint8_t>(((s >> i) & 1) << kToyBitPerm[i]);
+  }
+  return out;
+}
+
+std::uint8_t toy_round(std::uint8_t s) { return toy_permute_bits(toy_sbox_layer(s)); }
+
+ToyTrace toy_trace(std::uint8_t y1) {
+  ToyTrace t;
+  t.w1 = toy_sbox_layer(y1);
+  t.y2 = toy_permute_bits(t.w1);
+  t.w2 = toy_sbox_layer(t.y2);
+  return t;
+}
+
+std::uint8_t toy_cipher(std::uint8_t y1) { return toy_trace(y1).w2; }
+
+}  // namespace mldist::ciphers

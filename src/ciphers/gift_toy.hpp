@@ -1,0 +1,55 @@
+// The 8-bit, two-round, unkeyed toy cipher of the paper's Fig. 1 (§2.1),
+// used to demonstrate why the Markov product rule (Eq. 2) fails without
+// round keys.
+//
+// State: two GIFT S-box nibbles Y[0] (bits 0..3) and Y[1] (bits 4..7).
+// Round: S-box both nibbles, then a fixed bit permutation mixing them.
+// Two rounds; the second round's output W2 is the ciphertext (no final
+// permutation, matching the figure).
+//
+// The wiring is chosen so that every number in §2.1 holds exactly:
+//   * dY1 = (2,3) -> dW1 = (5,8) with S-box probability 2^-5,
+//   * the permutation sends dW1 = (5,8) to dY2 = (6,2),
+//   * dY2 = (6,2) -> dW2 = (2,5) with S-box probability 2^-4,
+//   * the Markov product rule predicts 2^-9, but the true probability is
+//     2^-6: only the input pairs built from (Y1[0], Y1[1]) in
+//     {(0,d), (0,e), (2,d), (2,e)} follow the whole characteristic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mldist::ciphers {
+
+/// Bit permutation applied between the two rounds: bit i moves to
+/// kToyBitPerm[i].
+inline constexpr std::array<int, 8> kToyBitPerm = {1, 0, 2, 3, 4, 6, 7, 5};
+
+/// S-box layer on both nibbles of the 8-bit state.
+std::uint8_t toy_sbox_layer(std::uint8_t s);
+
+/// The inter-round bit permutation.
+std::uint8_t toy_permute_bits(std::uint8_t s);
+
+/// One toy round: S-box layer then bit permutation.
+std::uint8_t toy_round(std::uint8_t s);
+
+/// The full 2-round toy cipher of Fig. 1: round 1 (S + permutation), then a
+/// final S-box layer.  Output is W2.
+std::uint8_t toy_cipher(std::uint8_t y1);
+
+/// Intermediate values for tracing a characteristic: W1, Y2, W2.
+struct ToyTrace {
+  std::uint8_t w1 = 0;
+  std::uint8_t y2 = 0;
+  std::uint8_t w2 = 0;
+};
+ToyTrace toy_trace(std::uint8_t y1);
+
+/// Pack two nibbles (a = bits 0..3, b = bits 4..7) into the 8-bit state;
+/// the paper writes states as the tuple (a, b).
+constexpr std::uint8_t toy_pack(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>((a & 0xf) | (b << 4));
+}
+
+}  // namespace mldist::ciphers

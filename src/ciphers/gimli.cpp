@@ -1,0 +1,115 @@
+#include "ciphers/gimli.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "util/bits.hpp"
+
+namespace mldist::ciphers {
+
+namespace {
+
+constexpr std::uint32_t kRoundConstantBase = 0x9e377900u;
+
+/// Inverse of the column SP-box T-function.  The forward map
+///   c = x ^ (z << 1) ^ ((y & z) << 2)
+///   b = y ^ x        ^ ((x | z) << 1)
+///   a = z ^ y        ^ ((x & y) << 3)
+/// only feeds LOWER bits into higher ones, so (x, y, z) is recovered bit by
+/// bit from the least significant end.
+void spbox_invert_words(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                        std::uint32_t& x, std::uint32_t& y, std::uint32_t& z) {
+  x = y = z = 0;
+  for (int i = 0; i < 32; ++i) {
+    const auto bit = [](std::uint32_t w, int k) -> std::uint32_t {
+      return k < 0 ? 0u : (w >> k) & 1u;
+    };
+    const std::uint32_t xi =
+        bit(c, i) ^ bit(z, i - 1) ^ (bit(y, i - 2) & bit(z, i - 2));
+    const std::uint32_t yi =
+        bit(b, i) ^ xi ^ (bit(x, i - 1) | bit(z, i - 1));
+    const std::uint32_t zi =
+        bit(a, i) ^ yi ^ (bit(x, i - 3) & bit(y, i - 3));
+    x |= xi << i;
+    y |= yi << i;
+    z |= zi << i;
+  }
+}
+
+void small_swap(GimliState& s) {
+  std::swap(s[0], s[1]);
+  std::swap(s[2], s[3]);
+}
+
+void big_swap(GimliState& s) {
+  std::swap(s[0], s[2]);
+  std::swap(s[1], s[3]);
+}
+
+}  // namespace
+
+void gimli_spbox_column(GimliState& s, int j) {
+  const std::uint32_t x = std::rotl(s[j], 24);
+  const std::uint32_t y = std::rotl(s[4 + j], 9);
+  const std::uint32_t z = s[8 + j];
+  s[8 + j] = x ^ (z << 1) ^ ((y & z) << 2);
+  s[4 + j] = y ^ x ^ ((x | z) << 1);
+  s[j] = z ^ y ^ ((x & y) << 3);
+}
+
+void gimli_rounds(GimliState& s, int hi, int lo) {
+  assert(1 <= lo && lo <= hi && hi <= kGimliRounds);
+  for (int r = hi; r >= lo; --r) {
+    for (int j = 0; j < 4; ++j) gimli_spbox_column(s, j);
+    if (r % 4 == 0) {
+      small_swap(s);
+      s[0] ^= kRoundConstantBase ^ static_cast<std::uint32_t>(r);
+    } else if (r % 4 == 2) {
+      big_swap(s);
+    }
+  }
+}
+
+void gimli_permute(GimliState& s) { gimli_rounds(s, kGimliRounds, 1); }
+
+void gimli_reduced(GimliState& s, int n) {
+  assert(n >= 0 && n <= kGimliRounds);
+  if (n > 0) gimli_rounds(s, n, 1);
+}
+
+void gimli_rounds_inverse(GimliState& s, int hi, int lo) {
+  assert(1 <= lo && lo <= hi && hi <= kGimliRounds);
+  for (int r = lo; r <= hi; ++r) {
+    if (r % 4 == 0) {
+      s[0] ^= kRoundConstantBase ^ static_cast<std::uint32_t>(r);
+      small_swap(s);
+    } else if (r % 4 == 2) {
+      big_swap(s);
+    }
+    for (int j = 0; j < 4; ++j) {
+      std::uint32_t x = 0;
+      std::uint32_t y = 0;
+      std::uint32_t z = 0;
+      spbox_invert_words(s[j], s[4 + j], s[8 + j], x, y, z);
+      s[j] = std::rotr(x, 24);
+      s[4 + j] = std::rotr(y, 9);
+      s[8 + j] = z;
+    }
+  }
+}
+
+void gimli_permute_inverse(GimliState& s) {
+  gimli_rounds_inverse(s, kGimliRounds, 1);
+}
+
+void gimli_state_to_bytes(const GimliState& s, std::uint8_t out[48]) {
+  for (int i = 0; i < 12; ++i) util::store_u32_le(out + 4 * i, s[i]);
+}
+
+GimliState gimli_state_from_bytes(const std::uint8_t in[48]) {
+  GimliState s;
+  for (int i = 0; i < 12; ++i) s[i] = util::load_u32_le(in + 4 * i);
+  return s;
+}
+
+}  // namespace mldist::ciphers

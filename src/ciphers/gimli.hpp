@@ -1,0 +1,54 @@
+// Gimli permutation (Bernstein et al., CHES 2017).
+//
+// The 384-bit state is a 3x4 matrix of 32-bit words; Algorithm 1 of the
+// reproduced paper iterates a column-local SP-box, with a Small-Swap and a
+// round-constant addition when round % 4 == 0 and a Big-Swap when
+// round % 4 == 2, counting the round number DOWN from 24 to 1.
+//
+// Round-reduced variants matter for the distinguisher experiments: the paper
+// analyses "8-round Gimli", meaning the LAST 8 rounds of the countdown
+// (rounds 8,7,...,1), which is what you get by truncating the loop.  We
+// expose a general round window [hi, lo] so both conventions ("first n" and
+// "last n") are available and testable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mldist::ciphers {
+
+/// 3x4 matrix of 32-bit words; row-major: state[4*row + col].
+using GimliState = std::array<std::uint32_t, 12>;
+
+inline constexpr int kGimliRounds = 24;
+inline constexpr int kGimliStateBytes = 48;
+
+/// One SP-box application to column j of the state (rotations, shifts and
+/// the nonlinear T-function of Algorithm 1, lines 3-8).
+void gimli_spbox_column(GimliState& s, int j);
+
+/// Apply rounds r = hi down to lo inclusive (Algorithm 1 semantics: swap /
+/// constant when r % 4 == 0, Big-Swap when r % 4 == 2).  Preconditions:
+/// 1 <= lo <= hi <= 24.
+void gimli_rounds(GimliState& s, int hi, int lo);
+
+/// The full 24-round permutation.
+void gimli_permute(GimliState& s);
+
+/// Last `n` rounds of the countdown (rounds n..1) — the reduced-round
+/// convention used by the paper's experiments.
+void gimli_reduced(GimliState& s, int n);
+
+/// Inverse of gimli_rounds(s, hi, lo); used for structural testing.
+void gimli_rounds_inverse(GimliState& s, int hi, int lo);
+
+/// Inverse of the full permutation.
+void gimli_permute_inverse(GimliState& s);
+
+/// Serialise the state to 48 little-endian bytes (word s[i] at offset 4*i).
+void gimli_state_to_bytes(const GimliState& s, std::uint8_t out[48]);
+
+/// Load the state from 48 little-endian bytes.
+GimliState gimli_state_from_bytes(const std::uint8_t in[48]);
+
+}  // namespace mldist::ciphers

@@ -1,0 +1,132 @@
+#include "ciphers/gimli_aead.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace mldist::ciphers {
+
+namespace {
+
+void xor_state_byte(GimliState& s, std::size_t i, std::uint8_t v) {
+  s[i / 4] ^= static_cast<std::uint32_t>(v) << (8 * (i % 4));
+}
+
+std::uint8_t state_byte(const GimliState& s, std::size_t i) {
+  return static_cast<std::uint8_t>(s[i / 4] >> (8 * (i % 4)));
+}
+
+void check_schedule(const RoundSchedule& sched) {
+  for (int r : {sched.init, sched.ad, sched.message}) {
+    if (r < 0 || r > kGimliRounds) {
+      throw std::invalid_argument("RoundSchedule: rounds must be in [0, 24]");
+    }
+  }
+}
+
+GimliState init_state(std::span<const std::uint8_t, kGimliAeadKeyBytes> key,
+                      std::span<const std::uint8_t, kGimliAeadNonceBytes> nonce,
+                      int init_rounds) {
+  std::uint8_t bytes[kGimliStateBytes];
+  std::memcpy(bytes, nonce.data(), kGimliAeadNonceBytes);
+  std::memcpy(bytes + kGimliAeadNonceBytes, key.data(), kGimliAeadKeyBytes);
+  GimliState s = gimli_state_from_bytes(bytes);
+  gimli_reduced(s, init_rounds);
+  return s;
+}
+
+/// Absorb associated data: full blocks, then the padded final block (which
+/// is always processed, even when `ad` is empty or block-aligned).
+void absorb_ad(GimliState& s, std::span<const std::uint8_t> ad, int rounds) {
+  std::size_t off = 0;
+  while (ad.size() - off >= kGimliAeadRate) {
+    for (std::size_t i = 0; i < kGimliAeadRate; ++i) {
+      xor_state_byte(s, i, ad[off + i]);
+    }
+    gimli_reduced(s, rounds);
+    off += kGimliAeadRate;
+  }
+  const std::size_t tail = ad.size() - off;
+  for (std::size_t i = 0; i < tail; ++i) xor_state_byte(s, i, ad[off + i]);
+  xor_state_byte(s, tail, 0x01);
+  xor_state_byte(s, kGimliStateBytes - 1, 0x01);
+  gimli_reduced(s, rounds);
+}
+
+}  // namespace
+
+AeadResult gimli_aead_encrypt(std::span<const std::uint8_t, kGimliAeadKeyBytes> key,
+                              std::span<const std::uint8_t, kGimliAeadNonceBytes> nonce,
+                              std::span<const std::uint8_t> ad,
+                              std::span<const std::uint8_t> msg,
+                              const RoundSchedule& schedule) {
+  check_schedule(schedule);
+  GimliState s = init_state(key, nonce, schedule.init);
+  absorb_ad(s, ad, schedule.ad);
+
+  AeadResult out;
+  out.ciphertext.resize(msg.size());
+  std::size_t off = 0;
+  while (msg.size() - off >= kGimliAeadRate) {
+    for (std::size_t i = 0; i < kGimliAeadRate; ++i) {
+      xor_state_byte(s, i, msg[off + i]);
+      out.ciphertext[off + i] = state_byte(s, i);
+    }
+    gimli_reduced(s, schedule.message);
+    off += kGimliAeadRate;
+  }
+  const std::size_t tail = msg.size() - off;
+  for (std::size_t i = 0; i < tail; ++i) {
+    xor_state_byte(s, i, msg[off + i]);
+    out.ciphertext[off + i] = state_byte(s, i);
+  }
+  xor_state_byte(s, tail, 0x01);
+  xor_state_byte(s, kGimliStateBytes - 1, 0x01);
+  gimli_reduced(s, schedule.message);
+
+  for (std::size_t i = 0; i < kGimliAeadTagBytes; ++i) out.tag[i] = state_byte(s, i);
+  return out;
+}
+
+AeadOpenResult gimli_aead_decrypt(std::span<const std::uint8_t, kGimliAeadKeyBytes> key,
+                                  std::span<const std::uint8_t, kGimliAeadNonceBytes> nonce,
+                                  std::span<const std::uint8_t> ad,
+                                  std::span<const std::uint8_t> ct,
+                                  std::span<const std::uint8_t, kGimliAeadTagBytes> tag,
+                                  const RoundSchedule& schedule) {
+  check_schedule(schedule);
+  GimliState s = init_state(key, nonce, schedule.init);
+  absorb_ad(s, ad, schedule.ad);
+
+  AeadOpenResult out;
+  out.plaintext.resize(ct.size());
+  std::size_t off = 0;
+  while (ct.size() - off >= kGimliAeadRate) {
+    for (std::size_t i = 0; i < kGimliAeadRate; ++i) {
+      const std::uint8_t m = static_cast<std::uint8_t>(state_byte(s, i) ^ ct[off + i]);
+      out.plaintext[off + i] = m;
+      xor_state_byte(s, i, m);  // rate becomes the ciphertext byte
+    }
+    gimli_reduced(s, schedule.message);
+    off += kGimliAeadRate;
+  }
+  const std::size_t tail = ct.size() - off;
+  for (std::size_t i = 0; i < tail; ++i) {
+    const std::uint8_t m = static_cast<std::uint8_t>(state_byte(s, i) ^ ct[off + i]);
+    out.plaintext[off + i] = m;
+    xor_state_byte(s, i, m);
+  }
+  xor_state_byte(s, tail, 0x01);
+  xor_state_byte(s, kGimliStateBytes - 1, 0x01);
+  gimli_reduced(s, schedule.message);
+
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < kGimliAeadTagBytes; ++i) {
+    diff |= static_cast<std::uint8_t>(state_byte(s, i) ^ tag[i]);
+  }
+  out.ok = (diff == 0);
+  if (!out.ok) out.plaintext.clear();
+  return out;
+}
+
+}  // namespace mldist::ciphers

@@ -1,0 +1,66 @@
+// Gimli-Cipher: MonkeyDuplex authenticated encryption over the Gimli
+// permutation (Fig. 3 of the reproduced paper; NIST LWC submission
+// parameters).
+//
+//   key 32 bytes | nonce 16 bytes | rate 16 bytes | tag 16 bytes
+//
+// Initialisation loads nonce || key into the state and permutes.  Associated
+// data and plaintext are duplexed in 16-byte blocks; the final (possibly
+// empty) block of each phase is padded with 0x01 inside the rate plus 0x01
+// into the last state byte.  Ciphertext blocks equal the rate after the
+// plaintext is XORed in.
+//
+// `RoundSchedule` controls round reduction per permutation call, which is
+// what the paper's §4 experiments need: they reduce the two permutations
+// executed before the first ciphertext block ("48 rounds") down to n total.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ciphers/gimli.hpp"
+
+namespace mldist::ciphers {
+
+inline constexpr std::size_t kGimliAeadKeyBytes = 32;
+inline constexpr std::size_t kGimliAeadNonceBytes = 16;
+inline constexpr std::size_t kGimliAeadTagBytes = 16;
+inline constexpr std::size_t kGimliAeadRate = 16;
+
+/// Rounds used by each phase's permutation calls.  0 means "identity
+/// permutation" and is only meaningful for distinguisher experiments.
+struct RoundSchedule {
+  int init = kGimliRounds;     ///< the permutation after loading nonce || key
+  int ad = kGimliRounds;       ///< permutations while absorbing AD
+  int message = kGimliRounds;  ///< permutations while duplexing message blocks
+};
+
+struct AeadResult {
+  std::vector<std::uint8_t> ciphertext;
+  std::array<std::uint8_t, kGimliAeadTagBytes> tag{};
+};
+
+/// Encrypt: returns ciphertext (same length as `msg`) and tag.
+AeadResult gimli_aead_encrypt(std::span<const std::uint8_t, kGimliAeadKeyBytes> key,
+                              std::span<const std::uint8_t, kGimliAeadNonceBytes> nonce,
+                              std::span<const std::uint8_t> ad,
+                              std::span<const std::uint8_t> msg,
+                              const RoundSchedule& schedule = {});
+
+/// Decrypt-and-verify.  Returns the plaintext, or std::nullopt-like empty
+/// optional semantics via the bool: `ok == false` means tag mismatch and the
+/// plaintext must be discarded.
+struct AeadOpenResult {
+  bool ok = false;
+  std::vector<std::uint8_t> plaintext;
+};
+
+AeadOpenResult gimli_aead_decrypt(std::span<const std::uint8_t, kGimliAeadKeyBytes> key,
+                                  std::span<const std::uint8_t, kGimliAeadNonceBytes> nonce,
+                                  std::span<const std::uint8_t> ad,
+                                  std::span<const std::uint8_t> ct,
+                                  std::span<const std::uint8_t, kGimliAeadTagBytes> tag,
+                                  const RoundSchedule& schedule = {});
+
+}  // namespace mldist::ciphers

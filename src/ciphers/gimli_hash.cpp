@@ -1,0 +1,66 @@
+#include "ciphers/gimli_hash.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mldist::ciphers {
+
+namespace {
+
+/// XOR one byte into the state (byte index interpreted little-endian within
+/// the 32-bit words, matching gimli_state_to_bytes).
+void xor_state_byte(GimliState& s, std::size_t i, std::uint8_t v) {
+  s[i / 4] ^= static_cast<std::uint32_t>(v) << (8 * (i % 4));
+}
+
+std::uint8_t state_byte(const GimliState& s, std::size_t i) {
+  return static_cast<std::uint8_t>(s[i / 4] >> (8 * (i % 4)));
+}
+
+}  // namespace
+
+GimliHash::GimliHash(int rounds) : rounds_(rounds) {
+  if (rounds < 1 || rounds > kGimliRounds) {
+    throw std::invalid_argument("GimliHash: rounds must be in [1, 24]");
+  }
+}
+
+void GimliHash::permute() { gimli_reduced(state_, rounds_); }
+
+void GimliHash::absorb(std::span<const std::uint8_t> data) {
+  assert(!finished_);
+  for (std::uint8_t b : data) {
+    xor_state_byte(state_, pos_, b);
+    if (++pos_ == kGimliHashRate) {
+      permute();
+      pos_ = 0;
+    }
+  }
+}
+
+std::vector<std::uint8_t> GimliHash::digest() {
+  assert(!finished_);
+  finished_ = true;
+  // Pad: 0x01 after the message inside the rate, 0x01 into the last state
+  // byte, then one permutation.
+  xor_state_byte(state_, pos_, 0x01);
+  xor_state_byte(state_, kGimliStateBytes - 1, 0x01);
+  permute();
+
+  std::vector<std::uint8_t> out(kGimliHashDigestBytes);
+  for (std::size_t i = 0; i < kGimliHashRate; ++i) out[i] = state_byte(state_, i);
+  permute();
+  for (std::size_t i = 0; i < kGimliHashRate; ++i) {
+    out[kGimliHashRate + i] = state_byte(state_, i);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> gimli_hash(std::span<const std::uint8_t> msg,
+                                     int rounds) {
+  GimliHash h(rounds);
+  h.absorb(msg);
+  return h.digest();
+}
+
+}  // namespace mldist::ciphers

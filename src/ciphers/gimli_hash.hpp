@@ -1,0 +1,48 @@
+// Gimli-Hash: sponge construction over the Gimli permutation (Fig. 2 of the
+// reproduced paper; NIST LWC submission parameters).
+//
+//   rate     = 16 bytes, capacity = 32 bytes, digest = 32 bytes
+//   padding  = append 0x01 to the message inside the rate, and XOR 0x01 into
+//              the final state byte (domain separation) before the last
+//              absorb permutation
+//
+// Every permutation call can be round-reduced (the paper's distinguishers
+// run the permutation processing the last message block with 6/7/8 rounds).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ciphers/gimli.hpp"
+
+namespace mldist::ciphers {
+
+inline constexpr std::size_t kGimliHashRate = 16;
+inline constexpr std::size_t kGimliHashDigestBytes = 32;
+
+/// One-shot Gimli-Hash of `msg`.  All permutation calls use `rounds` rounds
+/// (24 = the real hash; smaller values give the round-reduced variants the
+/// paper attacks).
+std::vector<std::uint8_t> gimli_hash(std::span<const std::uint8_t> msg,
+                                     int rounds = kGimliRounds);
+
+/// Streaming interface; absorb in arbitrary chunks, then squeeze.
+class GimliHash {
+ public:
+  explicit GimliHash(int rounds = kGimliRounds);
+
+  void absorb(std::span<const std::uint8_t> data);
+  /// Finalise and produce the 32-byte digest.  May be called once.
+  std::vector<std::uint8_t> digest();
+
+ private:
+  void permute();
+
+  GimliState state_{};
+  std::size_t pos_ = 0;  // fill position inside the current rate block
+  int rounds_;
+  bool finished_ = false;
+};
+
+}  // namespace mldist::ciphers

@@ -1,0 +1,50 @@
+#include "ciphers/salsa20.hpp"
+
+#include <bit>
+
+namespace mldist::ciphers {
+
+void salsa_quarterround(std::uint32_t& y0, std::uint32_t& y1,
+                        std::uint32_t& y2, std::uint32_t& y3) {
+  y1 ^= std::rotl(y0 + y3, 7);
+  y2 ^= std::rotl(y1 + y0, 9);
+  y3 ^= std::rotl(y2 + y1, 13);
+  y0 ^= std::rotl(y3 + y2, 18);
+}
+
+namespace {
+
+void columnround(SalsaState& s) {
+  salsa_quarterround(s[0], s[4], s[8], s[12]);
+  salsa_quarterround(s[5], s[9], s[13], s[1]);
+  salsa_quarterround(s[10], s[14], s[2], s[6]);
+  salsa_quarterround(s[15], s[3], s[7], s[11]);
+}
+
+void rowround(SalsaState& s) {
+  salsa_quarterround(s[0], s[1], s[2], s[3]);
+  salsa_quarterround(s[5], s[6], s[7], s[4]);
+  salsa_quarterround(s[10], s[11], s[8], s[9]);
+  salsa_quarterround(s[15], s[12], s[13], s[14]);
+}
+
+}  // namespace
+
+void salsa20_rounds(SalsaState& s, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    if (r % 2 == 0) {
+      columnround(s);
+    } else {
+      rowround(s);
+    }
+  }
+}
+
+SalsaState salsa20_core(const SalsaState& in, int rounds) {
+  SalsaState s = in;
+  salsa20_rounds(s, rounds);
+  for (int i = 0; i < 16; ++i) s[i] += in[i];
+  return s;
+}
+
+}  // namespace mldist::ciphers

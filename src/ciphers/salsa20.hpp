@@ -1,0 +1,29 @@
+// Salsa20 core (Bernstein): one of the keyless-round non-Markov primitives
+// named in §2.1 of the reproduced paper; used by the extension experiments.
+//
+// The core permutes a 4x4 matrix of 32-bit words with `rounds` rounds
+// (column rounds alternate with row rounds; the real cipher uses 20) and
+// adds the input words to the output ("core" feed-forward), which is what
+// makes the function non-invertible and the construction keyless inside.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mldist::ciphers {
+
+using SalsaState = std::array<std::uint32_t, 16>;
+
+inline constexpr int kSalsaRounds = 20;
+
+/// The quarterround function (y0..y3) -> (z0..z3) from the Salsa20 spec.
+void salsa_quarterround(std::uint32_t& y0, std::uint32_t& y1,
+                        std::uint32_t& y2, std::uint32_t& y3);
+
+/// Apply `rounds` Salsa20 rounds in place (odd indices are row rounds).
+void salsa20_rounds(SalsaState& s, int rounds);
+
+/// The Salsa20 core: rounds + feed-forward addition of the input.
+SalsaState salsa20_core(const SalsaState& in, int rounds = kSalsaRounds);
+
+}  // namespace mldist::ciphers

@@ -1,0 +1,55 @@
+#include "ciphers/speck3264.hpp"
+
+#include <cassert>
+
+namespace mldist::ciphers {
+
+namespace {
+constexpr std::uint16_t rotl16(std::uint16_t v, int r) {
+  return static_cast<std::uint16_t>((v << r) | (v >> (16 - r)));
+}
+constexpr std::uint16_t rotr16(std::uint16_t v, int r) {
+  return static_cast<std::uint16_t>((v >> r) | (v << (16 - r)));
+}
+}  // namespace
+
+SpeckBlock Speck3264::round(SpeckBlock b, std::uint16_t k) {
+  b.x = static_cast<std::uint16_t>(rotr16(b.x, 7) + b.y) ^ k;
+  b.y = rotl16(b.y, 2) ^ b.x;
+  return b;
+}
+
+SpeckBlock Speck3264::round_inverse(SpeckBlock b, std::uint16_t k) {
+  b.y = rotr16(static_cast<std::uint16_t>(b.y ^ b.x), 2);
+  b.x = rotl16(static_cast<std::uint16_t>((b.x ^ k) - b.y), 7);
+  return b;
+}
+
+Speck3264::Speck3264(const std::array<std::uint16_t, 4>& key) {
+  rk_.resize(kSpeckRounds);
+  // key[3] is k[0]; key[2], key[1], key[0] are l[0], l[1], l[2].
+  std::array<std::uint16_t, kSpeckRounds + 2> l{};
+  l[0] = key[2];
+  l[1] = key[1];
+  l[2] = key[0];
+  rk_[0] = key[3];
+  for (int i = 0; i < kSpeckRounds - 1; ++i) {
+    l[i + 3] = static_cast<std::uint16_t>(
+        (rk_[i] + rotr16(l[i], 7)) ^ static_cast<std::uint16_t>(i));
+    rk_[i + 1] = rotl16(rk_[i], 2) ^ l[i + 3];
+  }
+}
+
+SpeckBlock Speck3264::encrypt(SpeckBlock p, int rounds) const {
+  assert(rounds >= 0 && rounds <= kSpeckRounds);
+  for (int i = 0; i < rounds; ++i) p = round(p, rk_[i]);
+  return p;
+}
+
+SpeckBlock Speck3264::decrypt(SpeckBlock c, int rounds) const {
+  assert(rounds >= 0 && rounds <= kSpeckRounds);
+  for (int i = rounds - 1; i >= 0; --i) c = round_inverse(c, rk_[i]);
+  return c;
+}
+
+}  // namespace mldist::ciphers

@@ -1,0 +1,53 @@
+// SPECK-32/64 (Beaulieu et al., 2013): the ARX block cipher Gohr attacked at
+// CRYPTO'19 and the Markov-cipher baseline of the reproduced paper's §2.3.
+//
+//   block 32 bits (two 16-bit words), key 64 bits (four 16-bit words),
+//   22 rounds; round function x = (x >>> 7 + y) ^ k, y = (y <<< 2) ^ x.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mldist::ciphers {
+
+inline constexpr int kSpeckRounds = 22;
+
+/// A 32-bit SPECK block as its two 16-bit words (x = high, y = low).
+struct SpeckBlock {
+  std::uint16_t x = 0;
+  std::uint16_t y = 0;
+
+  friend bool operator==(const SpeckBlock&, const SpeckBlock&) = default;
+
+  std::uint32_t as_u32() const {
+    return (static_cast<std::uint32_t>(x) << 16) | y;
+  }
+  static SpeckBlock from_u32(std::uint32_t v) {
+    return {static_cast<std::uint16_t>(v >> 16), static_cast<std::uint16_t>(v)};
+  }
+};
+
+class Speck3264 {
+ public:
+  /// Key words in the paper's printing order: key[0] is the word loaded
+  /// last by the schedule (the test-vector key "1918 1110 0908 0100" is
+  /// passed as {0x1918, 0x1110, 0x0908, 0x0100}).
+  explicit Speck3264(const std::array<std::uint16_t, 4>& key);
+
+  /// Encrypt through the first `rounds` rounds (default: full 22).
+  SpeckBlock encrypt(SpeckBlock p, int rounds = kSpeckRounds) const;
+  /// Inverse of encrypt(p, rounds).
+  SpeckBlock decrypt(SpeckBlock c, int rounds = kSpeckRounds) const;
+
+  const std::vector<std::uint16_t>& round_keys() const { return rk_; }
+
+  /// One keyed SPECK round (exposed for the analysis code).
+  static SpeckBlock round(SpeckBlock b, std::uint16_t k);
+  static SpeckBlock round_inverse(SpeckBlock b, std::uint16_t k);
+
+ private:
+  std::vector<std::uint16_t> rk_;
+};
+
+}  // namespace mldist::ciphers

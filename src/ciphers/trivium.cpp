@@ -1,0 +1,53 @@
+#include "ciphers/trivium.hpp"
+
+namespace mldist::ciphers {
+
+namespace {
+/// Spec bit i (1-based, MSB-first within bytes) of an 80-bit buffer.
+int spec_bit(const std::array<std::uint8_t, 10>& buf, int i) {
+  return (buf[(i - 1) / 8] >> (7 - (i - 1) % 8)) & 1;
+}
+}  // namespace
+
+Trivium::Trivium(const std::array<std::uint8_t, 10>& key,
+                 const std::array<std::uint8_t, 10>& iv, int init_clocks) {
+  for (int i = 1; i <= 80; ++i) s_[i - 1] = static_cast<std::uint8_t>(spec_bit(key, i));
+  for (int i = 1; i <= 80; ++i) s_[93 + i - 1] = static_cast<std::uint8_t>(spec_bit(iv, i));
+  s_[285] = s_[286] = s_[287] = 1;
+  for (int i = 0; i < init_clocks; ++i) (void)clock();
+}
+
+int Trivium::clock() {
+  // Spec indices are 1-based; s_[k] = s_{k+1}.
+  const int t1 = s_[65] ^ s_[92];
+  const int t2 = s_[161] ^ s_[176];
+  const int t3 = s_[242] ^ s_[287];
+  const int z = t1 ^ t2 ^ t3;
+  const int n1 = t1 ^ (s_[90] & s_[91]) ^ s_[170];
+  const int n2 = t2 ^ (s_[174] & s_[175]) ^ s_[263];
+  const int n3 = t3 ^ (s_[285] & s_[286]) ^ s_[68];
+  // Shift each register by one, inserting the feedback bit at the front.
+  for (int i = 92; i > 0; --i) s_[i] = s_[i - 1];
+  s_[0] = static_cast<std::uint8_t>(n3);
+  for (int i = 176; i > 93; --i) s_[i] = s_[i - 1];
+  s_[93] = static_cast<std::uint8_t>(n1);
+  for (int i = 287; i > 177; --i) s_[i] = s_[i - 1];
+  s_[177] = static_cast<std::uint8_t>(n2);
+  return z;
+}
+
+int Trivium::next_bit() { return clock(); }
+
+std::uint8_t Trivium::next_byte() {
+  std::uint8_t b = 0;
+  for (int i = 0; i < 8; ++i) b |= static_cast<std::uint8_t>(clock() << i);
+  return b;
+}
+
+std::vector<std::uint8_t> Trivium::keystream(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = next_byte();
+  return out;
+}
+
+}  // namespace mldist::ciphers

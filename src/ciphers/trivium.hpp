@@ -1,0 +1,41 @@
+// Trivium (De Canniere & Preneel, eSTREAM): the second keyless-round
+// non-Markov primitive named in §2.1; used by the extension experiments.
+//
+//   key 80 bits, IV 80 bits, 288-bit state, 4*288 = 1152 initialisation
+//   clocks before the first keystream bit.
+//
+// The initialisation round count is a template for round reduction: the
+// distinguisher experiments shorten it and look for structure in the first
+// keystream bytes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mldist::ciphers {
+
+inline constexpr int kTriviumInitClocks = 4 * 288;
+
+class Trivium {
+ public:
+  /// key/iv: 10 bytes each, bit i of the spec being byte i/8 bit (7 - i%8)
+  /// (MSB-first within bytes, following the eSTREAM convention).
+  Trivium(const std::array<std::uint8_t, 10>& key,
+          const std::array<std::uint8_t, 10>& iv,
+          int init_clocks = kTriviumInitClocks);
+
+  /// Next keystream bit.
+  int next_bit();
+  /// Next keystream byte (LSB = first bit, little-endian bit packing).
+  std::uint8_t next_byte();
+  /// `n` keystream bytes.
+  std::vector<std::uint8_t> keystream(std::size_t n);
+
+ private:
+  int clock();  // advance one step, returning the output bit
+
+  std::array<std::uint8_t, 288> s_{};  // s_[i] = spec bit s_{i+1}
+};
+
+}  // namespace mldist::ciphers

@@ -1,0 +1,63 @@
+#include "core/combiner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/dataset.hpp"
+#include "nn/loss.hpp"
+
+namespace mldist::core {
+
+int predict_group(nn::Sequential& model, const nn::Mat& x) {
+  const nn::Mat probs = model.predict_proba(x);
+  const std::size_t classes = probs.cols();
+  std::vector<double> score(classes, 0.0);
+  for (std::size_t n = 0; n < probs.rows(); ++n) {
+    const float* p = probs.row(n);
+    for (std::size_t c = 0; c < classes; ++c) {
+      score[c] += std::log(std::max(p[c], 1e-12f));
+    }
+  }
+  return static_cast<int>(
+      std::max_element(score.begin(), score.end()) - score.begin());
+}
+
+CombinedReport combined_accuracy(nn::Sequential& model, const Oracle& oracle,
+                                 std::size_t groups, std::size_t k,
+                                 util::Xoshiro256& rng) {
+  const std::size_t t = oracle.num_differences();
+  const std::size_t features = oracle.output_bytes() * 8;
+
+  CombinedReport rep;
+  rep.groups = groups;
+  rep.k = k;
+  rep.log2_queries =
+      std::log2(static_cast<double>(groups * k * (t + 1)));
+
+  std::size_t combined_hits = 0;
+  std::size_t sample_hits = 0;
+  // One collect per group: k base inputs -> k rows per class.
+  for (std::size_t g = 0; g < groups; ++g) {
+    const nn::Dataset ds = collect_dataset(oracle, k, rng);
+    // Rows are interleaved (class = row % t); regroup per class.
+    for (std::size_t c = 0; c < t; ++c) {
+      nn::Mat xc(k, features);
+      for (std::size_t j = 0; j < k; ++j) {
+        const float* src = ds.x.row(j * t + c);
+        std::copy(src, src + features, xc.row(j));
+      }
+      if (predict_group(model, xc) == static_cast<int>(c)) ++combined_hits;
+    }
+    const std::vector<int> pred = model.predict(ds.x);
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      sample_hits += (pred[i] == ds.y[i]);
+    }
+  }
+  rep.accuracy = static_cast<double>(combined_hits) /
+                 static_cast<double>(groups * t);
+  rep.per_sample_accuracy = static_cast<double>(sample_hits) /
+                            static_cast<double>(groups * k * t);
+  return rep;
+}
+
+}  // namespace mldist::core

@@ -1,0 +1,43 @@
+// Score combining across pairs (an extension in the spirit of Gohr's
+// CRYPTO'19 key-ranking, applied to the paper's multi-difference
+// distinguisher).
+//
+// The online attacker KNOWS which input difference produced each query, so
+// samples can be grouped by class and the model's probability outputs
+// combined with a naive-Bayes log-likelihood sum: for k samples of the same
+// unknown class, predict argmax_c  sum_j log p_model(c | x_j).
+//
+// A per-sample advantage eps over 1/t grows roughly like sqrt(k) under
+// combining, so a marginal distinguisher (8-round Gimli at ~0.51) becomes
+// decisive with modest k — this is how the online complexity can be traded
+// against per-sample accuracy.
+#pragma once
+
+#include <cstdint>
+
+#include "core/oracle.hpp"
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace mldist::core {
+
+/// Combined prediction for `k` feature rows known to share one class:
+/// argmax over classes of the summed log-probabilities.  `x` holds the k
+/// rows.
+int predict_group(nn::Sequential& model, const nn::Mat& x);
+
+struct CombinedReport {
+  std::size_t groups = 0;        ///< decisions made (per class per group)
+  std::size_t k = 0;             ///< samples combined per decision
+  double accuracy = 0.0;         ///< fraction of correct combined decisions
+  double per_sample_accuracy = 0.0;  ///< plain accuracy on the same data
+  double log2_queries = 0.0;     ///< oracle queries spent
+};
+
+/// Query `oracle` for groups*k base inputs, combine per class in groups of
+/// k, and report combined vs per-sample accuracy.
+CombinedReport combined_accuracy(nn::Sequential& model, const Oracle& oracle,
+                                 std::size_t groups, std::size_t k,
+                                 util::Xoshiro256& rng);
+
+}  // namespace mldist::core

@@ -1,0 +1,33 @@
+#include "core/dataset.hpp"
+
+#include "util/bits.hpp"
+
+namespace mldist::core {
+
+nn::Dataset collect_dataset(const Oracle& oracle, std::size_t base_inputs,
+                            util::Xoshiro256& rng) {
+  const std::size_t t = oracle.num_differences();
+  const std::size_t features = oracle.output_bytes() * 8;
+  nn::Dataset ds;
+  ds.x = nn::Mat(base_inputs * t, features);
+  ds.y.resize(base_inputs * t);
+
+  std::vector<std::vector<std::uint8_t>> diffs;
+  for (std::size_t s = 0; s < base_inputs; ++s) {
+    oracle.query(rng, diffs);
+    for (std::size_t i = 0; i < t; ++i) {
+      const std::size_t row = s * t + i;
+      util::bits_to_floats(diffs[i], ds.x.row(row));
+      ds.y[row] = static_cast<int>(i);
+    }
+  }
+  return ds;
+}
+
+nn::Dataset collect_dataset(const Target& target, std::size_t base_inputs,
+                            util::Xoshiro256& rng) {
+  const CipherOracle oracle(target);
+  return collect_dataset(oracle, base_inputs, rng);
+}
+
+}  // namespace mldist::core

@@ -1,0 +1,22 @@
+// Offline-phase data collection (Algorithm 2, lines 2-9): turn oracle/target
+// queries into a labelled bit-feature data set.  Sample row = the output
+// difference unpacked into one float per bit; label = difference index i.
+#pragma once
+
+#include "core/oracle.hpp"
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace mldist::core {
+
+/// Query `oracle` for `base_inputs` fresh base inputs (producing
+/// base_inputs * t labelled rows) and pack them into a Dataset.
+nn::Dataset collect_dataset(const Oracle& oracle, std::size_t base_inputs,
+                            util::Xoshiro256& rng);
+
+/// Convenience: collect from the real primitive (the offline phase always
+/// trains against the cipher).
+nn::Dataset collect_dataset(const Target& target, std::size_t base_inputs,
+                            util::Xoshiro256& rng);
+
+}  // namespace mldist::core

@@ -1,0 +1,108 @@
+#include "core/distinguisher.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace mldist::core {
+
+MLDistinguisher::MLDistinguisher(std::unique_ptr<nn::Sequential> model,
+                                 DistinguisherOptions options)
+    : model_(std::move(model)), options_(std::move(options)) {
+  if (!model_) throw std::invalid_argument("MLDistinguisher: null model");
+}
+
+TrainReport MLDistinguisher::train(const Target& target,
+                                   std::size_t base_inputs) {
+  t_ = target.num_differences();
+  util::Xoshiro256 rng(options_.seed);
+
+  const std::size_t val_base = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(base_inputs) *
+                                  options_.validation_fraction));
+  const std::size_t train_base =
+      base_inputs > val_base ? base_inputs - val_base : 1;
+
+  const nn::Dataset train_set = collect_dataset(target, train_base, rng);
+  const nn::Dataset val_set = collect_dataset(target, val_base, rng);
+
+  nn::Adam opt(options_.learning_rate);
+  nn::FitOptions fit;
+  fit.epochs = options_.epochs;
+  fit.batch_size = options_.batch_size;
+  fit.shuffle_seed = rng.next_u64();
+  fit.validation = &val_set;
+  fit.on_epoch = options_.on_epoch;
+  const nn::EpochStats stats = model_->fit(train_set, opt, fit);
+
+  train_report_ = TrainReport{};
+  train_report_.train_accuracy = stats.train_accuracy;
+  train_report_.val_accuracy = stats.val_accuracy;
+  train_report_.train_loss = stats.train_loss;
+  train_report_.samples = train_set.size() + val_set.size();
+  // Each base input costs t+1 oracle queries (the base and its t partners).
+  train_report_.log2_data =
+      std::log2(static_cast<double>(base_inputs * (t_ + 1)));
+  // Algorithm 2 line 12: proceed only when a > 1/t.  With finite data we
+  // ask for a z_threshold-sigma margin on the validation set.
+  const std::size_t val_rows = val_set.size();
+  const double z = util::binomial_z_score(
+      static_cast<std::size_t>(
+          std::lround(stats.val_accuracy * static_cast<double>(val_rows))),
+      val_rows, util::random_guess_accuracy(t_));
+  train_report_.usable = z > options_.z_threshold;
+  return train_report_;
+}
+
+OnlineReport MLDistinguisher::test(const Oracle& oracle,
+                                   std::size_t base_inputs,
+                                   std::uint64_t seed) const {
+  if (t_ == 0) {
+    throw std::logic_error("MLDistinguisher::test called before train");
+  }
+  if (oracle.num_differences() != t_) {
+    throw std::invalid_argument("MLDistinguisher: oracle t mismatch");
+  }
+  util::Xoshiro256 rng(seed != 0 ? seed
+                                 : (options_.seed ^ 0x0417e57ULL));
+  const nn::Dataset online = collect_dataset(oracle, base_inputs, rng);
+  const std::vector<int> pred = model_->predict(online.x);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == online.y[i]) ++hits;
+  }
+  OnlineReport rep;
+  rep.samples = pred.size();
+  rep.accuracy = static_cast<double>(hits) / static_cast<double>(pred.size());
+  rep.log2_data = std::log2(static_cast<double>(base_inputs * (t_ + 1)));
+  rep.z_vs_random = util::binomial_z_score(hits, pred.size(),
+                                           util::random_guess_accuracy(t_));
+  rep.verdict = decide(rep.accuracy, rep.samples);
+  return rep;
+}
+
+Verdict MLDistinguisher::decide(double online_accuracy,
+                                std::size_t online_samples) const {
+  const double p0 = util::random_guess_accuracy(t_);
+  const double a = train_report_.val_accuracy;
+  const double se =
+      std::sqrt(p0 * (1.0 - p0) / static_cast<double>(online_samples));
+  // The paper's rule compares a' against a (CIPHER) and 1/t (RANDOM).
+  // When the training advantage a - 1/t is resolvable at this online
+  // sample size, the midpoint between the two hypotheses is the
+  // maximum-likelihood threshold.
+  if (se > 0.0 && (a - p0) > options_.z_threshold * se) {
+    return online_accuracy > p0 + 0.5 * (a - p0) ? Verdict::kCipher
+                                                 : Verdict::kRandom;
+  }
+  // Underpowered game: only a significant positive excursion over 1/t can
+  // still be called; anything else is inconclusive.
+  const std::size_t hits = static_cast<std::size_t>(
+      std::lround(online_accuracy * static_cast<double>(online_samples)));
+  const double z_random = util::binomial_z_score(hits, online_samples, p0);
+  if (z_random > options_.z_threshold) return Verdict::kCipher;
+  return Verdict::kInconclusive;
+}
+
+}  // namespace mldist::core

@@ -1,0 +1,82 @@
+// Algorithm 2 of the paper: the machine-learning-assisted differential
+// distinguisher.
+//
+// Offline: collect t-class training data from the (round-reduced) cipher,
+// train a classifier, record the training/validation accuracy a.  Abort if
+// a is not significantly above 1/t.
+//
+// Online: query the unknown ORACLE, predict classes for its output
+// differences and tally the prediction accuracy a'.  Decide CIPHER when a'
+// is statistically closer to a than to 1/t (the paper states the rule as
+// a' = a vs a' = 1/t; with finite samples we compare binomial z-scores).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/dataset.hpp"
+#include "core/oracle.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+
+namespace mldist::core {
+
+enum class Verdict { kCipher, kRandom, kInconclusive };
+
+struct TrainReport {
+  double train_accuracy = 0.0;  ///< a, on the training split
+  double val_accuracy = 0.0;    ///< a on held-out data (used for decisions)
+  double train_loss = 0.0;
+  std::size_t samples = 0;      ///< labelled rows seen (base inputs * t)
+  double log2_data = 0.0;       ///< log2 of oracle queries spent offline
+  bool usable = false;          ///< a > 1/t with margin (Algorithm 2 line 12)
+};
+
+struct OnlineReport {
+  double accuracy = 0.0;  ///< a' over the online predictions
+  std::size_t samples = 0;
+  double log2_data = 0.0;
+  double z_vs_random = 0.0;  ///< z-score of a' against 1/t
+  Verdict verdict = Verdict::kInconclusive;
+};
+
+struct DistinguisherOptions {
+  int epochs = 5;
+  std::size_t batch_size = 128;
+  float learning_rate = 1e-3f;
+  double validation_fraction = 0.1;  ///< held out from the offline data
+  double z_threshold = 3.0;          ///< significance for all decisions
+  std::uint64_t seed = 0x600d5eedULL;
+  std::function<void(const nn::EpochStats&)> on_epoch;
+};
+
+/// Owns the model and the Algorithm 2 phases for one target.
+class MLDistinguisher {
+ public:
+  /// `model` must map output_bytes*8 features to t logits.
+  MLDistinguisher(std::unique_ptr<nn::Sequential> model,
+                  DistinguisherOptions options = {});
+
+  /// Offline phase: collect `base_inputs` queries from the cipher, train.
+  TrainReport train(const Target& target, std::size_t base_inputs);
+
+  /// Online phase against an unknown oracle; needs a prior train().
+  /// `seed` keys the online query stream so repeated games are independent;
+  /// 0 selects a default stream derived from the construction seed.
+  OnlineReport test(const Oracle& oracle, std::size_t base_inputs,
+                    std::uint64_t seed = 0) const;
+
+  /// Decision rule given the recorded training accuracy.
+  Verdict decide(double online_accuracy, std::size_t online_samples) const;
+
+  nn::Sequential& model() { return *model_; }
+  const TrainReport& last_train() const { return train_report_; }
+
+ private:
+  std::unique_ptr<nn::Sequential> model_;
+  DistinguisherOptions options_;
+  TrainReport train_report_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace mldist::core

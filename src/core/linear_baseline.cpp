@@ -1,0 +1,72 @@
+#include "core/linear_baseline.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mldist::core {
+
+LinearSvm::LinearSvm(std::size_t features, std::size_t classes)
+    : features_(features), classes_(classes), w_(classes * features, 0.0f),
+      b_(classes, 0.0f) {}
+
+void LinearSvm::scores(const float* row, std::vector<float>& out) const {
+  out.assign(classes_, 0.0f);
+  for (std::size_t c = 0; c < classes_; ++c) {
+    const float* wc = w_.data() + c * features_;
+    float s = b_[c];
+    for (std::size_t j = 0; j < features_; ++j) s += wc[j] * row[j];
+    out[c] = s;
+  }
+}
+
+double LinearSvm::fit(const nn::Dataset& train, const LinearSvmOptions& options) {
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+  util::Xoshiro256 rng(options.seed);
+
+  std::vector<float> s;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t idx : order) {
+      const float* row = train.x.row(idx);
+      const int y = train.y[idx];
+      scores(row, s);
+      for (std::size_t c = 0; c < classes_; ++c) {
+        // One-vs-rest hinge: target +1 for the true class, -1 otherwise.
+        const float target = (static_cast<int>(c) == y) ? 1.0f : -1.0f;
+        float* wc = w_.data() + c * features_;
+        const bool in_margin = target * s[c] < 1.0f;
+        for (std::size_t j = 0; j < features_; ++j) {
+          float g = options.l2 * wc[j];
+          if (in_margin) g -= target * row[j];
+          wc[j] -= options.learning_rate * g;
+        }
+        if (in_margin) b_[c] += options.learning_rate * target;
+      }
+    }
+  }
+  return accuracy(train);
+}
+
+std::vector<int> LinearSvm::predict(const nn::Mat& x) const {
+  std::vector<int> out(x.rows());
+  std::vector<float> s;
+  for (std::size_t n = 0; n < x.rows(); ++n) {
+    scores(x.row(n), s);
+    out[n] = static_cast<int>(
+        std::max_element(s.begin(), s.end()) - s.begin());
+  }
+  return out;
+}
+
+double LinearSvm::accuracy(const nn::Dataset& data) const {
+  if (data.size() == 0) return 0.0;
+  const std::vector<int> pred = predict(data.x);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == data.y[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(pred.size());
+}
+
+}  // namespace mldist::core

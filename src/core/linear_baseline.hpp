@@ -1,0 +1,47 @@
+// Linear classifier baseline (§6: "a Support Vector Machine (SVM) can be
+// used instead of neural network").
+//
+// A multiclass linear SVM trained by SGD on the one-vs-rest hinge loss with
+// L2 regularisation.  It shares the Dataset format with the neural models,
+// so it can be dropped into the distinguisher pipeline for the ablation
+// bench comparing model classes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace mldist::core {
+
+struct LinearSvmOptions {
+  int epochs = 5;
+  float learning_rate = 0.05f;
+  float l2 = 1e-4f;
+  std::uint64_t seed = 0x5f3759dfULL;
+};
+
+class LinearSvm {
+ public:
+  LinearSvm(std::size_t features, std::size_t classes);
+
+  /// SGD on the one-vs-rest hinge loss; returns final training accuracy.
+  double fit(const nn::Dataset& train, const LinearSvmOptions& options);
+
+  std::vector<int> predict(const nn::Mat& x) const;
+  double accuracy(const nn::Dataset& data) const;
+
+  std::size_t param_count() const { return w_.size() + b_.size(); }
+
+ private:
+  /// Per-class decision scores for one sample row.
+  void scores(const float* row, std::vector<float>& out) const;
+
+  std::size_t features_;
+  std::size_t classes_;
+  std::vector<float> w_;  // classes x features, row-major
+  std::vector<float> b_;  // classes
+};
+
+}  // namespace mldist::core

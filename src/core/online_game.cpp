@@ -1,0 +1,49 @@
+#include "core/online_game.hpp"
+
+namespace mldist::core {
+
+GameReport play_games(const MLDistinguisher& dist, const Target& target,
+                      std::size_t games, std::size_t online_base_inputs,
+                      std::uint64_t seed) {
+  util::Xoshiro256 referee(seed);
+  const CipherOracle cipher(target);
+  const RandomOracle random(target.num_differences(), target.output_bytes());
+
+  GameReport rep;
+  rep.games = games;
+  double cipher_acc_sum = 0.0;
+  std::size_t cipher_games = 0;
+  double random_acc_sum = 0.0;
+  std::size_t random_games = 0;
+
+  for (std::size_t g = 0; g < games; ++g) {
+    const bool is_cipher = (referee.next_u64() & 1) != 0;
+    const Oracle& oracle =
+        is_cipher ? static_cast<const Oracle&>(cipher)
+                  : static_cast<const Oracle&>(random);
+    const OnlineReport online =
+        dist.test(oracle, online_base_inputs, referee.next_u64() | 1);
+    if (is_cipher) {
+      cipher_acc_sum += online.accuracy;
+      ++cipher_games;
+      if (online.verdict == Verdict::kCipher) ++rep.correct;
+    } else {
+      random_acc_sum += online.accuracy;
+      ++random_games;
+      if (online.verdict == Verdict::kRandom) ++rep.correct;
+    }
+    if (online.verdict == Verdict::kInconclusive) ++rep.inconclusive;
+  }
+  rep.success_rate =
+      games > 0 ? static_cast<double>(rep.correct) / static_cast<double>(games)
+                : 0.0;
+  if (cipher_games > 0) {
+    rep.mean_cipher_accuracy = cipher_acc_sum / static_cast<double>(cipher_games);
+  }
+  if (random_games > 0) {
+    rep.mean_random_accuracy = random_acc_sum / static_cast<double>(random_games);
+  }
+  return rep;
+}
+
+}  // namespace mldist::core

@@ -1,0 +1,27 @@
+// The full distinguisher game (§3.1): a referee secretly picks
+// ORACLE <-$- {CIPHER, RANDOM}; the attacker runs the online phase of a
+// trained MLDistinguisher and must name the oracle.  `play_games` repeats
+// the game and reports the attacker's success rate together with the
+// paper's headline numbers (accuracy on cipher data vs random data).
+#pragma once
+
+#include "core/distinguisher.hpp"
+
+namespace mldist::core {
+
+struct GameReport {
+  std::size_t games = 0;
+  std::size_t correct = 0;          ///< oracle named correctly
+  std::size_t inconclusive = 0;
+  double success_rate = 0.0;        ///< correct / games
+  double mean_cipher_accuracy = 0.0;  ///< mean a' when ORACLE = CIPHER
+  double mean_random_accuracy = 0.0;  ///< mean a' when ORACLE = RANDOM
+};
+
+/// Play `games` independent rounds with `online_base_inputs` online base
+/// inputs each.  The distinguisher must already be trained on `target`.
+GameReport play_games(const MLDistinguisher& dist, const Target& target,
+                      std::size_t games, std::size_t online_base_inputs,
+                      std::uint64_t seed);
+
+}  // namespace mldist::core

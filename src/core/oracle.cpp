@@ -1,0 +1,5 @@
+// Oracle implementations are header-only; this translation unit anchors the
+// vtable of the abstract base.
+#include "core/oracle.hpp"
+
+namespace mldist::core {}  // namespace mldist::core

@@ -1,0 +1,64 @@
+// The classical distinguisher game of §1/§3: ORACLE <-$- {CIPHER, RANDOM}.
+//
+// An Oracle answers the online phase's queries with the t output differences
+// for one fresh base input.  CipherOracle forwards to a Target; RandomOracle
+// models the ideal object — output differences of a random function are
+// uniform, so it returns fresh uniform bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/targets.hpp"
+#include "util/rng.hpp"
+
+namespace mldist::core {
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  virtual std::size_t num_differences() const = 0;
+  virtual std::size_t output_bytes() const = 0;
+  /// Fill `diffs[i]` with the output difference for input difference i.
+  virtual void query(util::Xoshiro256& rng,
+                     std::vector<std::vector<std::uint8_t>>& diffs) const = 0;
+};
+
+class CipherOracle : public Oracle {
+ public:
+  explicit CipherOracle(const Target& target) : target_(target) {}
+
+  std::size_t num_differences() const override {
+    return target_.num_differences();
+  }
+  std::size_t output_bytes() const override { return target_.output_bytes(); }
+  void query(util::Xoshiro256& rng,
+             std::vector<std::vector<std::uint8_t>>& diffs) const override {
+    target_.sample(rng, diffs);
+  }
+
+ private:
+  const Target& target_;
+};
+
+class RandomOracle : public Oracle {
+ public:
+  RandomOracle(std::size_t t, std::size_t out_bytes)
+      : t_(t), out_bytes_(out_bytes) {}
+
+  std::size_t num_differences() const override { return t_; }
+  std::size_t output_bytes() const override { return out_bytes_; }
+  void query(util::Xoshiro256& rng,
+             std::vector<std::vector<std::uint8_t>>& diffs) const override {
+    diffs.assign(t_, std::vector<std::uint8_t>(out_bytes_));
+    for (auto& d : diffs) rng.fill_bytes(d.data(), d.size());
+  }
+
+ private:
+  std::size_t t_;
+  std::size_t out_bytes_;
+};
+
+}  // namespace mldist::core

@@ -1,0 +1,32 @@
+#include "core/real_random.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/bits.hpp"
+
+namespace mldist::core {
+
+nn::Dataset collect_real_random_dataset(const Target& target,
+                                        std::size_t per_class,
+                                        util::Xoshiro256& rng) {
+  const std::size_t features = target.output_bytes() * 8;
+  nn::Dataset ds;
+  ds.x = nn::Mat(2 * per_class, features);
+  ds.y.resize(2 * per_class);
+
+  std::vector<std::vector<std::uint8_t>> diffs;
+  std::vector<std::uint8_t> random_bytes(target.output_bytes());
+  for (std::size_t i = 0; i < per_class; ++i) {
+    target.sample(rng, diffs);
+    util::bits_to_floats(diffs[0], ds.x.row(2 * i));
+    ds.y[2 * i] = 1;
+
+    rng.fill_bytes(random_bytes.data(), random_bytes.size());
+    util::bits_to_floats(random_bytes, ds.x.row(2 * i + 1));
+    ds.y[2 * i + 1] = 0;
+  }
+  return ds;
+}
+
+}  // namespace mldist::core

@@ -1,0 +1,27 @@
+// Gohr's CRYPTO'19 data formulation, provided as an alternative to the
+// paper's multi-difference classification (§3.3 compares the two).
+//
+// Gohr labels each sample by ORIGIN: class 1 = output difference of the
+// cipher under ONE fixed input difference, class 0 = uniform random data.
+// The reproduced paper instead labels by WHICH of t >= 2 input differences
+// produced the sample and never feeds random data during training.
+//
+// Both produce distinguishers; this module builds Gohr-style data sets from
+// any Target (using its first input difference) so the two formulations can
+// be trained and compared on identical budgets.
+#pragma once
+
+#include "core/targets.hpp"
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace mldist::core {
+
+/// Build a balanced Gohr-style data set: `per_class` rows of cipher output
+/// differences (label 1, using the target's difference index 0) and
+/// `per_class` rows of uniform random bytes (label 0).
+nn::Dataset collect_real_random_dataset(const Target& target,
+                                        std::size_t per_class,
+                                        util::Xoshiro256& rng);
+
+}  // namespace mldist::core

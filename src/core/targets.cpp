@@ -1,0 +1,337 @@
+#include "core/targets.hpp"
+
+#include <stdexcept>
+
+#include "ciphers/gift128.hpp"
+#include "ciphers/gift64.hpp"
+#include "ciphers/gift_toy.hpp"
+#include "ciphers/gimli_hash.hpp"
+#include "ciphers/salsa20.hpp"
+#include "ciphers/speck3264.hpp"
+#include "ciphers/trivium.hpp"
+#include "util/bits.hpp"
+
+namespace mldist::core {
+
+namespace {
+void require_t(std::size_t t) {
+  if (t < 2) {
+    throw std::invalid_argument("Target: Algorithm 2 needs t >= 2 differences");
+  }
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Gimli-Hash
+// ---------------------------------------------------------------------------
+
+GimliHashTarget::GimliHashTarget(int rounds,
+                                 std::vector<std::size_t> diff_byte_positions,
+                                 std::size_t prefix_blocks)
+    : rounds_(rounds), positions_(std::move(diff_byte_positions)),
+      prefix_blocks_(prefix_blocks) {
+  require_t(positions_.size());
+  for (std::size_t p : positions_) {
+    if (p >= 15) {
+      throw std::invalid_argument(
+          "GimliHashTarget: difference positions must lie in the 15-byte block");
+    }
+  }
+}
+
+std::vector<std::uint8_t> GimliHashTarget::hash_first_half(
+    const std::vector<std::uint8_t>& tail) const {
+  // The zero prefix blocks carry no difference — they only move the state
+  // to a fixed constant before the attacked window, so absorbing them with
+  // the reduced permutation changes nothing the distinguisher can see.
+  std::vector<std::uint8_t> msg(prefix_blocks_ * ciphers::kGimliHashRate, 0);
+  msg.insert(msg.end(), tail.begin(), tail.end());
+  auto digest = ciphers::gimli_hash(msg, rounds_);
+  digest.resize(16);
+  return digest;
+}
+
+void GimliHashTarget::sample(
+    util::Xoshiro256& rng,
+    std::vector<std::vector<std::uint8_t>>& out_diffs) const {
+  // The paper's data collection fixes the message content (zeros) and flips
+  // one bit per difference; the randomness that varies across samples is the
+  // base message itself, drawn uniformly so that hash-difference samples are
+  // independent.
+  std::vector<std::uint8_t> base = rng.bytes(15);
+  const std::vector<std::uint8_t> h = hash_first_half(base);
+  out_diffs.assign(positions_.size(), {});
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    std::vector<std::uint8_t> m = base;
+    m[positions_[i]] ^= 0x01;
+    out_diffs[i] = util::xor_vec(hash_first_half(m), h);
+  }
+}
+
+std::string GimliHashTarget::name() const {
+  std::string n = "gimli-hash/" + std::to_string(rounds_) + "r";
+  if (prefix_blocks_ > 0) n += "-p" + std::to_string(prefix_blocks_);
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Gimli-Cipher
+// ---------------------------------------------------------------------------
+
+GimliCipherTarget::GimliCipherTarget(int total_rounds,
+                                     std::vector<std::size_t> diff_byte_positions,
+                                     bool split_rounds)
+    : positions_(std::move(diff_byte_positions)), total_rounds_(total_rounds),
+      split_(split_rounds) {
+  require_t(positions_.size());
+  for (std::size_t p : positions_) {
+    if (p >= ciphers::kGimliAeadNonceBytes) {
+      throw std::invalid_argument(
+          "GimliCipherTarget: difference positions must lie in the nonce");
+    }
+  }
+  if (split_) {
+    schedule_.init = (total_rounds + 1) / 2;
+    schedule_.ad = total_rounds / 2;
+  } else {
+    schedule_.init = total_rounds;
+    schedule_.ad = 0;
+  }
+  // c0 is emitted before the first message permutation runs, so the
+  // message round count cannot affect the observable (tested in
+  // gimli_modes_test); 1 round keeps the unused tag computation cheap.
+  schedule_.message = 1;
+}
+
+std::vector<std::uint8_t> GimliCipherTarget::first_block(
+    const std::array<std::uint8_t, ciphers::kGimliAeadKeyBytes>& key,
+    std::array<std::uint8_t, ciphers::kGimliAeadNonceBytes> nonce) const {
+  const std::vector<std::uint8_t> m0(ciphers::kGimliAeadRate, 0x00);
+  const auto res = ciphers::gimli_aead_encrypt(
+      std::span<const std::uint8_t, ciphers::kGimliAeadKeyBytes>(key),
+      std::span<const std::uint8_t, ciphers::kGimliAeadNonceBytes>(nonce),
+      /*ad=*/{}, m0, schedule_);
+  return res.ciphertext;
+}
+
+void GimliCipherTarget::sample(
+    util::Xoshiro256& rng,
+    std::vector<std::vector<std::uint8_t>>& out_diffs) const {
+  std::array<std::uint8_t, ciphers::kGimliAeadKeyBytes> key;
+  rng.fill_bytes(key.data(), key.size());
+  std::array<std::uint8_t, ciphers::kGimliAeadNonceBytes> nonce;
+  rng.fill_bytes(nonce.data(), nonce.size());
+
+  const std::vector<std::uint8_t> c = first_block(key, nonce);
+  out_diffs.assign(positions_.size(), {});
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    auto n2 = nonce;
+    n2[positions_[i]] ^= 0x01;
+    out_diffs[i] = util::xor_vec(first_block(key, n2), c);
+  }
+}
+
+std::string GimliCipherTarget::name() const {
+  return "gimli-cipher/" + std::to_string(total_rounds_) + "r" +
+         (split_ ? "-split" : "");
+}
+
+// ---------------------------------------------------------------------------
+// SPECK-32/64
+// ---------------------------------------------------------------------------
+
+SpeckTarget::SpeckTarget(int rounds, std::vector<std::uint32_t> diffs)
+    : rounds_(rounds), diffs_(std::move(diffs)) {
+  require_t(diffs_.size());
+}
+
+void SpeckTarget::sample(
+    util::Xoshiro256& rng,
+    std::vector<std::vector<std::uint8_t>>& out_diffs) const {
+  const std::array<std::uint16_t, 4> key = {
+      static_cast<std::uint16_t>(rng.next_u32()),
+      static_cast<std::uint16_t>(rng.next_u32()),
+      static_cast<std::uint16_t>(rng.next_u32()),
+      static_cast<std::uint16_t>(rng.next_u32())};
+  const ciphers::Speck3264 cipher(key);
+  const std::uint32_t p = rng.next_u32();
+  const std::uint32_t c =
+      cipher.encrypt(ciphers::SpeckBlock::from_u32(p), rounds_).as_u32();
+  out_diffs.assign(diffs_.size(), std::vector<std::uint8_t>(4));
+  for (std::size_t i = 0; i < diffs_.size(); ++i) {
+    const std::uint32_t ci =
+        cipher.encrypt(ciphers::SpeckBlock::from_u32(p ^ diffs_[i]), rounds_)
+            .as_u32();
+    const std::uint32_t d = ci ^ c;
+    util::store_u32_le(out_diffs[i].data(), d);
+  }
+}
+
+std::string SpeckTarget::name() const {
+  return "speck32-64/" + std::to_string(rounds_) + "r";
+}
+
+// ---------------------------------------------------------------------------
+// GIFT-64
+// ---------------------------------------------------------------------------
+
+Gift64Target::Gift64Target(int rounds, std::vector<std::uint64_t> diffs)
+    : rounds_(rounds), diffs_(std::move(diffs)) {
+  require_t(diffs_.size());
+}
+
+void Gift64Target::sample(
+    util::Xoshiro256& rng,
+    std::vector<std::vector<std::uint8_t>>& out_diffs) const {
+  std::array<std::uint16_t, 8> key;
+  for (auto& k : key) k = static_cast<std::uint16_t>(rng.next_u32());
+  const ciphers::Gift64 cipher(key);
+  const std::uint64_t p = rng.next_u64();
+  const std::uint64_t c = cipher.encrypt(p, rounds_);
+  out_diffs.assign(diffs_.size(), std::vector<std::uint8_t>(8));
+  for (std::size_t i = 0; i < diffs_.size(); ++i) {
+    const std::uint64_t d = cipher.encrypt(p ^ diffs_[i], rounds_) ^ c;
+    for (int b = 0; b < 8; ++b) {
+      out_diffs[i][static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(d >> (8 * b));
+    }
+  }
+}
+
+std::string Gift64Target::name() const {
+  return "gift64/" + std::to_string(rounds_) + "r";
+}
+
+// ---------------------------------------------------------------------------
+// GIFT-128
+// ---------------------------------------------------------------------------
+
+Gift128Target::Gift128Target(int rounds, std::vector<std::uint64_t> lo_diffs)
+    : rounds_(rounds), diffs_(std::move(lo_diffs)) {
+  require_t(diffs_.size());
+}
+
+void Gift128Target::sample(
+    util::Xoshiro256& rng,
+    std::vector<std::vector<std::uint8_t>>& out_diffs) const {
+  std::array<std::uint16_t, 8> key;
+  for (auto& k : key) k = static_cast<std::uint16_t>(rng.next_u32());
+  const ciphers::Gift128 cipher(key);
+  const ciphers::Gift128Block p{rng.next_u64(), rng.next_u64()};
+  const ciphers::Gift128Block c = cipher.encrypt(p, rounds_);
+  out_diffs.assign(diffs_.size(), std::vector<std::uint8_t>(16));
+  for (std::size_t i = 0; i < diffs_.size(); ++i) {
+    ciphers::Gift128Block p2 = p;
+    p2.lo ^= diffs_[i];
+    const ciphers::Gift128Block d0 = cipher.encrypt(p2, rounds_);
+    const std::uint64_t dlo = d0.lo ^ c.lo;
+    const std::uint64_t dhi = d0.hi ^ c.hi;
+    for (int b = 0; b < 8; ++b) {
+      out_diffs[i][static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(dlo >> (8 * b));
+      out_diffs[i][static_cast<std::size_t>(8 + b)] =
+          static_cast<std::uint8_t>(dhi >> (8 * b));
+    }
+  }
+}
+
+std::string Gift128Target::name() const {
+  return "gift128/" + std::to_string(rounds_) + "r";
+}
+
+// ---------------------------------------------------------------------------
+// Toy GIFT (Fig. 1)
+// ---------------------------------------------------------------------------
+
+ToyGiftTarget::ToyGiftTarget(std::vector<std::uint8_t> diffs)
+    : diffs_(std::move(diffs)) {
+  require_t(diffs_.size());
+}
+
+void ToyGiftTarget::sample(
+    util::Xoshiro256& rng,
+    std::vector<std::vector<std::uint8_t>>& out_diffs) const {
+  const auto x = static_cast<std::uint8_t>(rng.next_u64());
+  const std::uint8_t c = ciphers::toy_cipher(x);
+  out_diffs.assign(diffs_.size(), std::vector<std::uint8_t>(1));
+  for (std::size_t i = 0; i < diffs_.size(); ++i) {
+    out_diffs[i][0] = static_cast<std::uint8_t>(
+        ciphers::toy_cipher(static_cast<std::uint8_t>(x ^ diffs_[i])) ^ c);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Salsa20 core
+// ---------------------------------------------------------------------------
+
+SalsaTarget::SalsaTarget(int rounds, std::vector<int> diff_words)
+    : rounds_(rounds), words_(std::move(diff_words)) {
+  require_t(words_.size());
+  for (int w : words_) {
+    if (w < 0 || w >= 16) {
+      throw std::invalid_argument("SalsaTarget: word index out of range");
+    }
+  }
+}
+
+void SalsaTarget::sample(
+    util::Xoshiro256& rng,
+    std::vector<std::vector<std::uint8_t>>& out_diffs) const {
+  ciphers::SalsaState base;
+  for (auto& w : base) w = rng.next_u32();
+  const ciphers::SalsaState out = ciphers::salsa20_core(base, rounds_);
+  out_diffs.assign(words_.size(), std::vector<std::uint8_t>(16));
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    ciphers::SalsaState in2 = base;
+    in2[static_cast<std::size_t>(words_[i])] ^= 1u;
+    const ciphers::SalsaState out2 = ciphers::salsa20_core(in2, rounds_);
+    for (int w = 0; w < 4; ++w) {
+      util::store_u32_le(out_diffs[i].data() + 4 * w,
+                         out2[static_cast<std::size_t>(w)] ^
+                             out[static_cast<std::size_t>(w)]);
+    }
+  }
+}
+
+std::string SalsaTarget::name() const {
+  return "salsa20-core/" + std::to_string(rounds_) + "r";
+}
+
+// ---------------------------------------------------------------------------
+// Trivium
+// ---------------------------------------------------------------------------
+
+TriviumTarget::TriviumTarget(int init_clocks, std::vector<std::size_t> diff_iv_bytes)
+    : init_clocks_(init_clocks), positions_(std::move(diff_iv_bytes)) {
+  require_t(positions_.size());
+  for (std::size_t p : positions_) {
+    if (p >= 10) {
+      throw std::invalid_argument("TriviumTarget: IV positions must be < 10");
+    }
+  }
+}
+
+void TriviumTarget::sample(
+    util::Xoshiro256& rng,
+    std::vector<std::vector<std::uint8_t>>& out_diffs) const {
+  std::array<std::uint8_t, 10> key;
+  rng.fill_bytes(key.data(), key.size());
+  std::array<std::uint8_t, 10> iv;
+  rng.fill_bytes(iv.data(), iv.size());
+
+  ciphers::Trivium base(key, iv, init_clocks_);
+  const std::vector<std::uint8_t> ks = base.keystream(16);
+  out_diffs.assign(positions_.size(), {});
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    auto iv2 = iv;
+    iv2[positions_[i]] ^= 0x01;
+    ciphers::Trivium t(key, iv2, init_clocks_);
+    out_diffs[i] = util::xor_vec(t.keystream(16), ks);
+  }
+}
+
+std::string TriviumTarget::name() const {
+  return "trivium/" + std::to_string(init_clocks_) + "c";
+}
+
+}  // namespace mldist::core

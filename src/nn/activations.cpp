@@ -1,0 +1,75 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace mldist::nn {
+
+Mat ReLU::forward(const Mat& x, bool training) {
+  Mat y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] < 0.0f) y.data()[i] = 0.0f;
+  }
+  if (training) x_cache_ = x;
+  return y;
+}
+
+Mat ReLU::backward(const Mat& grad_out) {
+  Mat dx = grad_out;
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    if (x_cache_.data()[i] <= 0.0f) dx.data()[i] = 0.0f;
+  }
+  return dx;
+}
+
+Mat LeakyReLU::forward(const Mat& x, bool training) {
+  Mat y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] < 0.0f) y.data()[i] *= alpha_;
+  }
+  if (training) x_cache_ = x;
+  return y;
+}
+
+Mat LeakyReLU::backward(const Mat& grad_out) {
+  Mat dx = grad_out;
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    if (x_cache_.data()[i] <= 0.0f) dx.data()[i] *= alpha_;
+  }
+  return dx;
+}
+
+Mat Tanh::forward(const Mat& x, bool training) {
+  Mat y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] = std::tanh(y.data()[i]);
+  if (training) y_cache_ = y;
+  return y;
+}
+
+Mat Tanh::backward(const Mat& grad_out) {
+  Mat dx = grad_out;
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    const float t = y_cache_.data()[i];
+    dx.data()[i] *= 1.0f - t * t;
+  }
+  return dx;
+}
+
+Mat Sigmoid::forward(const Mat& x, bool training) {
+  Mat y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y.data()[i] = 1.0f / (1.0f + std::exp(-y.data()[i]));
+  }
+  if (training) y_cache_ = y;
+  return y;
+}
+
+Mat Sigmoid::backward(const Mat& grad_out) {
+  Mat dx = grad_out;
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    const float s = y_cache_.data()[i];
+    dx.data()[i] *= s * (1.0f - s);
+  }
+  return dx;
+}
+
+}  // namespace mldist::nn

@@ -1,0 +1,64 @@
+// Stateless elementwise activations: ReLU, LeakyReLU, tanh, sigmoid.
+// LeakyReLU's default negative slope is 0.3, matching Keras' LeakyReLU
+// layer that the paper's MLP IV-VI use.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mldist::nn {
+
+class ReLU : public Layer {
+ public:
+  Mat forward(const Mat& x, bool training) override;
+  Mat backward(const Mat& grad_out) override;
+  std::string name() const override { return "relu"; }
+  std::size_t output_size(std::size_t input_size) const override {
+    return input_size;
+  }
+
+ private:
+  Mat x_cache_;
+};
+
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(float alpha = 0.3f) : alpha_(alpha) {}
+  Mat forward(const Mat& x, bool training) override;
+  Mat backward(const Mat& grad_out) override;
+  std::string name() const override { return "leaky_relu"; }
+  std::size_t output_size(std::size_t input_size) const override {
+    return input_size;
+  }
+
+ private:
+  float alpha_;
+  Mat x_cache_;
+};
+
+class Tanh : public Layer {
+ public:
+  Mat forward(const Mat& x, bool training) override;
+  Mat backward(const Mat& grad_out) override;
+  std::string name() const override { return "tanh"; }
+  std::size_t output_size(std::size_t input_size) const override {
+    return input_size;
+  }
+
+ private:
+  Mat y_cache_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  Mat forward(const Mat& x, bool training) override;
+  Mat backward(const Mat& grad_out) override;
+  std::string name() const override { return "sigmoid"; }
+  std::size_t output_size(std::size_t input_size) const override {
+    return input_size;
+  }
+
+ private:
+  Mat y_cache_;
+};
+
+}  // namespace mldist::nn

@@ -1,0 +1,153 @@
+#include "nn/conv1d.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mldist::nn {
+
+Conv1D::Conv1D(std::size_t length, std::size_t in_channels,
+               std::size_t out_channels, std::size_t kernel,
+               util::Xoshiro256& rng)
+    : length_(length), cin_(in_channels), cout_(out_channels), kernel_(kernel),
+      w_(kernel * in_channels, out_channels), b_(out_channels, 0.0f),
+      dw_(kernel * in_channels, out_channels), db_(out_channels, 0.0f) {
+  if (kernel % 2 == 0) {
+    throw std::invalid_argument("Conv1D: kernel must be odd for same padding");
+  }
+  const float limit = std::sqrt(
+      6.0f / static_cast<float>(kernel * in_channels + kernel * out_channels));
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    w_.data()[i] = (2.0f * static_cast<float>(rng.next_double()) - 1.0f) * limit;
+  }
+}
+
+Mat Conv1D::forward(const Mat& x, bool training) {
+  if (x.cols() != length_ * cin_) {
+    throw std::invalid_argument("Conv1D: input width mismatch");
+  }
+  const std::size_t batch = x.rows();
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(kernel_ / 2);
+  Mat y(batch, length_ * cout_);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* xr = x.row(n);
+    float* yr = y.row(n);
+    for (std::size_t p = 0; p < length_; ++p) {
+      float* yp = yr + p * cout_;
+      for (std::size_t o = 0; o < cout_; ++o) yp[o] = b_[o];
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        const std::ptrdiff_t q =
+            static_cast<std::ptrdiff_t>(p) + static_cast<std::ptrdiff_t>(k) - half;
+        if (q < 0 || q >= static_cast<std::ptrdiff_t>(length_)) continue;
+        const float* xq = xr + static_cast<std::size_t>(q) * cin_;
+        for (std::size_t c = 0; c < cin_; ++c) {
+          const float xv = xq[c];
+          if (xv == 0.0f) continue;
+          const float* wk = w_.row(k * cin_ + c);
+          for (std::size_t o = 0; o < cout_; ++o) yp[o] += xv * wk[o];
+        }
+      }
+    }
+  }
+  if (training) x_cache_ = x;
+  return y;
+}
+
+Mat Conv1D::backward(const Mat& grad_out) {
+  const std::size_t batch = grad_out.rows();
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(kernel_ / 2);
+  Mat dx(batch, length_ * cin_);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* xr = x_cache_.row(n);
+    const float* gr = grad_out.row(n);
+    float* dxr = dx.row(n);
+    for (std::size_t p = 0; p < length_; ++p) {
+      const float* gp = gr + p * cout_;
+      for (std::size_t o = 0; o < cout_; ++o) db_[o] += gp[o];
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        const std::ptrdiff_t q =
+            static_cast<std::ptrdiff_t>(p) + static_cast<std::ptrdiff_t>(k) - half;
+        if (q < 0 || q >= static_cast<std::ptrdiff_t>(length_)) continue;
+        const float* xq = xr + static_cast<std::size_t>(q) * cin_;
+        float* dxq = dxr + static_cast<std::size_t>(q) * cin_;
+        for (std::size_t c = 0; c < cin_; ++c) {
+          const float* wk = w_.row(k * cin_ + c);
+          float* dwk = dw_.row(k * cin_ + c);
+          float acc = 0.0f;
+          const float xv = xq[c];
+          for (std::size_t o = 0; o < cout_; ++o) {
+            acc += gp[o] * wk[o];
+            dwk[o] += gp[o] * xv;
+          }
+          dxq[c] += acc;
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamView> Conv1D::params() {
+  return {{w_.data(), dw_.data(), w_.size()},
+          {b_.data(), db_.data(), b_.size()}};
+}
+
+std::string Conv1D::name() const {
+  return "conv1d(" + std::to_string(cin_) + "->" + std::to_string(cout_) +
+         ",k=" + std::to_string(kernel_) + ")";
+}
+
+std::size_t Conv1D::output_size(std::size_t input_size) const {
+  if (input_size != length_ * cin_) {
+    throw std::invalid_argument("Conv1D: input width mismatch");
+  }
+  return length_ * cout_;
+}
+
+Mat GlobalMaxPool1D::forward(const Mat& x, bool training) {
+  if (x.cols() != length_ * channels_) {
+    throw std::invalid_argument("GlobalMaxPool1D: input width mismatch");
+  }
+  batch_ = x.rows();
+  Mat y(batch_, channels_);
+  if (training) argmax_.assign(batch_ * channels_, 0);
+  for (std::size_t n = 0; n < batch_; ++n) {
+    const float* xr = x.row(n);
+    float* yr = y.row(n);
+    for (std::size_t c = 0; c < channels_; ++c) {
+      float best = -std::numeric_limits<float>::infinity();
+      std::size_t best_p = 0;
+      for (std::size_t p = 0; p < length_; ++p) {
+        const float v = xr[p * channels_ + c];
+        if (v > best) {
+          best = v;
+          best_p = p;
+        }
+      }
+      yr[c] = best;
+      if (training) argmax_[n * channels_ + c] = best_p;
+    }
+  }
+  return y;
+}
+
+Mat GlobalMaxPool1D::backward(const Mat& grad_out) {
+  Mat dx(batch_, length_ * channels_);
+  for (std::size_t n = 0; n < batch_; ++n) {
+    const float* gr = grad_out.row(n);
+    float* dxr = dx.row(n);
+    for (std::size_t c = 0; c < channels_; ++c) {
+      dxr[argmax_[n * channels_ + c] * channels_ + c] = gr[c];
+    }
+  }
+  return dx;
+}
+
+std::size_t GlobalMaxPool1D::output_size(std::size_t input_size) const {
+  if (input_size != length_ * channels_) {
+    throw std::invalid_argument("GlobalMaxPool1D: input width mismatch");
+  }
+  return channels_;
+}
+
+}  // namespace mldist::nn

@@ -1,0 +1,55 @@
+// 1-D convolution over bit sequences, plus the global max-pooling reduction
+// used by the CNN architectures of Table 3.
+//
+// Layout convention: a sample row of width L*C is position-major — feature
+// index = position * channels + channel.  `Conv1D` uses "same" zero padding
+// and stride 1, which keeps L constant through the stack (the paper does not
+// state kernel sizes; we default to 3 and document the choice).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mldist::nn {
+
+class Conv1D : public Layer {
+ public:
+  Conv1D(std::size_t length, std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, util::Xoshiro256& rng);
+
+  Mat forward(const Mat& x, bool training) override;
+  Mat backward(const Mat& grad_out) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override;
+  std::size_t output_size(std::size_t input_size) const override;
+
+ private:
+  std::size_t length_;
+  std::size_t cin_;
+  std::size_t cout_;
+  std::size_t kernel_;
+  Mat w_;                  // (kernel * cin) x cout
+  std::vector<float> b_;   // cout
+  Mat dw_;
+  std::vector<float> db_;
+  Mat x_cache_;
+};
+
+/// Max over positions, per channel: (B, L*C) -> (B, C).
+class GlobalMaxPool1D : public Layer {
+ public:
+  GlobalMaxPool1D(std::size_t length, std::size_t channels)
+      : length_(length), channels_(channels) {}
+
+  Mat forward(const Mat& x, bool training) override;
+  Mat backward(const Mat& grad_out) override;
+  std::string name() const override { return "global_max_pool1d"; }
+  std::size_t output_size(std::size_t input_size) const override;
+
+ private:
+  std::size_t length_;
+  std::size_t channels_;
+  std::vector<std::size_t> argmax_;  // (B * C) winning positions
+  std::size_t batch_ = 0;
+};
+
+}  // namespace mldist::nn

@@ -1,0 +1,59 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mldist::nn {
+
+Dense::Dense(std::size_t in, std::size_t out, util::Xoshiro256& rng)
+    : in_(in), out_(out), w_(in, out), b_(out, 0.0f), dw_(in, out),
+      db_(out, 0.0f) {
+  // Glorot uniform: U(-limit, limit), limit = sqrt(6 / (fan_in + fan_out)).
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(in + out));
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    w_.data()[i] = (2.0f * static_cast<float>(rng.next_double()) - 1.0f) * limit;
+  }
+}
+
+Mat Dense::forward(const Mat& x, bool training) {
+  if (x.cols() != in_) {
+    throw std::invalid_argument("Dense: input width mismatch");
+  }
+  Mat y;
+  matmul(x, w_, y);
+  add_row_vector(y, b_);
+  if (training) x_cache_ = x;
+  return y;
+}
+
+Mat Dense::backward(const Mat& grad_out) {
+  Mat dw_batch;
+  matmul_at_b(x_cache_, grad_out, dw_batch);
+  for (std::size_t i = 0; i < dw_.size(); ++i) dw_.data()[i] += dw_batch.data()[i];
+  for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+    const float* g = grad_out.row(r);
+    for (std::size_t j = 0; j < out_; ++j) db_[j] += g[j];
+  }
+  Mat dx;
+  matmul_a_bt(grad_out, w_, dx);
+  return dx;
+}
+
+std::vector<ParamView> Dense::params() {
+  return {{w_.data(), dw_.data(), w_.size()},
+          {b_.data(), db_.data(), b_.size()}};
+}
+
+std::string Dense::name() const {
+  return "dense(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
+}
+
+std::size_t Dense::output_size(std::size_t input_size) const {
+  if (input_size != in_) {
+    throw std::invalid_argument("Dense: input width mismatch");
+  }
+  return out_;
+}
+
+}  // namespace mldist::nn

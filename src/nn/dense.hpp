@@ -1,0 +1,35 @@
+// Fully connected layer y = x W + b with Glorot-uniform initialisation
+// (the Keras Dense default, which the paper's models rely on).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mldist::nn {
+
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in, std::size_t out, util::Xoshiro256& rng);
+
+  Mat forward(const Mat& x, bool training) override;
+  Mat backward(const Mat& grad_out) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override;
+  std::size_t output_size(std::size_t input_size) const override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+  Mat& weights() { return w_; }
+  std::vector<float>& bias() { return b_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Mat w_;                    // in x out
+  std::vector<float> b_;     // out
+  Mat dw_;                   // gradient accumulators
+  std::vector<float> db_;
+  Mat x_cache_;              // input of the last training forward
+};
+
+}  // namespace mldist::nn

@@ -1,0 +1,42 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace mldist::nn {
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {
+  if (p < 0.0f || p >= 1.0f) {
+    throw std::invalid_argument("Dropout: p must be in [0, 1)");
+  }
+}
+
+Mat Dropout::forward(const Mat& x, bool training) {
+  if (!training || p_ == 0.0f) {
+    if (training) {
+      mask_ = Mat(x.rows(), x.cols());
+      mask_.fill(1.0f);
+    }
+    return x;
+  }
+  const float scale = 1.0f / (1.0f - p_);
+  mask_ = Mat(x.rows(), x.cols());
+  Mat y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const bool keep = rng_.next_double() >= p_;
+    mask_.data()[i] = keep ? scale : 0.0f;
+    y.data()[i] *= mask_.data()[i];
+  }
+  return y;
+}
+
+Mat Dropout::backward(const Mat& grad_out) {
+  Mat dx = grad_out;
+  for (std::size_t i = 0; i < dx.size(); ++i) dx.data()[i] *= mask_.data()[i];
+  return dx;
+}
+
+std::string Dropout::name() const {
+  return "dropout(p=" + std::to_string(p_) + ")";
+}
+
+}  // namespace mldist::nn

@@ -1,0 +1,27 @@
+// Inverted dropout: during training each activation is zeroed with
+// probability p and the survivors scaled by 1/(1-p); evaluation is the
+// identity.  The mask stream is seeded so training stays reproducible.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mldist::nn {
+
+class Dropout : public Layer {
+ public:
+  explicit Dropout(float p, std::uint64_t seed = 0xd20b0a7ULL);
+
+  Mat forward(const Mat& x, bool training) override;
+  Mat backward(const Mat& grad_out) override;
+  std::string name() const override;
+  std::size_t output_size(std::size_t input_size) const override {
+    return input_size;
+  }
+
+ private:
+  float p_;
+  util::Xoshiro256 rng_;
+  Mat mask_;  // kept/scaled multipliers of the last training forward
+};
+
+}  // namespace mldist::nn

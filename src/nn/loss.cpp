@@ -1,0 +1,68 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mldist::nn {
+
+Mat softmax(const Mat& logits) {
+  Mat p(logits.rows(), logits.cols());
+  for (std::size_t n = 0; n < logits.rows(); ++n) {
+    const float* z = logits.row(n);
+    float* pr = p.row(n);
+    const float zmax = *std::max_element(z, z + logits.cols());
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < logits.cols(); ++j) {
+      pr[j] = std::exp(z[j] - zmax);
+      sum += pr[j];
+    }
+    for (std::size_t j = 0; j < logits.cols(); ++j) pr[j] /= sum;
+  }
+  return p;
+}
+
+std::vector<int> argmax_rows(const Mat& m) {
+  std::vector<int> out(m.rows());
+  for (std::size_t n = 0; n < m.rows(); ++n) {
+    const float* r = m.row(n);
+    out[n] = static_cast<int>(std::max_element(r, r + m.cols()) - r);
+  }
+  return out;
+}
+
+LossResult softmax_cross_entropy(const Mat& logits,
+                                 const std::vector<int>& labels,
+                                 bool compute_grad) {
+  assert(labels.size() == logits.rows());
+  LossResult res;
+  res.probs = softmax(logits);
+  const std::size_t batch = logits.rows();
+  const std::size_t classes = logits.cols();
+  std::size_t hits = 0;
+  double loss = 0.0;
+  if (compute_grad) res.dlogits = Mat(batch, classes);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const int y = labels[n];
+    assert(y >= 0 && static_cast<std::size_t>(y) < classes);
+    const float* pr = res.probs.row(n);
+    loss += -std::log(std::max(pr[y], 1e-12f));
+    const float* row = pr;
+    if (static_cast<std::size_t>(
+            std::max_element(row, row + classes) - row) ==
+        static_cast<std::size_t>(y)) {
+      ++hits;
+    }
+    if (compute_grad) {
+      float* g = res.dlogits.row(n);
+      const float inv = 1.0f / static_cast<float>(batch);
+      for (std::size_t j = 0; j < classes; ++j) g[j] = pr[j] * inv;
+      g[y] -= inv;
+    }
+  }
+  res.loss = loss / static_cast<double>(batch);
+  res.accuracy = static_cast<double>(hits) / static_cast<double>(batch);
+  return res;
+}
+
+}  // namespace mldist::nn

@@ -1,0 +1,32 @@
+// Softmax + categorical cross-entropy, fused for numerical stability.
+// All models in the paper end with a softmax layer; keeping it inside the
+// loss gives the well-conditioned gradient (softmax - onehot) / batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/mat.hpp"
+
+namespace mldist::nn {
+
+struct LossResult {
+  double loss = 0.0;      ///< mean cross-entropy over the batch
+  double accuracy = 0.0;  ///< fraction of argmax hits
+  Mat dlogits;            ///< gradient w.r.t. the logits
+  Mat probs;              ///< softmax probabilities (batch x classes)
+};
+
+/// Evaluate softmax cross-entropy of `logits` (batch x classes) against the
+/// integer `labels`.  `compute_grad` may be disabled for pure evaluation.
+LossResult softmax_cross_entropy(const Mat& logits,
+                                 const std::vector<int>& labels,
+                                 bool compute_grad = true);
+
+/// Row-wise softmax (exposed for prediction probabilities).
+Mat softmax(const Mat& logits);
+
+/// Argmax class per row.
+std::vector<int> argmax_rows(const Mat& m);
+
+}  // namespace mldist::nn

@@ -1,0 +1,182 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mldist::nn {
+
+namespace {
+float sigmoidf(float v) { return 1.0f / (1.0f + std::exp(-v)); }
+
+/// Copy timestep t of a (B, T*F) batch into a contiguous (B, F) matrix.
+Mat slice_timestep(const Mat& x, std::size_t t, std::size_t f) {
+  Mat out(x.rows(), f);
+  for (std::size_t n = 0; n < x.rows(); ++n) {
+    const float* src = x.row(n) + t * f;
+    float* dst = out.row(n);
+    for (std::size_t j = 0; j < f; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+}  // namespace
+
+LSTM::LSTM(std::size_t timesteps, std::size_t features, std::size_t hidden,
+           util::Xoshiro256& rng)
+    : t_(timesteps), f_(features), h_(hidden), wx_(features, 4 * hidden),
+      wh_(hidden, 4 * hidden), b_(4 * hidden, 0.0f), dwx_(features, 4 * hidden),
+      dwh_(hidden, 4 * hidden), db_(4 * hidden, 0.0f) {
+  const float lim_x = std::sqrt(6.0f / static_cast<float>(features + 4 * hidden));
+  for (std::size_t i = 0; i < wx_.size(); ++i) {
+    wx_.data()[i] = (2.0f * static_cast<float>(rng.next_double()) - 1.0f) * lim_x;
+  }
+  const float lim_h = std::sqrt(6.0f / static_cast<float>(hidden + 4 * hidden));
+  for (std::size_t i = 0; i < wh_.size(); ++i) {
+    wh_.data()[i] = (2.0f * static_cast<float>(rng.next_double()) - 1.0f) * lim_h;
+  }
+  for (std::size_t j = 0; j < h_; ++j) b_[h_ + j] = 1.0f;  // forget bias
+}
+
+Mat LSTM::forward(const Mat& x, bool training) {
+  if (x.cols() != t_ * f_) {
+    throw std::invalid_argument("LSTM: input width mismatch");
+  }
+  const std::size_t batch = x.rows();
+  if (training) {
+    x_cache_ = x;
+    gates_.assign(t_, Mat());
+    c_.assign(t_, Mat());
+    h_cache_.assign(t_, Mat());
+  }
+
+  Mat h_prev(batch, h_);
+  Mat c_prev(batch, h_);
+  for (std::size_t step = 0; step < t_; ++step) {
+    const Mat xt = slice_timestep(x, step, f_);
+    Mat z;
+    matmul(xt, wx_, z);
+    Mat zh;
+    matmul(h_prev, wh_, zh);
+    for (std::size_t i = 0; i < z.size(); ++i) z.data()[i] += zh.data()[i];
+    add_row_vector(z, b_);
+
+    Mat h_new(batch, h_);
+    Mat c_new(batch, h_);
+    for (std::size_t n = 0; n < batch; ++n) {
+      float* zr = z.row(n);
+      const float* cp = c_prev.row(n);
+      float* cn = c_new.row(n);
+      float* hn = h_new.row(n);
+      for (std::size_t j = 0; j < h_; ++j) {
+        const float gi = sigmoidf(zr[j]);
+        const float gf = sigmoidf(zr[h_ + j]);
+        const float gg = std::tanh(zr[2 * h_ + j]);
+        const float go = sigmoidf(zr[3 * h_ + j]);
+        zr[j] = gi;            // overwrite z with activated gates for caching
+        zr[h_ + j] = gf;
+        zr[2 * h_ + j] = gg;
+        zr[3 * h_ + j] = go;
+        cn[j] = gf * cp[j] + gi * gg;
+        hn[j] = go * std::tanh(cn[j]);
+      }
+    }
+    if (training) {
+      gates_[step] = z;
+      c_[step] = c_new;
+      h_cache_[step] = h_new;
+    }
+    h_prev = std::move(h_new);
+    c_prev = std::move(c_new);
+  }
+  return h_prev;
+}
+
+Mat LSTM::backward(const Mat& grad_out) {
+  const std::size_t batch = grad_out.rows();
+  Mat dx(batch, t_ * f_);
+  Mat dh = grad_out;
+  Mat dc(batch, h_);
+
+  for (std::size_t step = t_; step-- > 0;) {
+    const Mat& gates = gates_[step];
+    const Mat& c_now = c_[step];
+    // Previous cell/hidden state (zeros before the first step).
+    Mat c_prev(batch, h_);
+    Mat h_prev(batch, h_);
+    if (step > 0) {
+      c_prev = c_[step - 1];
+      h_prev = h_cache_[step - 1];
+    }
+
+    Mat dz(batch, 4 * h_);
+    Mat dc_prev(batch, h_);
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* g = gates.row(n);
+      const float* cn = c_now.row(n);
+      const float* cp = c_prev.row(n);
+      const float* dhn = dh.row(n);
+      const float* dcn = dc.row(n);
+      float* dzn = dz.row(n);
+      float* dcp = dc_prev.row(n);
+      for (std::size_t j = 0; j < h_; ++j) {
+        const float gi = g[j];
+        const float gf = g[h_ + j];
+        const float gg = g[2 * h_ + j];
+        const float go = g[3 * h_ + j];
+        const float tc = std::tanh(cn[j]);
+        const float dct = dcn[j] + dhn[j] * go * (1.0f - tc * tc);
+        dzn[j] = dct * gg * gi * (1.0f - gi);
+        dzn[h_ + j] = dct * cp[j] * gf * (1.0f - gf);
+        dzn[2 * h_ + j] = dct * gi * (1.0f - gg * gg);
+        dzn[3 * h_ + j] = dhn[j] * tc * go * (1.0f - go);
+        dcp[j] = dct * gf;
+      }
+    }
+
+    const Mat xt = slice_timestep(x_cache_, step, f_);
+    Mat dwx_batch;
+    matmul_at_b(xt, dz, dwx_batch);
+    for (std::size_t i = 0; i < dwx_.size(); ++i) {
+      dwx_.data()[i] += dwx_batch.data()[i];
+    }
+    Mat dwh_batch;
+    matmul_at_b(h_prev, dz, dwh_batch);
+    for (std::size_t i = 0; i < dwh_.size(); ++i) {
+      dwh_.data()[i] += dwh_batch.data()[i];
+    }
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* dzn = dz.row(n);
+      for (std::size_t j = 0; j < 4 * h_; ++j) db_[j] += dzn[j];
+    }
+
+    Mat dxt;
+    matmul_a_bt(dz, wx_, dxt);
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* src = dxt.row(n);
+      float* dst = dx.row(n) + step * f_;
+      for (std::size_t j = 0; j < f_; ++j) dst[j] = src[j];
+    }
+    matmul_a_bt(dz, wh_, dh);
+    dc = std::move(dc_prev);
+  }
+  return dx;
+}
+
+std::vector<ParamView> LSTM::params() {
+  return {{wx_.data(), dwx_.data(), wx_.size()},
+          {wh_.data(), dwh_.data(), wh_.size()},
+          {b_.data(), db_.data(), b_.size()}};
+}
+
+std::string LSTM::name() const {
+  return "lstm(T=" + std::to_string(t_) + ",F=" + std::to_string(f_) +
+         ",H=" + std::to_string(h_) + ")";
+}
+
+std::size_t LSTM::output_size(std::size_t input_size) const {
+  if (input_size != t_ * f_) {
+    throw std::invalid_argument("LSTM: input width mismatch");
+  }
+  return h_;
+}
+
+}  // namespace mldist::nn

@@ -1,0 +1,43 @@
+// LSTM layer with full backpropagation-through-time.
+//
+// A sample row of width T*F is read as T timesteps of F features
+// (position-major, like Conv1D).  The layer returns the final hidden state
+// (B x H), which the Table-3 LSTM architectures feed into dense layers.
+// Gate order is (input, forget, candidate, output); the forget-gate bias is
+// initialised to 1, matching Keras' unit_forget_bias default.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mldist::nn {
+
+class LSTM : public Layer {
+ public:
+  LSTM(std::size_t timesteps, std::size_t features, std::size_t hidden,
+       util::Xoshiro256& rng);
+
+  Mat forward(const Mat& x, bool training) override;
+  Mat backward(const Mat& grad_out) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override;
+  std::size_t output_size(std::size_t input_size) const override;
+
+ private:
+  std::size_t t_;
+  std::size_t f_;
+  std::size_t h_;
+  Mat wx_;                // F x 4H
+  Mat wh_;                // H x 4H
+  std::vector<float> b_;  // 4H
+  Mat dwx_;
+  Mat dwh_;
+  std::vector<float> db_;
+
+  // Per-batch caches for BPTT (index t in [0, T)).
+  Mat x_cache_;
+  std::vector<Mat> gates_;   // activated (i, f, g, o), each B x 4H
+  std::vector<Mat> c_;       // cell states, B x H, c_[t]
+  std::vector<Mat> h_cache_; // hidden states, h_cache_[t] = h after step t
+};
+
+}  // namespace mldist::nn

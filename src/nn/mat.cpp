@@ -1,0 +1,100 @@
+#include "nn/mat.hpp"
+
+#include <cassert>
+
+#include "util/thread_pool.hpp"
+
+namespace mldist::nn {
+
+namespace {
+/// Below this many multiply-accumulates the fork/join overhead dominates.
+constexpr std::size_t kParallelThreshold = 1u << 19;
+}  // namespace
+
+void matmul(const Mat& a, const Mat& b, Mat& out) {
+  assert(a.cols() == b.rows());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  out = Mat(m, n);
+  // i-k-j loop order keeps the inner loop contiguous in both b and out.
+  const auto rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      float* __restrict__ oi = out.row(i);
+      const float* __restrict__ ai = a.row(i);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = ai[kk];
+        if (av == 0.0f) continue;  // bit-valued inputs are ~50% zeros
+        const float* __restrict__ bk = b.row(kk);
+        for (std::size_t j = 0; j < n; ++j) oi[j] += av * bk[j];
+      }
+    }
+  };
+  if (m * k * n >= kParallelThreshold && m > 1) {
+    util::ThreadPool::global().parallel_for(m, rows);
+  } else {
+    rows(0, m);
+  }
+}
+
+void matmul_at_b(const Mat& a, const Mat& b, Mat& out) {
+  assert(a.rows() == b.rows());
+  const std::size_t k = a.rows();
+  const std::size_t m = a.cols();
+  const std::size_t n = b.cols();
+  out = Mat(m, n);
+  // Partition over output rows so chunks write disjoint memory; a is read
+  // with stride m, which the k-major inner loop amortises.
+  const auto rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* __restrict__ ak = a.row(kk);
+      const float* __restrict__ bk = b.row(kk);
+      for (std::size_t i = begin; i < end; ++i) {
+        const float av = ak[i];
+        if (av == 0.0f) continue;
+        float* __restrict__ oi = out.row(i);
+        for (std::size_t j = 0; j < n; ++j) oi[j] += av * bk[j];
+      }
+    }
+  };
+  if (m * k * n >= kParallelThreshold && m > 1) {
+    util::ThreadPool::global().parallel_for(m, rows);
+  } else {
+    rows(0, m);
+  }
+}
+
+void matmul_a_bt(const Mat& a, const Mat& b, Mat& out) {
+  assert(a.cols() == b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.rows();
+  out = Mat(m, n);
+  const auto rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const float* __restrict__ ai = a.row(i);
+      float* __restrict__ oi = out.row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* __restrict__ bj = b.row(j);
+        float s = 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk) s += ai[kk] * bj[kk];
+        oi[j] = s;
+      }
+    }
+  };
+  if (m * k * n >= kParallelThreshold && m > 1) {
+    util::ThreadPool::global().parallel_for(m, rows);
+  } else {
+    rows(0, m);
+  }
+}
+
+void add_row_vector(Mat& m, const std::vector<float>& bias) {
+  assert(m.cols() == bias.size());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* __restrict__ mi = m.row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) mi[j] += bias[j];
+  }
+}
+
+}  // namespace mldist::nn

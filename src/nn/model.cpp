@@ -1,0 +1,142 @@
+#include "nn/model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace mldist::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Mat Sequential::forward(const Mat& x, bool training) {
+  Mat cur = x;
+  for (auto& l : layers_) cur = l->forward(cur, training);
+  return cur;
+}
+
+Mat Sequential::predict_proba(const Mat& x) { return softmax(forward(x)); }
+
+std::vector<int> Sequential::predict(const Mat& x) {
+  return argmax_rows(forward(x));
+}
+
+std::vector<ParamView> Sequential::params() {
+  std::vector<ParamView> out;
+  for (auto& l : layers_) {
+    for (const auto& p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t Sequential::param_count() {
+  std::size_t n = 0;
+  for (const auto& p : params()) n += p.size;
+  return n;
+}
+
+std::string Sequential::summary() {
+  std::string s;
+  for (auto& l : layers_) {
+    if (!s.empty()) s += " ";
+    s += l->name();
+  }
+  return s;
+}
+
+namespace {
+Mat gather_rows(const Mat& x, const std::vector<std::size_t>& idx,
+                std::size_t begin, std::size_t end) {
+  Mat out(end - begin, x.cols());
+  for (std::size_t i = begin; i < end; ++i) {
+    const float* src = x.row(idx[i]);
+    float* dst = out.row(i - begin);
+    std::copy(src, src + x.cols(), dst);
+  }
+  return out;
+}
+}  // namespace
+
+EpochStats Sequential::fit(const Dataset& train, Optimizer& opt,
+                           const FitOptions& options) {
+  assert(train.x.rows() == train.y.size());
+  opt.attach(params());
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+  util::Xoshiro256 rng(options.shuffle_seed);
+
+  EpochStats last;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    if (options.shuffle) std::shuffle(order.begin(), order.end(), rng);
+    double loss_sum = 0.0;
+    double acc_sum = 0.0;
+    std::size_t seen = 0;
+    for (std::size_t begin = 0; begin < train.size();
+         begin += options.batch_size) {
+      const std::size_t end = std::min(begin + options.batch_size, train.size());
+      const Mat xb = gather_rows(train.x, order, begin, end);
+      std::vector<int> yb(end - begin);
+      for (std::size_t i = begin; i < end; ++i) yb[i - begin] = train.y[order[i]];
+
+      const Mat logits = forward(xb, /*training=*/true);
+      LossResult lr = softmax_cross_entropy(logits, yb);
+      Mat grad = std::move(lr.dlogits);
+      for (std::size_t li = layers_.size(); li-- > 0;) {
+        grad = layers_[li]->backward(grad);
+      }
+      opt.step();
+
+      loss_sum += lr.loss * static_cast<double>(end - begin);
+      acc_sum += lr.accuracy * static_cast<double>(end - begin);
+      seen += end - begin;
+    }
+
+    last.epoch = epoch + 1;
+    last.train_loss = loss_sum / static_cast<double>(seen);
+    last.train_accuracy = acc_sum / static_cast<double>(seen);
+    if (options.validation != nullptr) {
+      const EvalResult v = evaluate(*options.validation);
+      last.val_loss = v.loss;
+      last.val_accuracy = v.accuracy;
+    } else {
+      last.val_loss = std::numeric_limits<double>::quiet_NaN();
+      last.val_accuracy = std::numeric_limits<double>::quiet_NaN();
+    }
+    if (options.on_epoch) options.on_epoch(last);
+  }
+  return last;
+}
+
+EvalResult Sequential::evaluate(const Dataset& data, std::size_t batch_size) {
+  assert(data.x.rows() == data.y.size());
+  double loss_sum = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t begin = 0; begin < data.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, data.size());
+    Mat xb(end - begin, data.x.cols());
+    for (std::size_t i = begin; i < end; ++i) {
+      const float* src = data.x.row(i);
+      std::copy(src, src + data.x.cols(), xb.row(i - begin));
+    }
+    std::vector<int> yb(data.y.begin() + static_cast<std::ptrdiff_t>(begin),
+                        data.y.begin() + static_cast<std::ptrdiff_t>(end));
+    const Mat logits = forward(xb, /*training=*/false);
+    const LossResult lr = softmax_cross_entropy(logits, yb, /*compute_grad=*/false);
+    loss_sum += lr.loss * static_cast<double>(end - begin);
+    hits += static_cast<std::size_t>(
+        std::lround(lr.accuracy * static_cast<double>(end - begin)));
+  }
+  EvalResult out;
+  if (data.size() > 0) {
+    out.loss = loss_sum / static_cast<double>(data.size());
+    out.accuracy = static_cast<double>(hits) / static_cast<double>(data.size());
+  }
+  return out;
+}
+
+}  // namespace mldist::nn

@@ -1,0 +1,84 @@
+// Sequential model container with a Keras-like fit/evaluate interface.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace mldist::nn {
+
+/// A labelled classification data set: one sample per row of X, integer
+/// class per entry of y.
+struct Dataset {
+  Mat x;
+  std::vector<int> y;
+
+  std::size_t size() const { return x.rows(); }
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double val_loss = 0.0;       ///< NaN when no validation set was given
+  double val_accuracy = 0.0;
+};
+
+struct FitOptions {
+  int epochs = 5;
+  std::size_t batch_size = 128;
+  bool shuffle = true;
+  std::uint64_t shuffle_seed = 0x5eedULL;
+  const Dataset* validation = nullptr;  ///< optional held-out set
+  /// Called after every epoch (e.g. to print progress); may be empty.
+  std::function<void(const EpochStats&)> on_epoch;
+};
+
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  /// Forward pass through all layers, producing logits.
+  Mat forward(const Mat& x, bool training = false);
+
+  /// Softmax probabilities for a batch.
+  Mat predict_proba(const Mat& x);
+  /// Argmax class predictions for a batch.
+  std::vector<int> predict(const Mat& x);
+
+  /// Mini-batch training with softmax cross-entropy.  Returns the stats of
+  /// the final epoch.
+  EpochStats fit(const Dataset& train, Optimizer& opt, const FitOptions& options);
+
+  /// Loss and accuracy over a data set (batched internally).
+  EvalResult evaluate(const Dataset& data, std::size_t batch_size = 512);
+
+  /// All trainable parameters, in layer order.
+  std::vector<ParamView> params();
+  std::size_t param_count();
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  /// One-line structural summary, e.g. "dense(128->1024) relu dense(...)".
+  std::string summary();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace mldist::nn

@@ -1,0 +1,47 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace mldist::nn {
+
+void SGD::step() {
+  for (auto& p : params_) {
+    for (std::size_t i = 0; i < p.size; ++i) {
+      p.value[i] -= lr_ * p.grad[i];
+      p.grad[i] = 0.0f;
+    }
+  }
+}
+
+void Adam::attach(const std::vector<ParamView>& params) {
+  params_ = params;
+  m_.clear();
+  v_.clear();
+  for (const auto& p : params_) {
+    m_.emplace_back(p.size, 0.0f);
+    v_.emplace_back(p.size, 0.0f);
+  }
+  t_ = 0;
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& p = params_[k];
+    auto& m = m_[k];
+    auto& v = v_[k];
+    for (std::size_t i = 0; i < p.size; ++i) {
+      const float g = p.grad[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      p.value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      p.grad[i] = 0.0f;
+    }
+  }
+}
+
+}  // namespace mldist::nn

@@ -1,0 +1,53 @@
+// Optimisers.  The paper trains with Adam (Kingma & Ba) at Keras defaults:
+// lr 1e-3, beta1 0.9, beta2 0.999, eps 1e-7.  Plain SGD is provided as the
+// ablation baseline.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace mldist::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Register the parameters to optimise (must be called once, before step).
+  virtual void attach(const std::vector<ParamView>& params) = 0;
+  /// Apply one update from the accumulated gradients, then zero them.
+  virtual void step() = 0;
+};
+
+class SGD : public Optimizer {
+ public:
+  explicit SGD(float lr = 0.01f) : lr_(lr) {}
+  void attach(const std::vector<ParamView>& params) override { params_ = params; }
+  void step() override;
+
+ private:
+  float lr_;
+  std::vector<ParamView> params_;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-7f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void attach(const std::vector<ParamView>& params) override;
+  void step() override;
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  long t_ = 0;
+  std::vector<ParamView> params_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace mldist::nn

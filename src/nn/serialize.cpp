@@ -1,0 +1,67 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mldist::nn {
+
+namespace {
+constexpr char kMagic[4] = {'N', 'N', 'B', '1'};
+}
+
+void save_params(Sequential& model, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  const auto params = model.params();
+  const std::uint32_t count = static_cast<std::uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    const std::uint64_t size = p.size;
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    out.write(reinterpret_cast<const char*>(p.value),
+              static_cast<std::streamsize>(size * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_params: stream write failed");
+}
+
+void load_params(Sequential& model, std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_params: bad magic");
+  }
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  const auto params = model.params();
+  if (!in || count != params.size()) {
+    throw std::runtime_error("load_params: tensor count mismatch");
+  }
+  for (const auto& p : params) {
+    std::uint64_t size = 0;
+    in.read(reinterpret_cast<char*>(&size), sizeof(size));
+    if (!in || size != p.size) {
+      throw std::runtime_error("load_params: tensor shape mismatch");
+    }
+    in.read(reinterpret_cast<char*>(p.value),
+            static_cast<std::streamsize>(size * sizeof(float)));
+    if (!in) throw std::runtime_error("load_params: truncated stream");
+  }
+}
+
+void save_params(Sequential& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_params: cannot open " + path);
+  save_params(model, out);
+  if (!out) throw std::runtime_error("save_params: write failed for " + path);
+}
+
+void load_params(Sequential& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_params: cannot open " + path);
+  load_params(model, in);
+}
+
+}  // namespace mldist::nn

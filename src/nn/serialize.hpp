@@ -1,0 +1,31 @@
+// Model parameter persistence.
+//
+// The paper stores the trained Keras model in an ".h5" file between the
+// offline and online phases; our equivalent is a compact binary ".nnb"
+// format holding every parameter tensor in layer order.  Loading requires a
+// structurally identical model (same layer stack); shapes are verified.
+//
+// Format: magic "NNB1" | u32 tensor_count | per tensor: u64 size | f32[size].
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace mldist::nn {
+
+/// Write all parameters of `model` to `path`.  Throws std::runtime_error on
+/// I/O failure.
+void save_params(Sequential& model, const std::string& path);
+
+/// Load parameters saved by save_params into a structurally identical
+/// model.  Throws std::runtime_error on I/O failure or shape mismatch.
+void load_params(Sequential& model, const std::string& path);
+
+/// Stream variants (used by core::save_model to embed the payload after a
+/// self-describing header).
+void save_params(Sequential& model, std::ostream& out);
+void load_params(Sequential& model, std::istream& in);
+
+}  // namespace mldist::nn

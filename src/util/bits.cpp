@@ -1,0 +1,34 @@
+#include "util/bits.hpp"
+
+#include <stdexcept>
+
+namespace mldist::util {
+
+std::vector<std::uint8_t> xor_vec(std::span<const std::uint8_t> a,
+                                  std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("xor_vec: length mismatch");
+  }
+  std::vector<std::uint8_t> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+void bits_to_floats(std::span<const std::uint8_t> bytes, float* out) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const std::uint8_t b = bytes[i];
+    for (int j = 0; j < 8; ++j) {
+      out[8 * i + j] = static_cast<float>((b >> j) & 1);
+    }
+  }
+}
+
+int hamming_weight(std::span<const std::uint8_t> bytes) {
+  int w = 0;
+  for (std::uint8_t b : bytes) {
+    w += __builtin_popcount(b);
+  }
+  return w;
+}
+
+}  // namespace mldist::util

@@ -1,0 +1,56 @@
+// Bit- and byte-level helpers shared by the cipher implementations and the
+// feature encoders.  Ciphers in this repo follow the little-endian byte order
+// of the Gimli/SPECK reference code.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mldist::util {
+
+/// Load a 32-bit word, little-endian, from 4 bytes.
+constexpr std::uint32_t load_u32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// Store a 32-bit word, little-endian, into 4 bytes.
+constexpr void store_u32_le(std::uint8_t* p, std::uint32_t w) {
+  p[0] = static_cast<std::uint8_t>(w);
+  p[1] = static_cast<std::uint8_t>(w >> 8);
+  p[2] = static_cast<std::uint8_t>(w >> 16);
+  p[3] = static_cast<std::uint8_t>(w >> 24);
+}
+
+/// XOR `n` bytes of `src` into `dst`.
+inline void xor_bytes(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+/// Byte-wise XOR of two equal-length buffers, returned as a fresh vector.
+std::vector<std::uint8_t> xor_vec(std::span<const std::uint8_t> a,
+                                  std::span<const std::uint8_t> b);
+
+/// Unpack bytes into one float per bit (LSB-first within each byte),
+/// producing 8*n features in {0.0, 1.0}.  This is the feature encoding fed
+/// to every classifier in the repo.
+void bits_to_floats(std::span<const std::uint8_t> bytes, float* out);
+
+/// Number of set bits across a byte buffer.
+int hamming_weight(std::span<const std::uint8_t> bytes);
+
+/// Extract bit `i` (LSB-first within bytes) from a buffer.
+constexpr int get_bit(const std::uint8_t* bytes, std::size_t i) {
+  return (bytes[i / 8] >> (i % 8)) & 1;
+}
+
+/// Flip bit `i` (LSB-first within bytes) in a buffer.
+constexpr void flip_bit(std::uint8_t* bytes, std::size_t i) {
+  bytes[i / 8] ^= static_cast<std::uint8_t>(1u << (i % 8));
+}
+
+}  // namespace mldist::util

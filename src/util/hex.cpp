@@ -1,0 +1,44 @@
+#include "util/hex.hpp"
+
+#include <stdexcept>
+
+namespace mldist::util {
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: invalid hex digit");
+}
+}  // namespace
+
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+  std::vector<int> nibbles;
+  nibbles.reserve(hex.size());
+  for (char c : hex) {
+    if (c == ' ' || c == '\t' || c == '\n') continue;
+    nibbles.push_back(nibble(c));
+  }
+  if (nibbles.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd number of hex digits");
+  }
+  std::vector<std::uint8_t> out(nibbles.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((nibbles[2 * i] << 4) | nibbles[2 * i + 1]);
+  }
+  return out;
+}
+
+}  // namespace mldist::util

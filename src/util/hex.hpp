@@ -1,0 +1,19 @@
+// Hex encoding/decoding for test vectors and diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mldist::util {
+
+/// Lower-case hex string for a byte buffer.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Parse a hex string (even length, optional embedded spaces) into bytes.
+/// Throws std::invalid_argument on malformed input.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+}  // namespace mldist::util

@@ -1,0 +1,85 @@
+#include "util/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace mldist::util {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64_next(sm);
+  // All-zero state is a fixed point of xoshiro; splitmix cannot produce four
+  // zero outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Xoshiro256::next_u64() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint32_t Xoshiro256::next_u32() {
+  return static_cast<std::uint32_t>(next_u64() >> 32);
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Lemire's multiply-shift with rejection in the biased strip.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+  for (;;) {
+    const std::uint64_t x = next_u64();
+    const auto m = static_cast<__uint128_t>(x) * bound;
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Xoshiro256::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::next_gaussian() {
+  // Box-Muller; u clamped away from 0 so log() is finite.
+  double u = next_double();
+  if (u < 1e-300) u = 1e-300;
+  const double v = next_double();
+  return std::sqrt(-2.0 * std::log(u)) *
+         std::cos(2.0 * 3.14159265358979323846 * v);
+}
+
+void Xoshiro256::fill_bytes(std::uint8_t* out, std::size_t n) {
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    const std::uint64_t w = next_u64();
+    for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(w >> (8 * b));
+  }
+  if (i < n) {
+    const std::uint64_t w = next_u64();
+    for (int b = 0; i < n; ++b) out[i++] = static_cast<std::uint8_t>(w >> (8 * b));
+  }
+}
+
+std::vector<std::uint8_t> Xoshiro256::bytes(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  fill_bytes(v.data(), n);
+  return v;
+}
+
+Xoshiro256 Xoshiro256::fork() { return Xoshiro256(next_u64()); }
+
+}  // namespace mldist::util

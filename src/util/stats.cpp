@@ -1,0 +1,58 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mldist::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+BinomialSummary binomial_summary(std::size_t successes, std::size_t trials) {
+  BinomialSummary out;
+  if (trials == 0) return out;
+  out.p_hat = static_cast<double>(successes) / static_cast<double>(trials);
+  out.std_error =
+      std::sqrt(out.p_hat * (1.0 - out.p_hat) / static_cast<double>(trials));
+  out.ci_low = out.p_hat - 1.96 * out.std_error;
+  out.ci_high = out.p_hat + 1.96 * out.std_error;
+  return out;
+}
+
+double random_guess_accuracy(std::size_t t) {
+  if (t == 0) return 0.0;
+  return 1.0 / static_cast<double>(t);
+}
+
+std::size_t samples_to_distinguish(double a, std::size_t t, double z) {
+  const double p0 = random_guess_accuracy(t);
+  if (a <= p0) return std::numeric_limits<std::size_t>::max();
+  // One-sided test: need z * sqrt(p0(1-p0)/n) < a - p0.
+  const double gap = a - p0;
+  const double n = z * z * p0 * (1.0 - p0) / (gap * gap);
+  return static_cast<std::size_t>(std::ceil(n));
+}
+
+double binomial_z_score(std::size_t successes, std::size_t trials, double p0) {
+  if (trials == 0) return 0.0;
+  const double n = static_cast<double>(trials);
+  const double p_hat = static_cast<double>(successes) / n;
+  const double se = std::sqrt(p0 * (1.0 - p0) / n);
+  if (se == 0.0) return 0.0;
+  return (p_hat - p0) / se;
+}
+
+}  // namespace mldist::util

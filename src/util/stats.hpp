@@ -1,0 +1,47 @@
+// Summary statistics and distinguisher-specific statistical tests.
+//
+// The online phase of Algorithm 2 reduces to deciding between two binomial
+// hypotheses: prediction accuracy a' ~ a (ORACLE = CIPHER) versus
+// a' ~ 1/t (ORACLE = RANDOM).  The helpers here provide the expected
+// random-case accuracy E/t derived in §3.1 of the paper, normal-approximation
+// confidence intervals, and the number of online samples needed to separate
+// the two hypotheses at a given z-score.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mldist::util {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation; 0 for fewer than two values.
+double stddev(const std::vector<double>& xs);
+
+struct BinomialSummary {
+  double p_hat = 0.0;        ///< observed success rate
+  double std_error = 0.0;    ///< sqrt(p(1-p)/n)
+  double ci_low = 0.0;       ///< 95% normal-approximation interval
+  double ci_high = 0.0;
+};
+
+/// Summary for `successes` out of `trials` Bernoulli outcomes.
+BinomialSummary binomial_summary(std::size_t successes, std::size_t trials);
+
+/// Expected accuracy of a t-class predictor against uniformly random labels.
+/// §3.1 derives E = sum_i i*Pr(i) with Pr(i) = C(t,i)(t-1)^{t-i}/t^t and
+/// reports accuracy E/t; for a memoryless predictor this equals 1/t, which
+/// this function returns (the paper's worked examples 0.5 for t=2 and
+/// 0.03125 for t=32 agree).
+double random_guess_accuracy(std::size_t t);
+
+/// Minimum number of online samples for which a predictor with true accuracy
+/// `a` is separated from the random baseline `1/t` by `z` standard errors.
+/// Returns SIZE_MAX when a <= 1/t (no advantage, not distinguishable).
+std::size_t samples_to_distinguish(double a, std::size_t t, double z = 3.0);
+
+/// z-score of observing `successes`/`trials` under Binomial(trials, p0).
+double binomial_z_score(std::size_t successes, std::size_t trials, double p0);
+
+}  // namespace mldist::util

@@ -1,0 +1,88 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mldist::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads;
+  if (n == 0) {
+    n = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // n total workers including the calling thread.
+  const std::size_t extra = n - 1;
+  tasks_.resize(extra);
+  workers_.reserve(extra);
+  for (std::size_t i = 0; i < extra; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = tasks_[index];
+    }
+    if (task.body != nullptr && task.begin < task.end) {
+      (*task.body)(task.begin, task.end);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t total = thread_count();
+  if (n == 0) return;
+  if (total == 1 || n == 1) {
+    body(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(total, n);
+  const std::size_t per = (n + chunks - 1) / chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_ = 0;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      const std::size_t c = i + 1;  // chunk 0 runs on the calling thread
+      if (c < chunks) {
+        tasks_[i] = {&body, c * per, std::min(n, (c + 1) * per)};
+        ++pending_;
+      } else {
+        tasks_[i] = {nullptr, 0, 0};
+        ++pending_;  // worker still acknowledges the generation
+      }
+    }
+    ++generation_;
+  }
+  wake_.notify_all();
+  body(0, std::min(n, per));
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mldist::util

@@ -1,0 +1,57 @@
+// A minimal persistent thread pool with a parallel_for primitive.
+//
+// The NN hot path (matrix multiplication) uses it to split output rows
+// across cores; everything else in the repo is single-threaded and
+// deterministic.  parallel_for partitions [0, n) into one contiguous chunk
+// per worker, so results are bitwise independent of the worker count as
+// long as chunks write disjoint memory.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mldist::util {
+
+class ThreadPool {
+ public:
+  /// `threads` = 0 selects hardware_concurrency (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Run body(begin, end) over a partition of [0, n); blocks until all
+  /// chunks finish.  The calling thread executes one chunk itself.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Process-wide pool (lazily constructed, sized to the hardware).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop(std::size_t index);
+
+  std::vector<std::thread> workers_;
+  std::vector<Task> tasks_;       // one slot per worker
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mldist::util

@@ -1,0 +1,24 @@
+// Wall-clock timer for reporting training times (Table 3 column).
+#pragma once
+
+#include <chrono>
+
+namespace mldist::util {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mldist::util

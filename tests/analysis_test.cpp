@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "analysis/allinone.hpp"
+#include "analysis/ddt.hpp"
+#include "analysis/markov.hpp"
+#include "analysis/toy_gift.hpp"
+#include "analysis/trail_weights.hpp"
+#include "ciphers/gift64.hpp"
+#include "ciphers/gift_toy.hpp"
+#include "ciphers/speck3264.hpp"
+
+namespace {
+
+using namespace mldist::analysis;
+using namespace mldist::ciphers;
+using mldist::util::Xoshiro256;
+
+// ---------------------------------------------------------------------------
+// Markov machinery
+// ---------------------------------------------------------------------------
+
+TEST(Markov, CharacteristicProductRule) {
+  const Ddt4 ddt{std::span<const std::uint8_t, 16>(kGiftSbox)};
+  // (2 -> 5) p=2^-2, (3 -> 8) p=2^-3: product 2^-5, weight 5.
+  const std::vector<SboxTransition> t = {{0x2, 0x5}, {0x3, 0x8}};
+  EXPECT_DOUBLE_EQ(markov_characteristic_probability(ddt, t),
+                   std::pow(2.0, -5));
+  EXPECT_DOUBLE_EQ(markov_characteristic_weight(ddt, t), 5.0);
+}
+
+TEST(Markov, ImpossibleTransitionGivesZero) {
+  const Ddt4 ddt{std::span<const std::uint8_t, 16>(kGiftSbox)};
+  // Find an impossible transition from the DDT (some entry is 0).
+  bool found = false;
+  for (int dout = 1; dout < 16 && !found; ++dout) {
+    if (ddt.count(0x1, static_cast<std::uint8_t>(dout)) == 0) {
+      const std::vector<SboxTransition> t = {
+          {0x1, static_cast<std::uint8_t>(dout)}};
+      EXPECT_DOUBLE_EQ(markov_characteristic_probability(ddt, t), 0.0);
+      EXPECT_TRUE(std::isinf(markov_characteristic_weight(ddt, t)));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Markov, DependenceProbeUnkeyedToyShowsSpread) {
+  // For the unkeyed toy cipher, P(dY = beta | X = gamma) is 0 for most
+  // gamma and 1 for the surviving ones: maximal spread, the non-Markov
+  // signature of §2.1.
+  const ToyCharacteristic ch = paper_toy_characteristic();
+  const MarkovProbe probe = markov_dependence_probe(
+      [](std::uint32_t x) {
+        return static_cast<std::uint32_t>(
+            toy_cipher(static_cast<std::uint8_t>(x)));
+      },
+      8, ch.dy1, ch.dw2);
+  EXPECT_DOUBLE_EQ(probe.min_prob, 0.0);
+  EXPECT_DOUBLE_EQ(probe.max_prob, 1.0);
+  // The mean over gamma is the DIFFERENTIAL probability dY1 -> dW2 (all
+  // intermediate paths), here 8/256 = 2^-5; it upper-bounds the single
+  // characteristic's 2^-6.
+  EXPECT_NEAR(probe.mean_prob, std::pow(2.0, -5), 1e-12);
+  EXPECT_GE(probe.mean_prob, std::pow(2.0, -6));
+}
+
+// ---------------------------------------------------------------------------
+// The §2.1 toy example: every number of the paper, exactly
+// ---------------------------------------------------------------------------
+
+TEST(ToyExample, TrueProbabilityIsTwoToMinusSix) {
+  const ToyVerification v = verify_toy_example(paper_toy_characteristic());
+  EXPECT_EQ(v.follow_full, 4);
+  EXPECT_DOUBLE_EQ(v.true_probability, std::pow(2.0, -6));
+}
+
+TEST(ToyExample, MarkovRulePredictsTwoToMinusNine) {
+  const ToyVerification v = verify_toy_example(paper_toy_characteristic());
+  EXPECT_DOUBLE_EQ(v.markov_probability, std::pow(2.0, -9));
+}
+
+TEST(ToyExample, Round1ProbabilityIsTwoToMinusFive) {
+  const ToyVerification v = verify_toy_example(paper_toy_characteristic());
+  EXPECT_EQ(v.follow_round1, 8);  // 8/256 = 2^-5
+}
+
+TEST(ToyExample, SurvivingInputsMatchPaperList) {
+  // "(Y1[0], Y1[1]) = (0,d), (0,e), (2,d) and (2,e)".
+  const ToyVerification v = verify_toy_example(paper_toy_characteristic());
+  const std::vector<std::uint8_t> expected = {
+      toy_pack(0x0, 0xd), toy_pack(0x2, 0xd),
+      toy_pack(0x0, 0xe), toy_pack(0x2, 0xe)};
+  ASSERT_EQ(v.surviving_inputs.size(), 4u);
+  for (std::uint8_t in : expected) {
+    EXPECT_NE(std::find(v.surviving_inputs.begin(), v.surviving_inputs.end(),
+                        in),
+              v.surviving_inputs.end())
+        << "missing input " << int(in);
+  }
+}
+
+TEST(ToyExample, WrongCharacteristicHasDifferentStats) {
+  ToyCharacteristic ch = paper_toy_characteristic();
+  ch.dw2 ^= 0x11;  // ask for a different output difference
+  const ToyVerification v = verify_toy_example(ch);
+  EXPECT_NE(v.follow_full, 4);
+}
+
+// ---------------------------------------------------------------------------
+// All-in-one sampled distributions
+// ---------------------------------------------------------------------------
+
+TEST(AllInOne, HistogramBasics) {
+  DiffHistogram h;
+  h.add(5);
+  h.add(5);
+  h.add(7);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(5), 2u);
+  EXPECT_EQ(h.count(42), 0u);
+  EXPECT_EQ(h.support_size(), 2u);
+  EXPECT_EQ(h.mode().diff, 5u);
+  EXPECT_NEAR(h.mode().probability, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.best_weight(), -std::log2(2.0 / 3.0), 1e-12);
+}
+
+std::uint32_t speck4_pair_diff(Xoshiro256& rng) {
+  const std::array<std::uint16_t, 4> key = {
+      static_cast<std::uint16_t>(rng.next_u32()),
+      static_cast<std::uint16_t>(rng.next_u32()),
+      static_cast<std::uint16_t>(rng.next_u32()),
+      static_cast<std::uint16_t>(rng.next_u32())};
+  const Speck3264 cipher(key);
+  const std::uint32_t p = rng.next_u32();
+  return cipher.encrypt(SpeckBlock::from_u32(p), 4).as_u32() ^
+         cipher.encrypt(SpeckBlock::from_u32(p ^ 0x00400000u), 4).as_u32();
+}
+
+TEST(AllInOne, SpeckFourRoundsIsFarFromUniform) {
+  Xoshiro256 rng(1);
+  const DiffHistogram h = sample_diff_distribution(speck4_pair_diff, 4000, rng);
+  // Under uniformity the mode of 4000 draws from 2^32 values is ~1.
+  EXPECT_GT(h.mode().count, 15u);
+  EXPECT_LT(h.best_weight(), 9.0);
+}
+
+TEST(AllInOne, DistinguisherBeatsCoinFlipOnSpeck4) {
+  Xoshiro256 rng(2);
+  const DiffHistogram train = sample_diff_distribution(speck4_pair_diff, 8000, rng);
+  const AllInOneResult res =
+      allinone_distinguisher(train, speck4_pair_diff, 32, 2000, rng);
+  EXPECT_GT(res.accuracy, 0.55);
+  EXPECT_LT(res.random_hit, 0.2);
+}
+
+TEST(AllInOne, UniformOracleScoresNearHalf) {
+  Xoshiro256 rng(3);
+  // "Cipher" that is actually uniform: accuracy must collapse to ~0.5.
+  const auto uniform_pair = [](Xoshiro256& r) { return r.next_u32(); };
+  const DiffHistogram train = sample_diff_distribution(uniform_pair, 4000, rng);
+  const AllInOneResult res =
+      allinone_distinguisher(train, uniform_pair, 32, 2000, rng);
+  EXPECT_NEAR(res.accuracy, 0.5, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Trail weights
+// ---------------------------------------------------------------------------
+
+TEST(TrailWeights, Table1Constants) {
+  ASSERT_EQ(kGimliOptimalTrailWeights.size(), 8u);
+  EXPECT_EQ(kGimliOptimalTrailWeights[0], 0);
+  EXPECT_EQ(kGimliOptimalTrailWeights[1], 0);
+  EXPECT_EQ(kGimliOptimalTrailWeights[2], 2);
+  EXPECT_EQ(kGimliOptimalTrailWeights[7], 52);
+}
+
+TEST(TrailWeights, RoundOneHasDeterministicSingleBitTrail) {
+  // Weight 0 at 1 round: some single-bit difference propagates with
+  // probability 1.  The MSB of the z-word is such a bit (shifted out by
+  // every nonlinear term).
+  Xoshiro256 rng(4);
+  GimliState diff{};
+  diff[8] = 0x80000000u;  // column 0, z word, MSB
+  const WeightEstimate e = estimate_best_weight(diff, 1, 256, rng);
+  EXPECT_TRUE(e.deterministic);
+  EXPECT_DOUBLE_EQ(e.weight, 0.0);
+}
+
+TEST(TrailWeights, WeightGrowsWithRounds) {
+  Xoshiro256 rng(5);
+  GimliState diff{};
+  diff[8] = 0x80000000u;
+  const WeightEstimate e2 = estimate_best_weight(diff, 2, 2048, rng);
+  const WeightEstimate e4 = estimate_best_weight(diff, 4, 2048, rng);
+  EXPECT_LE(e2.weight, e4.weight);
+}
+
+TEST(TrailWeights, EstimateIsBoundedBySampleBudget) {
+  Xoshiro256 rng(6);
+  GimliState diff{};
+  diff[0] = 1;
+  const WeightEstimate e = estimate_best_weight(diff, 8, 512, rng);
+  EXPECT_LE(e.weight, std::log2(512.0) + 1e-9);
+}
+
+}  // namespace

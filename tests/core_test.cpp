@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+
+#include "core/arch_zoo.hpp"
+#include "core/dataset.hpp"
+#include "core/distinguisher.hpp"
+#include "core/oracle.hpp"
+#include "core/model_io.hpp"
+#include "core/targets.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mldist::core;
+using mldist::util::Xoshiro256;
+
+// ---------------------------------------------------------------------------
+// Targets
+// ---------------------------------------------------------------------------
+
+TEST(Targets, GimliHashShapes) {
+  const GimliHashTarget t(8);
+  EXPECT_EQ(t.num_differences(), 2u);
+  EXPECT_EQ(t.output_bytes(), 16u);
+  Xoshiro256 rng(1);
+  std::vector<std::vector<std::uint8_t>> diffs;
+  t.sample(rng, diffs);
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0].size(), 16u);
+  EXPECT_EQ(diffs[1].size(), 16u);
+}
+
+TEST(Targets, GimliHashRejectsBadPositions) {
+  EXPECT_THROW(GimliHashTarget(8, {4, 15}), std::invalid_argument);
+  EXPECT_THROW(GimliHashTarget(8, {4}), std::invalid_argument);
+}
+
+TEST(Targets, GimliHashDiffsAreNonzeroAndDistinct) {
+  const GimliHashTarget t(8);
+  Xoshiro256 rng(2);
+  std::vector<std::vector<std::uint8_t>> diffs;
+  t.sample(rng, diffs);
+  const std::vector<std::uint8_t> zero(16, 0);
+  EXPECT_NE(diffs[0], zero);
+  EXPECT_NE(diffs[1], zero);
+  EXPECT_NE(diffs[0], diffs[1]);
+}
+
+TEST(Targets, GimliCipherShapesAndName) {
+  const GimliCipherTarget t(8);
+  EXPECT_EQ(t.num_differences(), 2u);
+  EXPECT_EQ(t.output_bytes(), 16u);
+  EXPECT_EQ(t.name(), "gimli-cipher/8r");
+  const GimliCipherTarget split(8, {4, 12}, /*split_rounds=*/true);
+  EXPECT_EQ(split.name(), "gimli-cipher/8r-split");
+}
+
+TEST(Targets, GimliCipherLowRoundDiffsAreStructured) {
+  // At 2 total rounds the nonce difference cannot have diffused across the
+  // whole rate: many output-difference bytes must still be zero.
+  const GimliCipherTarget t(2);
+  Xoshiro256 rng(3);
+  std::vector<std::vector<std::uint8_t>> diffs;
+  t.sample(rng, diffs);
+  int zero_bytes = 0;
+  for (std::uint8_t b : diffs[0]) zero_bytes += (b == 0);
+  EXPECT_GT(zero_bytes, 4);
+}
+
+TEST(Targets, SpeckShapes) {
+  const SpeckTarget t(5);
+  EXPECT_EQ(t.num_differences(), 2u);
+  EXPECT_EQ(t.output_bytes(), 4u);
+  Xoshiro256 rng(4);
+  std::vector<std::vector<std::uint8_t>> diffs;
+  t.sample(rng, diffs);
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0].size(), 4u);
+}
+
+TEST(Targets, RequireAtLeastTwoDifferences) {
+  EXPECT_THROW(SpeckTarget(5, {0x40u}), std::invalid_argument);
+  EXPECT_THROW(Gift64Target(5, {1}), std::invalid_argument);
+  EXPECT_THROW(SalsaTarget(4, {3}), std::invalid_argument);
+  EXPECT_THROW(TriviumTarget(100, {1}), std::invalid_argument);
+}
+
+TEST(Targets, Gift64AndSalsaAndTriviumShapes) {
+  Xoshiro256 rng(5);
+  std::vector<std::vector<std::uint8_t>> diffs;
+
+  const Gift64Target g(4);
+  g.sample(rng, diffs);
+  EXPECT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0].size(), 8u);
+
+  const SalsaTarget s(4);
+  s.sample(rng, diffs);
+  EXPECT_EQ(diffs[0].size(), 16u);
+
+  const TriviumTarget tr(288);
+  tr.sample(rng, diffs);
+  EXPECT_EQ(diffs[0].size(), 16u);
+}
+
+
+TEST(Targets, GimliHashPrefixBlocksModelThePapersLongMessage) {
+  // 7 zero prefix blocks + 15-byte tail + pad = the paper's 128-byte
+  // padded message; the prefix must not change shapes or break the
+  // distinguishable structure.
+  const GimliHashTarget t(6, {4, 12}, /*prefix_blocks=*/7);
+  EXPECT_EQ(t.name(), "gimli-hash/6r-p7");
+  Xoshiro256 rng(41);
+  std::vector<std::vector<std::uint8_t>> diffs;
+  t.sample(rng, diffs);
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0].size(), 16u);
+  const std::vector<std::uint8_t> zero(16, 0);
+  EXPECT_NE(diffs[0], zero);
+}
+
+TEST(Targets, GimliHashPrefixedStillDistinguishable) {
+  Xoshiro256 rng(42);
+  auto model = build_default_mlp(128, 2, rng);
+  DistinguisherOptions opt;
+  opt.epochs = 2;
+  MLDistinguisher dist(std::move(model), opt);
+  const GimliHashTarget target(3, {4, 12}, 7);
+  const TrainReport rep = dist.train(target, 400);
+  EXPECT_GT(rep.val_accuracy, 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// Oracles and data collection
+// ---------------------------------------------------------------------------
+
+TEST(Oracles, RandomOracleIsUniformish) {
+  const RandomOracle oracle(2, 16);
+  Xoshiro256 rng(6);
+  std::vector<std::vector<std::uint8_t>> diffs;
+  int weight = 0;
+  for (int i = 0; i < 100; ++i) {
+    oracle.query(rng, diffs);
+    for (const auto& d : diffs) {
+      for (std::uint8_t b : d) weight += __builtin_popcount(b);
+    }
+  }
+  EXPECT_NEAR(weight, 100 * 2 * 64, 600);
+}
+
+TEST(Dataset, ShapesAndLabels) {
+  const GimliHashTarget t(6);
+  Xoshiro256 rng(7);
+  const auto ds = collect_dataset(t, 50, rng);
+  EXPECT_EQ(ds.size(), 100u);
+  EXPECT_EQ(ds.x.cols(), 128u);
+  // Labels alternate 0, 1 within each base input.
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds.y[i], static_cast<int>(i % 2));
+  }
+  // Features are bits.
+  for (std::size_t i = 0; i < ds.x.size(); ++i) {
+    const float v = ds.x.data()[i];
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+  }
+}
+
+TEST(Dataset, DeterministicGivenSeed) {
+  const GimliHashTarget t(6);
+  Xoshiro256 r1(8);
+  Xoshiro256 r2(8);
+  const auto a = collect_dataset(t, 10, r1);
+  const auto b = collect_dataset(t, 10, r2);
+  for (std::size_t i = 0; i < a.x.size(); ++i) {
+    EXPECT_EQ(a.x.data()[i], b.x.data()[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The distinguisher end to end on easy settings
+// ---------------------------------------------------------------------------
+
+TEST(Distinguisher, LearnsTwoRoundGimliHashPerfectly) {
+  Xoshiro256 rng(9);
+  auto model = build_default_mlp(128, 2, rng);
+  DistinguisherOptions opt;
+  opt.epochs = 3;
+  opt.seed = 0xabc;
+  MLDistinguisher dist(std::move(model), opt);
+  const GimliHashTarget target(2);
+  const TrainReport rep = dist.train(target, 600);
+  EXPECT_GT(rep.val_accuracy, 0.95);
+  EXPECT_TRUE(rep.usable);
+}
+
+TEST(Distinguisher, OnlinePhaseSeparatesCipherFromRandom) {
+  Xoshiro256 rng(10);
+  auto model = build_default_mlp(128, 2, rng);
+  DistinguisherOptions opt;
+  opt.epochs = 3;
+  MLDistinguisher dist(std::move(model), opt);
+  const GimliHashTarget target(2);
+  (void)dist.train(target, 600);
+
+  const CipherOracle cipher(target);
+  const OnlineReport on_cipher = dist.test(cipher, 200);
+  EXPECT_EQ(on_cipher.verdict, Verdict::kCipher);
+  EXPECT_GT(on_cipher.accuracy, 0.9);
+
+  const RandomOracle random(2, 16);
+  const OnlineReport on_random = dist.test(random, 200);
+  EXPECT_EQ(on_random.verdict, Verdict::kRandom);
+  EXPECT_NEAR(on_random.accuracy, 0.5, 0.1);
+}
+
+TEST(Distinguisher, AbortsOnFullRoundGimli) {
+  // Algorithm 2's abort path: at 24 rounds there is no signal, so training
+  // accuracy stays at 1/t and the distinguisher reports unusable.
+  Xoshiro256 rng(11);
+  auto model = build_default_mlp(128, 2, rng);
+  DistinguisherOptions opt;
+  opt.epochs = 2;
+  MLDistinguisher dist(std::move(model), opt);
+  const GimliHashTarget target(24);
+  const TrainReport rep = dist.train(target, 400);
+  EXPECT_FALSE(rep.usable);
+  EXPECT_NEAR(rep.val_accuracy, 0.5, 0.15);
+}
+
+TEST(Distinguisher, TestBeforeTrainThrows) {
+  Xoshiro256 rng(12);
+  auto model = build_default_mlp(128, 2, rng);
+  const MLDistinguisher dist(std::make_unique<mldist::nn::Sequential>(
+                                 std::move(*model)),
+                             DistinguisherOptions{});
+  const RandomOracle oracle(2, 16);
+  EXPECT_THROW((void)dist.test(oracle, 10), std::logic_error);
+}
+
+TEST(Distinguisher, OracleMismatchThrows) {
+  Xoshiro256 rng(13);
+  auto model = build_default_mlp(128, 2, rng);
+  DistinguisherOptions opt;
+  opt.epochs = 1;
+  MLDistinguisher dist(std::move(model), opt);
+  const GimliHashTarget target(2);
+  (void)dist.train(target, 50);
+  const RandomOracle wrong_t(4, 16);
+  EXPECT_THROW((void)dist.test(wrong_t, 10), std::invalid_argument);
+}
+
+TEST(Distinguisher, NullModelThrows) {
+  EXPECT_THROW(MLDistinguisher(nullptr, DistinguisherOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Distinguisher, Log2DataAccounting) {
+  Xoshiro256 rng(14);
+  auto model = build_default_mlp(128, 2, rng);
+  DistinguisherOptions opt;
+  opt.epochs = 1;
+  MLDistinguisher dist(std::move(model), opt);
+  const GimliHashTarget target(2);
+  const TrainReport rep = dist.train(target, 256);
+  // 256 base inputs * (t + 1 = 3) queries = 768 -> log2 = 9.58.
+  EXPECT_NEAR(rep.log2_data, std::log2(768.0), 1e-9);
+}
+
+
+// ---------------------------------------------------------------------------
+// Architecture-aware model persistence
+// ---------------------------------------------------------------------------
+
+TEST(ModelIo, RoundTripRebuildsArchitectureAndWeights) {
+  Xoshiro256 rng(31);
+  auto model = build_default_mlp(64, 2, rng);
+  mldist::nn::Mat x(3, 64);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.next_double());
+  }
+  const mldist::nn::Mat before = model->forward(x);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mldist_model_io.nnm").string();
+  save_model(*model, "default-mlp", 64, 2, path);
+
+  const LoadedModel loaded = load_model(path);
+  EXPECT_EQ(loaded.arch, "default-mlp");
+  EXPECT_EQ(loaded.input_bits, 64u);
+  EXPECT_EQ(loaded.classes, 2u);
+  const mldist::nn::Mat after = loaded.model->forward(x);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(before.data()[i], after.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, ZooArchitecturesRoundTrip) {
+  Xoshiro256 rng(32);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mldist_model_io2.nnm").string();
+  for (const char* arch : {"MLP II", "MLP IV"}) {
+    auto model = build_architecture(arch, 32, 2, rng);
+    save_model(*model, arch, 32, 2, path);
+    const LoadedModel loaded = load_model(path);
+    EXPECT_EQ(loaded.arch, arch);
+    EXPECT_EQ(loaded.model->param_count(), model->param_count());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, GohrNetNameEncodesDepth) {
+  Xoshiro256 rng(33);
+  auto model = build_gohr_net(16, 2, 1, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mldist_model_io3.nnm").string();
+  save_model(*model, "gohr-net/1", 16, 2, path);
+  const LoadedModel loaded = load_model(path);
+  EXPECT_EQ(loaded.model->param_count(), model->param_count());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsUnknownArchitectureOnSave) {
+  Xoshiro256 rng(34);
+  auto model = build_default_mlp(8, 2, rng);
+  EXPECT_THROW(save_model(*model, "no-such-arch", 8, 2, "/tmp/x.nnm"),
+               std::invalid_argument);
+}
+
+TEST(ModelIo, RejectsMalformedFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mldist_model_bad.nnm").string();
+  {
+    std::ofstream out(path);
+    out << "NOT A MODEL\n";
+  }
+  EXPECT_THROW((void)load_model(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace

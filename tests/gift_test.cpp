@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "analysis/ddt.hpp"
+#include "ciphers/gift128.hpp"
+#include "ciphers/gift64.hpp"
+#include "ciphers/gift_toy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mldist::ciphers;
+using mldist::analysis::Ddt4;
+using mldist::util::Xoshiro256;
+
+// ---------------------------------------------------------------------------
+// S-box
+// ---------------------------------------------------------------------------
+
+TEST(GiftSbox, MatchesPaperTable) {
+  // §2.1 prints the S-box as the hex string 1A4C6F392DB7508E.
+  const char* hex = "1A4C6F392DB7508E";
+  for (int i = 0; i < 16; ++i) {
+    const char c = hex[i];
+    const int v = (c >= '0' && c <= '9') ? c - '0' : c - 'A' + 10;
+    EXPECT_EQ(kGiftSbox[i], v) << "index " << i;
+  }
+}
+
+TEST(GiftSbox, IsBijective) {
+  std::set<std::uint8_t> image(kGiftSbox.begin(), kGiftSbox.end());
+  EXPECT_EQ(image.size(), 16u);
+}
+
+TEST(GiftSbox, InverseIsExact) {
+  for (int x = 0; x < 16; ++x) {
+    EXPECT_EQ(gift_sbox_inverse(kGiftSbox[x]), x);
+  }
+}
+
+TEST(GiftSbox, TransitionsUsedByToyExample) {
+  // The §2.1 walk-through relies on these S-box pairs.
+  EXPECT_EQ(kGiftSbox[0x0], 0x1);
+  EXPECT_EQ(kGiftSbox[0x2], 0x4);
+  EXPECT_EQ(kGiftSbox[0x4], 0x6);
+  EXPECT_EQ(kGiftSbox[0x6], 0x3);
+  EXPECT_EQ(kGiftSbox[0xd], 0x0);
+  EXPECT_EQ(kGiftSbox[0xe], 0x8);
+}
+
+// ---------------------------------------------------------------------------
+// Bit permutation and full cipher
+// ---------------------------------------------------------------------------
+
+TEST(Gift64, BitPermutationIsBijective) {
+  std::set<int> image;
+  for (int i = 0; i < 64; ++i) {
+    const int p = gift64_bit_permutation(i);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 64);
+    image.insert(p);
+  }
+  EXPECT_EQ(image.size(), 64u);
+}
+
+TEST(Gift64, BitPermutationKeepsBitsWithinSlice) {
+  // GIFT-64's P64 sends bit 4i+b of S-box i to an S-box whose index is
+  // congruent to a fixed pattern; structurally, bit position mod 4 is
+  // preserved (b stays b) — a documented property of the GIFT family.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(gift64_bit_permutation(i) % 4, i % 4);
+  }
+}
+
+TEST(Gift64, SubPermInverse) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t s = rng.next_u64();
+    EXPECT_EQ(Gift64::sub_perm_inverse(Gift64::sub_perm(s)), s);
+  }
+}
+
+TEST(Gift64, EncryptDecryptRoundTrip) {
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::array<std::uint16_t, 8> key;
+    for (auto& k : key) k = static_cast<std::uint16_t>(rng.next_u32());
+    const Gift64 cipher(key);
+    const std::uint64_t p = rng.next_u64();
+    EXPECT_EQ(cipher.decrypt(cipher.encrypt(p)), p);
+  }
+}
+
+TEST(Gift64, ReducedRoundsRoundTrip) {
+  const Gift64 cipher({1, 2, 3, 4, 5, 6, 7, 8});
+  for (int rounds : {0, 1, 2, 5, 14, 28}) {
+    const std::uint64_t p = 0x0123456789abcdefULL;
+    EXPECT_EQ(cipher.decrypt(cipher.encrypt(p, rounds), rounds), p);
+  }
+}
+
+TEST(Gift64, RoundMasksDiffer) {
+  // Round constants must make every round mask distinct even for the
+  // all-zero key.
+  const Gift64 cipher({0, 0, 0, 0, 0, 0, 0, 0});
+  std::set<std::uint64_t> masks(cipher.round_masks().begin(),
+                                cipher.round_masks().end());
+  EXPECT_EQ(masks.size(), static_cast<std::size_t>(kGift64Rounds));
+}
+
+TEST(Gift64, KeySensitivity) {
+  const Gift64 c1({0, 0, 0, 0, 0, 0, 0, 0});
+  const Gift64 c2({0, 0, 0, 0, 0, 0, 0, 1});
+  EXPECT_NE(c1.encrypt(0), c2.encrypt(0));
+}
+
+TEST(Gift64, AvalancheAtFullRounds) {
+  Xoshiro256 rng(3);
+  const Gift64 cipher({11, 22, 33, 44, 55, 66, 77, 88});
+  int flipped = 0;
+  constexpr int kTrials = 100;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::uint64_t p = rng.next_u64();
+    flipped += __builtin_popcountll(cipher.encrypt(p) ^ cipher.encrypt(p ^ 1));
+  }
+  const double mean = static_cast<double>(flipped) / kTrials;
+  EXPECT_GT(mean, 28.0);
+  EXPECT_LT(mean, 36.0);
+}
+
+// ---------------------------------------------------------------------------
+// Toy cipher (Fig. 1)
+// ---------------------------------------------------------------------------
+
+TEST(GiftToy, PermutationIsBijective) {
+  std::set<std::uint8_t> image;
+  for (int x = 0; x < 256; ++x) {
+    image.insert(toy_permute_bits(static_cast<std::uint8_t>(x)));
+  }
+  EXPECT_EQ(image.size(), 256u);
+}
+
+TEST(GiftToy, CipherIsBijective) {
+  std::set<std::uint8_t> image;
+  for (int x = 0; x < 256; ++x) {
+    image.insert(toy_cipher(static_cast<std::uint8_t>(x)));
+  }
+  EXPECT_EQ(image.size(), 256u);
+}
+
+TEST(GiftToy, SboxLayerActsNibblewise) {
+  EXPECT_EQ(toy_sbox_layer(toy_pack(0x0, 0xd)), toy_pack(0x1, 0x0));
+  EXPECT_EQ(toy_sbox_layer(toy_pack(0x2, 0xe)), toy_pack(0x4, 0x8));
+}
+
+TEST(GiftToy, PermutationSendsDw1ToDy2) {
+  // Linearity: the permutation maps the difference (5,8) to (6,2).
+  EXPECT_EQ(toy_permute_bits(toy_pack(5, 8)), toy_pack(6, 2));
+}
+
+TEST(GiftToy, TraceIsConsistent) {
+  for (int x = 0; x < 256; ++x) {
+    const auto t = toy_trace(static_cast<std::uint8_t>(x));
+    EXPECT_EQ(t.w1, toy_sbox_layer(static_cast<std::uint8_t>(x)));
+    EXPECT_EQ(t.y2, toy_permute_bits(t.w1));
+    EXPECT_EQ(t.w2, toy_sbox_layer(t.y2));
+    EXPECT_EQ(toy_cipher(static_cast<std::uint8_t>(x)), t.w2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DDT facts quoted in §2.1
+// ---------------------------------------------------------------------------
+
+TEST(GiftDdt, TransitionProbabilitiesFromPaper) {
+  const Ddt4 ddt{std::span<const std::uint8_t, 16>(kGiftSbox)};
+  // dY1 -> dW1 = (2,3) -> (5,8): probability 2^-5 = 2^-2 * 2^-3.
+  EXPECT_EQ(ddt.count(0x2, 0x5), 4);
+  EXPECT_EQ(ddt.count(0x3, 0x8), 2);
+  // dY2 -> dW2 = (6,2) -> (2,5): probability 2^-4 = 2^-2 * 2^-2.
+  EXPECT_EQ(ddt.count(0x6, 0x2), 4);
+}
+
+TEST(GiftDdt, ValidInputsMatchPaperTuples) {
+  const Ddt4 ddt{std::span<const std::uint8_t, 16>(kGiftSbox)};
+  // "The valid tuples of (Y1[1], W1[1], Y1'[1], W1'[1]) is (d,0,e,8) and
+  // (e,8,d,0)" — i.e. inputs {d, e} for 3 -> 8.
+  EXPECT_EQ(ddt.valid_inputs(0x3, 0x8),
+            (std::vector<std::uint8_t>{0xd, 0xe}));
+  // Inputs {0,2,4,6} for 2 -> 5 (the paper's four tuples).
+  EXPECT_EQ(ddt.valid_inputs(0x2, 0x5),
+            (std::vector<std::uint8_t>{0x0, 0x2, 0x4, 0x6}));
+}
+
+TEST(GiftDdt, RowsSumTo16) {
+  const Ddt4 ddt{std::span<const std::uint8_t, 16>(kGiftSbox)};
+  for (int din = 0; din < 16; ++din) {
+    int sum = 0;
+    for (int dout = 0; dout < 16; ++dout) sum += ddt.count(
+        static_cast<std::uint8_t>(din), static_cast<std::uint8_t>(dout));
+    EXPECT_EQ(sum, 16);
+  }
+}
+
+TEST(GiftDdt, ZeroMapsToZero) {
+  const Ddt4 ddt{std::span<const std::uint8_t, 16>(kGiftSbox)};
+  EXPECT_EQ(ddt.count(0, 0), 16);
+  for (int dout = 1; dout < 16; ++dout) {
+    EXPECT_EQ(ddt.count(0, static_cast<std::uint8_t>(dout)), 0);
+  }
+}
+
+TEST(GiftDdt, UniformityIsSix) {
+  // GIFT's S-box is differentially 6-uniform (design paper).
+  const Ddt4 ddt{std::span<const std::uint8_t, 16>(kGiftSbox)};
+  EXPECT_EQ(ddt.uniformity(), 6);
+}
+
+
+// ---------------------------------------------------------------------------
+// GIFT-128
+// ---------------------------------------------------------------------------
+
+TEST(Gift128, BitPermutationIsBijective) {
+  std::set<int> image;
+  for (int i = 0; i < 128; ++i) {
+    const int p = gift128_bit_permutation(i);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 128);
+    image.insert(p);
+  }
+  EXPECT_EQ(image.size(), 128u);
+}
+
+TEST(Gift128, BitPermutationPreservesSliceIndex) {
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_EQ(gift128_bit_permutation(i) % 4, i % 4);
+  }
+}
+
+TEST(Gift128, SubPermInverse) {
+  Xoshiro256 rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Gift128Block s{rng.next_u64(), rng.next_u64()};
+    EXPECT_EQ(Gift128::sub_perm_inverse(Gift128::sub_perm(s)), s);
+  }
+}
+
+TEST(Gift128, EncryptDecryptRoundTrip) {
+  Xoshiro256 rng(22);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::array<std::uint16_t, 8> key;
+    for (auto& k : key) k = static_cast<std::uint16_t>(rng.next_u32());
+    const Gift128 cipher(key);
+    const Gift128Block p{rng.next_u64(), rng.next_u64()};
+    EXPECT_EQ(cipher.decrypt(cipher.encrypt(p)), p);
+  }
+}
+
+TEST(Gift128, ReducedRoundsRoundTrip) {
+  const Gift128 cipher({1, 2, 3, 4, 5, 6, 7, 8});
+  const Gift128Block p{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  for (int rounds : {0, 1, 2, 11, 40}) {
+    EXPECT_EQ(cipher.decrypt(cipher.encrypt(p, rounds), rounds), p);
+  }
+}
+
+TEST(Gift128, KeySensitivity) {
+  const Gift128 c1({0, 0, 0, 0, 0, 0, 0, 0});
+  const Gift128 c2({0, 0, 0, 0, 0, 0, 0, 1});
+  const Gift128Block p{};
+  EXPECT_NE(c1.encrypt(p), c2.encrypt(p));
+}
+
+TEST(Gift128, RoundMasksDifferUnderZeroKey) {
+  const Gift128 cipher({0, 0, 0, 0, 0, 0, 0, 0});
+  std::set<std::uint64_t> lows;
+  for (const auto& m : cipher.round_masks()) lows.insert(m.lo ^ (m.hi * 3));
+  EXPECT_EQ(lows.size(), static_cast<std::size_t>(kGift128Rounds));
+}
+
+TEST(Gift128, AvalancheAtFullRounds) {
+  Xoshiro256 rng(23);
+  const Gift128 cipher({9, 8, 7, 6, 5, 4, 3, 2});
+  int flipped = 0;
+  constexpr int kTrials = 50;
+  for (int t = 0; t < kTrials; ++t) {
+    const Gift128Block p{rng.next_u64(), rng.next_u64()};
+    Gift128Block p2 = p;
+    p2.lo ^= 1;
+    const Gift128Block c1 = cipher.encrypt(p);
+    const Gift128Block c2 = cipher.encrypt(p2);
+    flipped += __builtin_popcountll(c1.lo ^ c2.lo) +
+               __builtin_popcountll(c1.hi ^ c2.hi);
+  }
+  const double mean = static_cast<double>(flipped) / kTrials;
+  EXPECT_GT(mean, 56.0);
+  EXPECT_LT(mean, 72.0);
+}
+
+}  // namespace

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "ciphers/gimli_aead.hpp"
+#include "ciphers/gimli_hash.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mldist::ciphers;
+using mldist::util::Xoshiro256;
+
+// ---------------------------------------------------------------------------
+// Gimli-Hash
+// ---------------------------------------------------------------------------
+
+TEST(GimliHash, DigestHas32Bytes) {
+  EXPECT_EQ(gimli_hash(std::vector<std::uint8_t>{}).size(), 32u);
+  EXPECT_EQ(gimli_hash(std::vector<std::uint8_t>(100, 0xab)).size(), 32u);
+}
+
+TEST(GimliHash, Deterministic) {
+  const std::vector<std::uint8_t> msg = {'g', 'i', 'm', 'l', 'i'};
+  EXPECT_EQ(gimli_hash(msg), gimli_hash(msg));
+}
+
+TEST(GimliHash, StreamingMatchesOneShot) {
+  Xoshiro256 rng(1);
+  const auto msg = rng.bytes(100);
+  GimliHash h;
+  h.absorb(std::span<const std::uint8_t>(msg).subspan(0, 7));
+  h.absorb(std::span<const std::uint8_t>(msg).subspan(7, 40));
+  h.absorb(std::span<const std::uint8_t>(msg).subspan(47));
+  EXPECT_EQ(h.digest(), gimli_hash(msg));
+}
+
+TEST(GimliHash, DistinctMessagesDistinctDigests) {
+  const std::vector<std::uint8_t> a = {0x00};
+  const std::vector<std::uint8_t> b = {0x01};
+  EXPECT_NE(gimli_hash(a), gimli_hash(b));
+}
+
+TEST(GimliHash, PaddingDomainSeparation) {
+  // A message of 15 zero bytes and one of 16 zero bytes must differ even
+  // though the 16-byte one is exactly the padded form of neither.
+  const std::vector<std::uint8_t> m15(15, 0);
+  const std::vector<std::uint8_t> m16(16, 0);
+  EXPECT_NE(gimli_hash(m15), gimli_hash(m16));
+}
+
+TEST(GimliHash, PaddingNotConfusedByExplicitPadByte) {
+  // m || 0x01 must not collide with m (the 0x01 pad is positional).
+  const std::vector<std::uint8_t> m = {0xaa, 0xbb};
+  std::vector<std::uint8_t> m_padded = m;
+  m_padded.push_back(0x01);
+  EXPECT_NE(gimli_hash(m), gimli_hash(m_padded));
+}
+
+TEST(GimliHash, BlockBoundaryMessages) {
+  // Lengths around the 16-byte rate: all distinct digests.
+  std::vector<std::vector<std::uint8_t>> digests;
+  for (std::size_t len : {15u, 16u, 17u, 31u, 32u, 33u}) {
+    digests.push_back(gimli_hash(std::vector<std::uint8_t>(len, 0x42)));
+  }
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    for (std::size_t j = i + 1; j < digests.size(); ++j) {
+      EXPECT_NE(digests[i], digests[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(GimliHash, RoundReducedDiffersFromFull) {
+  const std::vector<std::uint8_t> msg(15, 0);
+  EXPECT_NE(gimli_hash(msg, 8), gimli_hash(msg, 24));
+}
+
+TEST(GimliHash, RejectsBadRoundCount) {
+  EXPECT_THROW(GimliHash(0), std::invalid_argument);
+  EXPECT_THROW(GimliHash(25), std::invalid_argument);
+}
+
+TEST(GimliHash, AvalancheOnFullRounds) {
+  Xoshiro256 rng(2);
+  auto msg = rng.bytes(15);
+  const auto h1 = gimli_hash(msg);
+  msg[4] ^= 0x01;
+  const auto h2 = gimli_hash(msg);
+  int flipped = 0;
+  for (std::size_t i = 0; i < h1.size(); ++i) {
+    flipped += __builtin_popcount(static_cast<unsigned>(h1[i] ^ h2[i]));
+  }
+  EXPECT_GT(flipped, 90);   // ~128 expected of 256 bits
+  EXPECT_LT(flipped, 166);
+}
+
+// ---------------------------------------------------------------------------
+// Gimli-Cipher (AEAD)
+// ---------------------------------------------------------------------------
+
+struct AeadFixture : ::testing::Test {
+  std::array<std::uint8_t, kGimliAeadKeyBytes> key{};
+  std::array<std::uint8_t, kGimliAeadNonceBytes> nonce{};
+  Xoshiro256 rng{3};
+
+  void randomize() {
+    rng.fill_bytes(key.data(), key.size());
+    rng.fill_bytes(nonce.data(), nonce.size());
+  }
+
+  auto key_span() {
+    return std::span<const std::uint8_t, kGimliAeadKeyBytes>(key);
+  }
+  auto nonce_span() {
+    return std::span<const std::uint8_t, kGimliAeadNonceBytes>(nonce);
+  }
+};
+
+TEST_F(AeadFixture, EncryptDecryptRoundTrip) {
+  randomize();
+  for (std::size_t mlen : {0u, 1u, 15u, 16u, 17u, 48u, 100u}) {
+    const auto msg = rng.bytes(mlen);
+    const auto ad = rng.bytes(7);
+    const auto enc = gimli_aead_encrypt(key_span(), nonce_span(), ad, msg);
+    ASSERT_EQ(enc.ciphertext.size(), mlen);
+    const auto dec = gimli_aead_decrypt(key_span(), nonce_span(), ad,
+                                        enc.ciphertext, enc.tag);
+    EXPECT_TRUE(dec.ok) << "mlen=" << mlen;
+    EXPECT_EQ(dec.plaintext, msg);
+  }
+}
+
+TEST_F(AeadFixture, TamperedCiphertextRejected) {
+  randomize();
+  const auto msg = rng.bytes(32);
+  auto enc = gimli_aead_encrypt(key_span(), nonce_span(), {}, msg);
+  enc.ciphertext[3] ^= 0x80;
+  const auto dec =
+      gimli_aead_decrypt(key_span(), nonce_span(), {}, enc.ciphertext, enc.tag);
+  EXPECT_FALSE(dec.ok);
+  EXPECT_TRUE(dec.plaintext.empty());
+}
+
+TEST_F(AeadFixture, TamperedTagRejected) {
+  randomize();
+  const auto msg = rng.bytes(32);
+  auto enc = gimli_aead_encrypt(key_span(), nonce_span(), {}, msg);
+  enc.tag[0] ^= 0x01;
+  const auto dec =
+      gimli_aead_decrypt(key_span(), nonce_span(), {}, enc.ciphertext, enc.tag);
+  EXPECT_FALSE(dec.ok);
+}
+
+TEST_F(AeadFixture, TamperedAdRejected) {
+  randomize();
+  const auto msg = rng.bytes(20);
+  const std::vector<std::uint8_t> ad = {1, 2, 3};
+  const auto enc = gimli_aead_encrypt(key_span(), nonce_span(), ad, msg);
+  const std::vector<std::uint8_t> ad2 = {1, 2, 4};
+  const auto dec =
+      gimli_aead_decrypt(key_span(), nonce_span(), ad2, enc.ciphertext, enc.tag);
+  EXPECT_FALSE(dec.ok);
+}
+
+TEST_F(AeadFixture, NonceMatters) {
+  randomize();
+  const auto msg = rng.bytes(16);
+  const auto e1 = gimli_aead_encrypt(key_span(), nonce_span(), {}, msg);
+  nonce[0] ^= 1;
+  const auto e2 = gimli_aead_encrypt(key_span(), nonce_span(), {}, msg);
+  EXPECT_NE(e1.ciphertext, e2.ciphertext);
+  EXPECT_NE(e1.tag, e2.tag);
+}
+
+TEST_F(AeadFixture, KeyMatters) {
+  randomize();
+  const auto msg = rng.bytes(16);
+  const auto e1 = gimli_aead_encrypt(key_span(), nonce_span(), {}, msg);
+  key[31] ^= 1;
+  const auto e2 = gimli_aead_encrypt(key_span(), nonce_span(), {}, msg);
+  EXPECT_NE(e1.ciphertext, e2.ciphertext);
+}
+
+TEST_F(AeadFixture, AdBlockBoundaries) {
+  randomize();
+  const auto msg = rng.bytes(16);
+  std::vector<std::array<std::uint8_t, kGimliAeadTagBytes>> tags;
+  for (std::size_t adlen : {0u, 15u, 16u, 17u, 32u}) {
+    const auto ad = std::vector<std::uint8_t>(adlen, 0x55);
+    tags.push_back(gimli_aead_encrypt(key_span(), nonce_span(), ad, msg).tag);
+  }
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    for (std::size_t j = i + 1; j < tags.size(); ++j) {
+      EXPECT_NE(tags[i], tags[j]);
+    }
+  }
+}
+
+TEST_F(AeadFixture, RoundScheduleValidation) {
+  randomize();
+  RoundSchedule bad;
+  bad.init = 25;
+  EXPECT_THROW(
+      (void)gimli_aead_encrypt(key_span(), nonce_span(), {}, {}, bad),
+      std::invalid_argument);
+  bad.init = -1;
+  EXPECT_THROW(
+      (void)gimli_aead_encrypt(key_span(), nonce_span(), {}, {}, bad),
+      std::invalid_argument);
+}
+
+TEST_F(AeadFixture, ReducedRoundsStillRoundTrip) {
+  randomize();
+  RoundSchedule reduced;
+  reduced.init = 8;
+  reduced.ad = 0;
+  reduced.message = 4;
+  const auto msg = rng.bytes(33);
+  const auto enc = gimli_aead_encrypt(key_span(), nonce_span(), {}, msg, reduced);
+  const auto dec = gimli_aead_decrypt(key_span(), nonce_span(), {},
+                                      enc.ciphertext, enc.tag, reduced);
+  EXPECT_TRUE(dec.ok);
+  EXPECT_EQ(dec.plaintext, msg);
+}
+
+TEST_F(AeadFixture, FirstBlockIndependentOfMessageRounds) {
+  // c0 is emitted before the first message permutation, so the message
+  // round count must not affect it — the property the Table-2 cipher
+  // experiments rely on.
+  randomize();
+  RoundSchedule s1{8, 0, 24};
+  RoundSchedule s2{8, 0, 1};
+  const std::vector<std::uint8_t> msg(16, 0);
+  const auto e1 = gimli_aead_encrypt(key_span(), nonce_span(), {}, msg, s1);
+  const auto e2 = gimli_aead_encrypt(key_span(), nonce_span(), {}, msg, s2);
+  EXPECT_EQ(e1.ciphertext, e2.ciphertext);
+  EXPECT_NE(e1.tag, e2.tag);
+}
+
+}  // namespace

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ciphers/gimli.hpp"
+#include "util/bits.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mldist::ciphers;
+using mldist::util::Xoshiro256;
+
+GimliState reference_input() {
+  // Test-vector input from the Gimli design document:
+  // s[i] = i*i*i + i*0x9e3779b9 (mod 2^32).
+  GimliState s;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    s[i] = i * i * i + i * 0x9e3779b9u;
+  }
+  return s;
+}
+
+TEST(Gimli, ReferenceInputFormula) {
+  const GimliState s = reference_input();
+  EXPECT_EQ(s[0], 0x00000000u);
+  EXPECT_EQ(s[1], 0x9e3779bau);
+  EXPECT_EQ(s[2], 0x3c6ef37au);
+  EXPECT_EQ(s[3], 0xdaa66d46u);
+  EXPECT_EQ(s[4], 0x78dde724u);
+}
+
+TEST(Gimli, OfficialPermutationTestVector) {
+  // Expected output from the Gimli reference implementation (design
+  // document appendix / reference code test program).
+  GimliState s = reference_input();
+  gimli_permute(s);
+  const GimliState expected = {
+      0xba11c85au, 0x91bad119u, 0x380ce880u, 0xd24c2c68u,
+      0x3eceffeau, 0x277a921cu, 0x4f73a0bdu, 0xda5a9cd8u,
+      0x84b673f0u, 0x34e52ff7u, 0x9e2bef49u, 0xf41bb8d6u};
+  EXPECT_EQ(s, expected);
+}
+
+TEST(Gimli, PermutationIsInvertible) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    GimliState s;
+    for (auto& w : s) w = rng.next_u32();
+    const GimliState orig = s;
+    gimli_permute(s);
+    EXPECT_NE(s, orig);
+    gimli_permute_inverse(s);
+    EXPECT_EQ(s, orig);
+  }
+}
+
+TEST(Gimli, RoundWindowInversesCompose) {
+  Xoshiro256 rng(2);
+  for (const auto& [hi, lo] :
+       {std::pair{24, 17}, {8, 1}, {12, 5}, {3, 3}}) {
+    GimliState s;
+    for (auto& w : s) w = rng.next_u32();
+    const GimliState orig = s;
+    gimli_rounds(s, hi, lo);
+    gimli_rounds_inverse(s, hi, lo);
+    EXPECT_EQ(s, orig) << "window [" << hi << "," << lo << "]";
+  }
+}
+
+TEST(Gimli, FullPermutationEqualsComposedWindows) {
+  Xoshiro256 rng(3);
+  GimliState a;
+  for (auto& w : a) w = rng.next_u32();
+  GimliState b = a;
+  gimli_permute(a);
+  gimli_rounds(b, 24, 13);
+  gimli_rounds(b, 12, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Gimli, ReducedMatchesCountdownSuffix) {
+  // gimli_reduced(s, n) must equal rounds n..1 of the countdown.
+  Xoshiro256 rng(4);
+  GimliState a;
+  for (auto& w : a) w = rng.next_u32();
+  GimliState b = a;
+  gimli_reduced(a, 8);
+  gimli_rounds(b, 8, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Gimli, ReducedZeroRoundsIsIdentity) {
+  GimliState s = reference_input();
+  const GimliState orig = s;
+  gimli_reduced(s, 0);
+  EXPECT_EQ(s, orig);
+}
+
+TEST(Gimli, SpboxColumnsAreIndependent) {
+  // The SP-box acts column-locally: changing column 0 of the input must not
+  // affect columns 1..3 after one SP-box layer.
+  Xoshiro256 rng(5);
+  GimliState a;
+  for (auto& w : a) w = rng.next_u32();
+  GimliState b = a;
+  b[0] ^= 0xdeadbeefu;
+  b[4] ^= 0x1234u;
+  b[8] ^= 0x5678u;
+  for (int j = 0; j < 4; ++j) {
+    gimli_spbox_column(a, j);
+    gimli_spbox_column(b, j);
+  }
+  for (int j = 1; j < 4; ++j) {
+    EXPECT_EQ(a[j], b[j]);
+    EXPECT_EQ(a[4 + j], b[4 + j]);
+    EXPECT_EQ(a[8 + j], b[8 + j]);
+  }
+  EXPECT_NE((a[0] ^ b[0]) | (a[4] ^ b[4]) | (a[8] ^ b[8]), 0u);
+}
+
+TEST(Gimli, RoundConstantBreaksZeroFixedPoint) {
+  // All-zero state: SP-box keeps it zero, but the round constant at
+  // r % 4 == 0 must inject activity within the first four rounds.
+  GimliState s{};
+  gimli_rounds(s, 24, 21);
+  bool nonzero = false;
+  for (auto w : s) nonzero |= (w != 0);
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(Gimli, ByteSerializationRoundTrip) {
+  Xoshiro256 rng(6);
+  GimliState s;
+  for (auto& w : s) w = rng.next_u32();
+  std::uint8_t bytes[48];
+  gimli_state_to_bytes(s, bytes);
+  EXPECT_EQ(gimli_state_from_bytes(bytes), s);
+}
+
+TEST(Gimli, ByteSerializationIsLittleEndian) {
+  GimliState s{};
+  s[0] = 0x04030201u;
+  std::uint8_t bytes[48];
+  gimli_state_to_bytes(s, bytes);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[1], 0x02);
+  EXPECT_EQ(bytes[2], 0x03);
+  EXPECT_EQ(bytes[3], 0x04);
+}
+
+TEST(Gimli, PermutationIsBijectiveOnSamples) {
+  // Distinct inputs must map to distinct outputs.
+  Xoshiro256 rng(7);
+  std::set<std::array<std::uint32_t, 12>> outputs;
+  for (int i = 0; i < 200; ++i) {
+    GimliState s;
+    for (auto& w : s) w = rng.next_u32();
+    gimli_permute(s);
+    outputs.insert(s);
+  }
+  EXPECT_EQ(outputs.size(), 200u);
+}
+
+TEST(Gimli, AvalancheAfterFullRounds) {
+  // One flipped input bit should flip roughly half the output bits.
+  Xoshiro256 rng(8);
+  GimliState a;
+  for (auto& w : a) w = rng.next_u32();
+  GimliState b = a;
+  b[5] ^= 1u;
+  gimli_permute(a);
+  gimli_permute(b);
+  int flipped = 0;
+  for (int i = 0; i < 12; ++i) {
+    flipped += __builtin_popcount(a[i] ^ b[i]);
+  }
+  EXPECT_GT(flipped, 130);
+  EXPECT_LT(flipped, 250);
+}
+
+TEST(Gimli, SlowDiffusionInEarlyRounds) {
+  // After a single reduced round a single-bit difference stays confined to
+  // its column (words j, 4+j, 8+j) — the structural fact the paper's
+  // distinguishers exploit.
+  GimliState a{};
+  GimliState b{};
+  b[1] ^= 1u << 7;
+  gimli_reduced(a, 1);
+  gimli_reduced(b, 1);
+  for (int j = 0; j < 4; ++j) {
+    if (j == 1) continue;
+    EXPECT_EQ(a[j], b[j]);
+    EXPECT_EQ(a[4 + j], b[4 + j]);
+    EXPECT_EQ(a[8 + j], b[8 + j]);
+  }
+}
+
+}  // namespace

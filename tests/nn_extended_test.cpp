@@ -1,0 +1,312 @@
+// Tests for the extension layers (BatchNorm, Dropout, Residual) and the
+// Gohr-style residual network builder, including gradient checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/arch_zoo.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/residual.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mldist::nn;
+using mldist::util::Xoshiro256;
+
+Mat random_input(std::size_t rows, std::size_t cols, Xoshiro256& rng) {
+  Mat x(rows, cols);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.next_gaussian());
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm
+// ---------------------------------------------------------------------------
+
+TEST(BatchNorm, NormalisesTrainingBatch) {
+  Xoshiro256 rng(1);
+  BatchNorm bn(4);
+  Mat x = random_input(64, 4, rng);
+  // Shift/scale the raw input so normalisation has something to do.
+  for (std::size_t n = 0; n < x.rows(); ++n) {
+    for (std::size_t j = 0; j < 4; ++j) x.at(n, j) = x.at(n, j) * 3.0f + 10.0f;
+  }
+  const Mat y = bn.forward(x, /*training=*/true);
+  for (std::size_t j = 0; j < 4; ++j) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (std::size_t n = 0; n < y.rows(); ++n) mean += y.at(n, j);
+    mean /= static_cast<double>(y.rows());
+    for (std::size_t n = 0; n < y.rows(); ++n) {
+      var += (y.at(n, j) - mean) * (y.at(n, j) - mean);
+    }
+    var /= static_cast<double>(y.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  Xoshiro256 rng(2);
+  BatchNorm bn(3);
+  // Run several training batches to populate the running stats.
+  for (int i = 0; i < 50; ++i) {
+    Mat x = random_input(32, 3, rng);
+    for (std::size_t k = 0; k < x.size(); ++k) x.data()[k] += 5.0f;
+    (void)bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 5.0f, 0.5f);
+  // A constant eval input maps deterministically via running stats.
+  Mat probe(1, 3);
+  probe.fill(5.0f);
+  const Mat y1 = bn.forward(probe, false);
+  const Mat y2 = bn.forward(probe, false);
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+    EXPECT_NEAR(y1.data()[i], 0.0f, 0.6f);  // input at the running mean
+  }
+}
+
+TEST(BatchNorm, GradCheck) {
+  Xoshiro256 rng(3);
+  Sequential model;
+  model.add(std::make_unique<Dense>(5, 6, rng));
+  model.add(std::make_unique<BatchNorm>(6));
+  model.add(std::make_unique<Tanh>());
+  model.add(std::make_unique<Dense>(6, 2, rng));
+  const Mat x = random_input(8, 5, rng);
+  std::vector<int> y(8);
+  for (auto& v : y) v = static_cast<int>(rng.next_below(2));
+
+  // Analytic pass (training mode throughout — BatchNorm's batch statistics
+  // are part of the differentiated function).
+  for (auto& p : model.params()) {
+    for (std::size_t i = 0; i < p.size; ++i) p.grad[i] = 0.0f;
+  }
+  const Mat logits = model.forward(x, true);
+  LossResult lr = softmax_cross_entropy(logits, y);
+  Mat grad = std::move(lr.dlogits);
+  for (std::size_t li = model.layer_count(); li-- > 0;) {
+    grad = model.layer(li).backward(grad);
+  }
+  std::vector<std::vector<float>> saved;
+  for (auto& p : model.params()) saved.emplace_back(p.grad, p.grad + p.size);
+
+  const auto loss_at = [&]() {
+    const Mat l = model.forward(x, true);
+    return softmax_cross_entropy(l, y, false).loss;
+  };
+  constexpr float kEps = 2e-3f;
+  std::size_t pi = 0;
+  for (auto& p : model.params()) {
+    for (std::size_t i = 0; i < p.size; i += 3) {
+      const float orig = p.value[i];
+      p.value[i] = orig + kEps;
+      const double lp = loss_at();
+      p.value[i] = orig - kEps;
+      const double lm = loss_at();
+      p.value[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * kEps);
+      EXPECT_NEAR(saved[pi][i], numeric, 2e-3 + 0.05 * std::fabs(numeric))
+          << "param set " << pi << " index " << i;
+    }
+    ++pi;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dropout
+// ---------------------------------------------------------------------------
+
+TEST(Dropout, IdentityInEval) {
+  Xoshiro256 rng(4);
+  Dropout drop(0.5f);
+  const Mat x = random_input(4, 10, rng);
+  const Mat y = drop.forward(x, false);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+TEST(Dropout, DropsApproximatelyPFraction) {
+  Xoshiro256 rng(5);
+  Dropout drop(0.3f);
+  Mat x(10, 100);
+  x.fill(1.0f);
+  const Mat y = drop.forward(x, true);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y.data()[i], 1.0f / 0.7f, 1e-5);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.size()), 0.3,
+              0.05);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout drop(0.5f);
+  Mat x(2, 50);
+  x.fill(2.0f);
+  const Mat y = drop.forward(x, true);
+  Mat g(2, 50);
+  g.fill(1.0f);
+  const Mat dx = drop.backward(g);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] == 0.0f) {
+      EXPECT_FLOAT_EQ(dx.data()[i], 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(dx.data()[i], 2.0f);  // 1/(1-0.5)
+    }
+  }
+}
+
+TEST(Dropout, RejectsInvalidP) {
+  EXPECT_THROW(Dropout(-0.1f), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
+}
+
+TEST(Dropout, ZeroPIsIdentityEvenInTraining) {
+  Xoshiro256 rng(6);
+  Dropout drop(0.0f);
+  const Mat x = random_input(3, 7, rng);
+  const Mat y = drop.forward(x, true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Residual
+// ---------------------------------------------------------------------------
+
+TEST(Residual, EmptyBlockIsDoubling) {
+  // y = x + F(x) with empty F means... F must preserve shape; an empty
+  // stack is the identity, so y = 2x.
+  Residual res;
+  Mat x(2, 3);
+  x.fill(1.5f);
+  const Mat y = res.forward(x, false);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y.data()[i], 3.0f);
+}
+
+TEST(Residual, RejectsShapeChangingInner) {
+  Xoshiro256 rng(7);
+  Residual res;
+  res.add(std::make_unique<Dense>(4, 5, rng));
+  Mat x(2, 4);
+  EXPECT_THROW((void)res.forward(x, false), std::invalid_argument);
+  EXPECT_THROW((void)res.output_size(4), std::invalid_argument);
+}
+
+TEST(Residual, GradCheck) {
+  Xoshiro256 rng(8);
+  Sequential model;
+  auto block = std::make_unique<Residual>();
+  block->add(std::make_unique<Dense>(6, 6, rng));
+  block->add(std::make_unique<Tanh>());
+  block->add(std::make_unique<Dense>(6, 6, rng));
+  model.add(std::make_unique<Dense>(4, 6, rng));
+  model.add(std::move(block));
+  model.add(std::make_unique<Dense>(6, 3, rng));
+
+  const Mat x = random_input(5, 4, rng);
+  std::vector<int> y(5);
+  for (auto& v : y) v = static_cast<int>(rng.next_below(3));
+
+  for (auto& p : model.params()) {
+    for (std::size_t i = 0; i < p.size; ++i) p.grad[i] = 0.0f;
+  }
+  const Mat logits = model.forward(x, true);
+  LossResult lr = softmax_cross_entropy(logits, y);
+  Mat grad = std::move(lr.dlogits);
+  for (std::size_t li = model.layer_count(); li-- > 0;) {
+    grad = model.layer(li).backward(grad);
+  }
+  std::vector<std::vector<float>> saved;
+  for (auto& p : model.params()) saved.emplace_back(p.grad, p.grad + p.size);
+
+  const auto loss_at = [&]() {
+    const Mat l = model.forward(x, false);
+    return softmax_cross_entropy(l, y, false).loss;
+  };
+  constexpr float kEps = 2e-3f;
+  std::size_t pi = 0;
+  for (auto& p : model.params()) {
+    for (std::size_t i = 0; i < p.size; i += 2) {
+      const float orig = p.value[i];
+      p.value[i] = orig + kEps;
+      const double lp = loss_at();
+      p.value[i] = orig - kEps;
+      const double lm = loss_at();
+      p.value[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * kEps);
+      EXPECT_NEAR(saved[pi][i], numeric, 1.5e-3 + 0.05 * std::fabs(numeric))
+          << "param set " << pi << " index " << i;
+    }
+    ++pi;
+  }
+}
+
+TEST(Residual, ParamsAggregateInner) {
+  Xoshiro256 rng(9);
+  Residual res;
+  res.add(std::make_unique<Dense>(4, 4, rng));
+  res.add(std::make_unique<Dense>(4, 4, rng));
+  EXPECT_EQ(res.param_count(), 2u * (16u + 4u));
+}
+
+// ---------------------------------------------------------------------------
+// GohrNet builder
+// ---------------------------------------------------------------------------
+
+TEST(GohrNet, BuildsAndForwardPasses) {
+  Xoshiro256 rng(10);
+  auto model = mldist::core::build_gohr_net(32, 2, /*depth=*/2, rng);
+  Mat x(3, 32);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.next_u64() & 1);
+  }
+  const Mat y = model->forward(x);
+  EXPECT_EQ(y.rows(), 3u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_GT(model->param_count(), 1000u);
+}
+
+TEST(GohrNet, TrainsOnSimpleStructure) {
+  // Class 0: low half set; class 1: high half set.  Any competent model
+  // should separate these quickly.
+  Xoshiro256 rng(11);
+  auto model = mldist::core::build_gohr_net(16, 2, 1, rng);
+  Dataset ds;
+  ds.x = Mat(128, 16);
+  ds.y.resize(128);
+  for (std::size_t n = 0; n < 128; ++n) {
+    const int label = static_cast<int>(n % 2);
+    ds.y[n] = label;
+    for (std::size_t j = 0; j < 16; ++j) {
+      const bool active = label == 0 ? j < 8 : j >= 8;
+      ds.x.at(n, j) = active && (rng.next_u64() & 1) ? 1.0f : 0.0f;
+    }
+  }
+  Adam opt(0.005f);
+  FitOptions fit;
+  fit.epochs = 12;
+  fit.batch_size = 32;
+  const EpochStats stats = model->fit(ds, opt, fit);
+  EXPECT_GT(stats.train_accuracy, 0.9);
+}
+
+}  // namespace

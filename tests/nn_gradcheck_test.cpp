@@ -1,0 +1,215 @@
+// Numerical gradient checking: every layer's analytic backward pass is
+// compared against central finite differences of the softmax cross-entropy
+// loss.  This is the strongest correctness property the NN substrate has.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mldist::nn;
+using mldist::util::Xoshiro256;
+
+/// Loss of `model` on (x, y) without touching gradients.
+double loss_of(Sequential& model, const Mat& x, const std::vector<int>& y) {
+  const Mat logits = model.forward(x, /*training=*/false);
+  return softmax_cross_entropy(logits, y, /*compute_grad=*/false).loss;
+}
+
+/// Run one analytic forward/backward pass; returns gradient w.r.t. input.
+Mat analytic_pass(Sequential& model, const Mat& x, const std::vector<int>& y) {
+  for (auto& p : model.params()) {
+    for (std::size_t i = 0; i < p.size; ++i) p.grad[i] = 0.0f;
+  }
+  const Mat logits = model.forward(x, /*training=*/true);
+  LossResult lr = softmax_cross_entropy(logits, y);
+  Mat grad = std::move(lr.dlogits);
+  for (std::size_t li = model.layer_count(); li-- > 0;) {
+    grad = model.layer(li).backward(grad);
+  }
+  return grad;
+}
+
+/// Check d(loss)/d(param) for every `stride`-th parameter via central
+/// differences.
+void check_param_grads(Sequential& model, const Mat& x,
+                       const std::vector<int>& y, std::size_t stride,
+                       double tol) {
+  (void)analytic_pass(model, x, y);
+  // Snapshot analytic gradients (backward below would be clobbered by
+  // repeated perturbation passes).
+  std::vector<std::vector<float>> saved;
+  for (auto& p : model.params()) {
+    saved.emplace_back(p.grad, p.grad + p.size);
+  }
+  constexpr float kEps = 2e-3f;
+  std::size_t pi = 0;
+  for (auto& p : model.params()) {
+    for (std::size_t i = 0; i < p.size; i += stride) {
+      const float orig = p.value[i];
+      p.value[i] = orig + kEps;
+      const double lp = loss_of(model, x, y);
+      p.value[i] = orig - kEps;
+      const double lm = loss_of(model, x, y);
+      p.value[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * kEps);
+      const double analytic = saved[pi][i];
+      EXPECT_NEAR(analytic, numeric, tol + 0.05 * std::fabs(numeric))
+          << "param set " << pi << " index " << i;
+    }
+    ++pi;
+  }
+}
+
+/// Check d(loss)/d(input) for every `stride`-th input entry.
+void check_input_grads(Sequential& model, Mat x, const std::vector<int>& y,
+                       std::size_t stride, double tol) {
+  const Mat dx = analytic_pass(model, x, y);
+  constexpr float kEps = 2e-3f;
+  for (std::size_t i = 0; i < x.size(); i += stride) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + kEps;
+    const double lp = loss_of(model, x, y);
+    x.data()[i] = orig - kEps;
+    const double lm = loss_of(model, x, y);
+    x.data()[i] = orig;
+    const double numeric = (lp - lm) / (2.0 * kEps);
+    EXPECT_NEAR(dx.data()[i], numeric, tol + 0.05 * std::fabs(numeric))
+        << "input index " << i;
+  }
+}
+
+Mat random_input(std::size_t rows, std::size_t cols, Xoshiro256& rng) {
+  Mat x(rows, cols);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.next_gaussian());
+  }
+  return x;
+}
+
+std::vector<int> random_labels(std::size_t n, std::size_t classes,
+                               Xoshiro256& rng) {
+  std::vector<int> y(n);
+  for (auto& v : y) v = static_cast<int>(rng.next_below(classes));
+  return y;
+}
+
+TEST(GradCheck, DenseOnly) {
+  Xoshiro256 rng(1);
+  Sequential model;
+  model.add(std::make_unique<Dense>(6, 4, rng));
+  const Mat x = random_input(5, 6, rng);
+  const auto y = random_labels(5, 4, rng);
+  check_param_grads(model, x, y, 1, 1e-3);
+  check_input_grads(model, x, y, 1, 1e-3);
+}
+
+TEST(GradCheck, DenseReluDense) {
+  Xoshiro256 rng(2);
+  Sequential model;
+  model.add(std::make_unique<Dense>(8, 10, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(10, 3, rng));
+  const Mat x = random_input(4, 8, rng);
+  const auto y = random_labels(4, 3, rng);
+  check_param_grads(model, x, y, 1, 1e-3);
+  check_input_grads(model, x, y, 1, 1e-3);
+}
+
+TEST(GradCheck, LeakyRelu) {
+  Xoshiro256 rng(3);
+  Sequential model;
+  model.add(std::make_unique<Dense>(7, 9, rng));
+  model.add(std::make_unique<LeakyReLU>(0.3f));
+  model.add(std::make_unique<Dense>(9, 2, rng));
+  const Mat x = random_input(4, 7, rng);
+  const auto y = random_labels(4, 2, rng);
+  check_param_grads(model, x, y, 1, 1e-3);
+}
+
+TEST(GradCheck, TanhAndSigmoid) {
+  Xoshiro256 rng(4);
+  Sequential model;
+  model.add(std::make_unique<Dense>(5, 6, rng));
+  model.add(std::make_unique<Tanh>());
+  model.add(std::make_unique<Dense>(6, 6, rng));
+  model.add(std::make_unique<Sigmoid>());
+  model.add(std::make_unique<Dense>(6, 3, rng));
+  const Mat x = random_input(3, 5, rng);
+  const auto y = random_labels(3, 3, rng);
+  check_param_grads(model, x, y, 1, 1e-3);
+  check_input_grads(model, x, y, 1, 1e-3);
+}
+
+TEST(GradCheck, Conv1DSingleChannel) {
+  Xoshiro256 rng(5);
+  Sequential model;
+  model.add(std::make_unique<Conv1D>(10, 1, 4, 3, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<GlobalMaxPool1D>(10, 4));
+  model.add(std::make_unique<Dense>(4, 2, rng));
+  const Mat x = random_input(3, 10, rng);
+  const auto y = random_labels(3, 2, rng);
+  check_param_grads(model, x, y, 1, 1e-3);
+  check_input_grads(model, x, y, 1, 1e-3);
+}
+
+TEST(GradCheck, Conv1DMultiChannelStack) {
+  Xoshiro256 rng(6);
+  Sequential model;
+  model.add(std::make_unique<Conv1D>(6, 2, 3, 3, rng));
+  model.add(std::make_unique<Tanh>());
+  model.add(std::make_unique<Conv1D>(6, 3, 2, 3, rng));
+  model.add(std::make_unique<GlobalMaxPool1D>(6, 2));
+  model.add(std::make_unique<Dense>(2, 2, rng));
+  const Mat x = random_input(2, 12, rng);
+  const auto y = random_labels(2, 2, rng);
+  check_param_grads(model, x, y, 1, 1.5e-3);
+  check_input_grads(model, x, y, 1, 1.5e-3);
+}
+
+TEST(GradCheck, LstmSingleLayer) {
+  Xoshiro256 rng(7);
+  Sequential model;
+  model.add(std::make_unique<LSTM>(4, 3, 5, rng));
+  model.add(std::make_unique<Dense>(5, 2, rng));
+  const Mat x = random_input(3, 12, rng);
+  const auto y = random_labels(3, 2, rng);
+  check_param_grads(model, x, y, 1, 1.5e-3);
+  check_input_grads(model, x, y, 1, 1.5e-3);
+}
+
+TEST(GradCheck, LstmStacked) {
+  Xoshiro256 rng(8);
+  Sequential model;
+  model.add(std::make_unique<LSTM>(3, 2, 4, rng));
+  model.add(std::make_unique<LSTM>(1, 4, 3, rng));
+  model.add(std::make_unique<Dense>(3, 2, rng));
+  const Mat x = random_input(2, 6, rng);
+  const auto y = random_labels(2, 2, rng);
+  check_param_grads(model, x, y, 1, 1.5e-3);
+}
+
+TEST(GradCheck, DeepMixedStack) {
+  Xoshiro256 rng(9);
+  Sequential model;
+  model.add(std::make_unique<Dense>(8, 12, rng));
+  model.add(std::make_unique<LeakyReLU>());
+  model.add(std::make_unique<Dense>(12, 8, rng));
+  model.add(std::make_unique<Tanh>());
+  model.add(std::make_unique<Dense>(8, 4, rng));
+  const Mat x = random_input(6, 8, rng);
+  const auto y = random_labels(6, 4, rng);
+  check_param_grads(model, x, y, 3, 1.5e-3);
+}
+
+}  // namespace

@@ -1,0 +1,440 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/arch_zoo.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/mat.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/model.hpp"
+#include "nn/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mldist::nn;
+using mldist::util::Xoshiro256;
+
+// ---------------------------------------------------------------------------
+// Mat
+// ---------------------------------------------------------------------------
+
+TEST(Mat, MatmulSmallKnown) {
+  Mat a(2, 3);
+  Mat b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  Mat c;
+  matmul(a, b, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(Mat, TransposedVariantsAgreeWithExplicitTranspose) {
+  Xoshiro256 rng(1);
+  Mat a(4, 3);
+  Mat b(4, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.next_gaussian());
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>(rng.next_gaussian());
+  }
+  // at_b: (3x4)*(4x5) via a^T.
+  Mat at(3, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) at.at(c, r) = a.at(r, c);
+  }
+  Mat want;
+  matmul(at, b, want);
+  Mat got;
+  matmul_at_b(a, b, got);
+  ASSERT_EQ(got.rows(), want.rows());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-5);
+  }
+  // a_bt: (4x3)*(3x5): use c = a(4x3), d = (5x3) -> a * d^T.
+  Mat d(5, 3);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    d.data()[i] = static_cast<float>(rng.next_gaussian());
+  }
+  Mat dt(3, 5);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) dt.at(c, r) = d.at(r, c);
+  }
+  Mat want2;
+  matmul(a, dt, want2);
+  Mat got2;
+  matmul_a_bt(a, d, got2);
+  for (std::size_t i = 0; i < got2.size(); ++i) {
+    EXPECT_NEAR(got2.data()[i], want2.data()[i], 1e-5);
+  }
+}
+
+TEST(Mat, AddRowVector) {
+  Mat m(2, 3);
+  m.fill(1.0f);
+  add_row_vector(m, {1.0f, 2.0f, 3.0f});
+  EXPECT_FLOAT_EQ(m.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 4.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Layers: shapes, names, parameter counts
+// ---------------------------------------------------------------------------
+
+TEST(Dense, ShapeAndParamCount) {
+  Xoshiro256 rng(2);
+  Dense d(128, 1024, rng);
+  EXPECT_EQ(d.output_size(128), 1024u);
+  EXPECT_THROW((void)d.output_size(64), std::invalid_argument);
+  EXPECT_EQ(d.param_count(), 128u * 1024u + 1024u);
+  Mat x(3, 128);
+  EXPECT_EQ(d.forward(x, false).cols(), 1024u);
+  EXPECT_EQ(d.name(), "dense(128->1024)");
+}
+
+TEST(Dense, GlorotInitBounded) {
+  Xoshiro256 rng(3);
+  Dense d(100, 50, rng);
+  const float limit = std::sqrt(6.0f / 150.0f);
+  float maxabs = 0.0f;
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < 100 * 50; ++i) {
+    maxabs = std::max(maxabs, std::fabs(d.weights().data()[i]));
+    sum += d.weights().data()[i];
+  }
+  EXPECT_LE(maxabs, limit);
+  EXPECT_NEAR(sum / (100 * 50), 0.0, 0.01);
+  for (float b : d.bias()) EXPECT_FLOAT_EQ(b, 0.0f);
+}
+
+TEST(Activations, ReluAndLeaky) {
+  Mat x(1, 4);
+  float vals[] = {-2.0f, -0.5f, 0.0f, 3.0f};
+  std::copy(vals, vals + 4, x.data());
+  ReLU relu;
+  const Mat yr = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(yr.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(yr.at(0, 3), 3.0f);
+  LeakyReLU leaky(0.3f);
+  const Mat yl = leaky.forward(x, false);
+  EXPECT_FLOAT_EQ(yl.at(0, 0), -0.6f);
+  EXPECT_FLOAT_EQ(yl.at(0, 1), -0.15f);
+  EXPECT_FLOAT_EQ(yl.at(0, 3), 3.0f);
+}
+
+TEST(Activations, TanhSigmoidRange) {
+  Xoshiro256 rng(4);
+  Mat x(2, 16);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.next_gaussian() * 3);
+  }
+  Tanh tanh_layer;
+  Sigmoid sig;
+  const Mat yt = tanh_layer.forward(x, false);
+  const Mat ys = sig.forward(x, false);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_GE(yt.data()[i], -1.0f);
+    EXPECT_LE(yt.data()[i], 1.0f);
+    EXPECT_GE(ys.data()[i], 0.0f);
+    EXPECT_LE(ys.data()[i], 1.0f);
+  }
+}
+
+TEST(Conv1D, ShapeAndParams) {
+  Xoshiro256 rng(5);
+  Conv1D conv(128, 1, 32, 3, rng);
+  EXPECT_EQ(conv.output_size(128), 128u * 32u);
+  EXPECT_EQ(conv.param_count(), 3u * 1u * 32u + 32u);
+  EXPECT_THROW(Conv1D(128, 1, 32, 4, rng), std::invalid_argument);
+}
+
+TEST(Conv1D, IdentityKernelPassesThrough) {
+  // kernel 1, one channel, weight 1, bias 0 must be the identity.
+  Xoshiro256 rng(6);
+  Conv1D conv(8, 1, 1, 1, rng);
+  auto params = conv.params();
+  params[0].value[0] = 1.0f;  // single weight
+  params[1].value[0] = 0.0f;  // single bias
+  Mat x(2, 8);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = static_cast<float>(i);
+  const Mat y = conv.forward(x, false);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+TEST(Conv1D, SamePaddingZeroesOutside) {
+  // kernel 3 averaging filter: the border positions see one zero pad.
+  Xoshiro256 rng(7);
+  Conv1D conv(4, 1, 1, 3, rng);
+  auto params = conv.params();
+  for (int k = 0; k < 3; ++k) params[0].value[k] = 1.0f;
+  params[1].value[0] = 0.0f;
+  Mat x(1, 4);
+  x.fill(1.0f);
+  const Mat y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.0f);  // left edge: pad + 2 ones
+  EXPECT_FLOAT_EQ(y.at(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 3), 2.0f);
+}
+
+TEST(GlobalMaxPool, PicksPerChannelMax) {
+  GlobalMaxPool1D pool(3, 2);
+  Mat x(1, 6);
+  // positions p0=(1, 10), p1=(5, 2), p2=(3, 7)
+  float vals[] = {1, 10, 5, 2, 3, 7};
+  std::copy(vals, vals + 6, x.data());
+  const Mat y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 10.0f);
+}
+
+TEST(Lstm, ShapeAndParamCount) {
+  Xoshiro256 rng(8);
+  LSTM lstm(16, 8, 256, rng);
+  EXPECT_EQ(lstm.output_size(128), 256u);
+  // Keras LSTM: 4 * ((F + H) * H + H).
+  EXPECT_EQ(lstm.param_count(), 4u * ((8u + 256u) * 256u + 256u));
+  Mat x(2, 128);
+  EXPECT_EQ(lstm.forward(x, false).cols(), 256u);
+}
+
+TEST(Lstm, ZeroInputZeroWeightsGivesZeroOutput) {
+  Xoshiro256 rng(9);
+  LSTM lstm(4, 2, 3, rng);
+  for (auto& p : lstm.params()) {
+    for (std::size_t i = 0; i < p.size; ++i) p.value[i] = 0.0f;
+  }
+  Mat x(1, 8);
+  const Mat y = lstm.forward(x, false);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y.data()[i], 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Loss
+// ---------------------------------------------------------------------------
+
+TEST(Loss, SoftmaxRowsSumToOne) {
+  Xoshiro256 rng(10);
+  Mat z(5, 7);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z.data()[i] = static_cast<float>(rng.next_gaussian() * 10);
+  }
+  const Mat p = softmax(z);
+  for (std::size_t r = 0; r < 5; ++r) {
+    float s = 0.0f;
+    for (std::size_t c = 0; c < 7; ++c) s += p.at(r, c);
+    EXPECT_NEAR(s, 1.0f, 1e-5);
+  }
+}
+
+TEST(Loss, UniformLogitsGiveLogC) {
+  Mat z(3, 4);
+  const LossResult lr = softmax_cross_entropy(z, {0, 1, 2});
+  EXPECT_NEAR(lr.loss, std::log(4.0), 1e-6);
+}
+
+TEST(Loss, PerfectPredictionLowLoss) {
+  Mat z(2, 2);
+  z.at(0, 0) = 20.0f;
+  z.at(1, 1) = 20.0f;
+  const LossResult lr = softmax_cross_entropy(z, {0, 1});
+  EXPECT_LT(lr.loss, 1e-3);
+  EXPECT_DOUBLE_EQ(lr.accuracy, 1.0);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow) {
+  Xoshiro256 rng(11);
+  Mat z(4, 5);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z.data()[i] = static_cast<float>(rng.next_gaussian());
+  }
+  const LossResult lr = softmax_cross_entropy(z, {0, 4, 2, 1});
+  for (std::size_t r = 0; r < 4; ++r) {
+    float s = 0.0f;
+    for (std::size_t c = 0; c < 5; ++c) s += lr.dlogits.at(r, c);
+    EXPECT_NEAR(s, 0.0f, 1e-6);
+  }
+}
+
+TEST(Loss, NumericallyStableForHugeLogits) {
+  Mat z(1, 2);
+  z.at(0, 0) = 10000.0f;
+  z.at(0, 1) = -10000.0f;
+  const LossResult lr = softmax_cross_entropy(z, {0});
+  EXPECT_TRUE(std::isfinite(lr.loss));
+  EXPECT_LT(lr.loss, 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 parameter counts
+// ---------------------------------------------------------------------------
+
+TEST(ArchZoo, MlpParamCountsMatchPaperExactly) {
+  Xoshiro256 rng(12);
+  const std::vector<std::pair<std::string, std::size_t>> expected = {
+      {"MLP I", 226633},  {"MLP II", 150658},   {"MLP IV", 90818},
+      {"MLP V", 150658},
+  };
+  for (const auto& [name, count] : expected) {
+    auto model = mldist::core::build_architecture(name, 128, 2, rng);
+    EXPECT_EQ(model->param_count(), count) << name;
+  }
+}
+
+TEST(ArchZoo, Mlp3ParamCountOffByPaperTypo) {
+  // The paper prints 1,200,256; exact Keras accounting gives 1,200,258
+  // (documented in DESIGN.md).
+  Xoshiro256 rng(13);
+  auto model = mldist::core::build_architecture("MLP III", 128, 2, rng);
+  EXPECT_EQ(model->param_count(), 1200258u);
+}
+
+TEST(ArchZoo, AllTenArchitecturesBuildAndForward) {
+  Xoshiro256 rng(14);
+  Mat x(2, 128);
+  for (const auto& info : mldist::core::table3_architectures()) {
+    auto model = mldist::core::build_architecture(info.name, 128, 2, rng);
+    const Mat y = model->forward(x);
+    EXPECT_EQ(y.rows(), 2u) << info.name;
+    EXPECT_EQ(y.cols(), 2u) << info.name;
+    EXPECT_GT(model->param_count(), 0u) << info.name;
+  }
+}
+
+TEST(ArchZoo, UnknownNameThrows) {
+  Xoshiro256 rng(15);
+  EXPECT_THROW((void)mldist::core::build_architecture("MLP X", 128, 2, rng),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, RoundTripRestoresPredictions) {
+  Xoshiro256 rng(16);
+  auto model = mldist::core::build_default_mlp(32, 2, rng);
+  Mat x(4, 32);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.next_double());
+  }
+  const Mat before = model->forward(x);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mldist_test_model.nnb").string();
+  save_params(*model, path);
+
+  Xoshiro256 rng2(999);  // different init
+  auto model2 = mldist::core::build_default_mlp(32, 2, rng2);
+  load_params(*model2, path);
+  const Mat after = model2->forward(x);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(before.data()[i], after.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ShapeMismatchRejected) {
+  Xoshiro256 rng(17);
+  auto model = mldist::core::build_default_mlp(32, 2, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mldist_test_model2.nnb").string();
+  save_params(*model, path);
+  auto other = mldist::core::build_default_mlp(64, 2, rng);
+  EXPECT_THROW(load_params(*other, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileRejected) {
+  Xoshiro256 rng(18);
+  auto model = mldist::core::build_default_mlp(8, 2, rng);
+  EXPECT_THROW(load_params(*model, "/nonexistent/dir/model.nnb"),
+               std::runtime_error);
+}
+
+
+// ---------------------------------------------------------------------------
+// Optimizer numerics
+// ---------------------------------------------------------------------------
+
+TEST(Optimizers, SgdStepIsExact) {
+  float w[2] = {1.0f, -2.0f};
+  float g[2] = {0.5f, 0.25f};
+  mldist::nn::SGD sgd(0.1f);
+  sgd.attach({{w, g, 2}});
+  sgd.step();
+  EXPECT_FLOAT_EQ(w[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(w[1], -2.0f - 0.1f * 0.25f);
+  EXPECT_FLOAT_EQ(g[0], 0.0f);  // gradients zeroed after the step
+  EXPECT_FLOAT_EQ(g[1], 0.0f);
+}
+
+TEST(Optimizers, AdamFirstStepSizeIsLearningRate) {
+  // With bias correction, the first Adam update moves each parameter by
+  // ~lr * sign(grad) regardless of gradient magnitude.
+  float w[2] = {0.0f, 0.0f};
+  float g[2] = {0.3f, -800.0f};
+  mldist::nn::Adam adam(0.001f);
+  adam.attach({{w, g, 2}});
+  adam.step();
+  EXPECT_NEAR(w[0], -0.001f, 1e-5);
+  EXPECT_NEAR(w[1], 0.001f, 1e-5);
+}
+
+TEST(Optimizers, AdamStateSurvivesAcrossSteps) {
+  float w[1] = {0.0f};
+  float g[1] = {1.0f};
+  mldist::nn::Adam adam(0.01f);
+  adam.attach({{w, g, 1}});
+  adam.step();
+  const float after_one = w[0];
+  g[0] = 1.0f;
+  adam.step();
+  // Momentum keeps pushing in the same direction.
+  EXPECT_LT(w[0], after_one);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel matmul path
+// ---------------------------------------------------------------------------
+
+TEST(Mat, LargeMatmulMatchesNaiveReference) {
+  // Big enough to trip the thread-pool path; checked against a serial
+  // reference accumulation, which must agree bitwise (same per-element
+  // accumulation order).
+  Xoshiro256 rng(77);
+  const std::size_t m = 64, k = 96, n = 128;
+  Mat a(m, k), b(k, n);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.next_gaussian());
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>(rng.next_gaussian());
+  }
+  Mat got;
+  matmul(a, b, got);
+  for (std::size_t i = 0; i < m; i += 7) {
+    for (std::size_t j = 0; j < n; j += 11) {
+      float ref = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) ref += a.at(i, kk) * b.at(kk, j);
+      EXPECT_NEAR(got.at(i, j), ref, 1e-3f);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/linear_baseline.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mldist::nn;
+using mldist::util::Xoshiro256;
+
+Dataset make_xor_dataset(std::size_t copies) {
+  Dataset ds;
+  ds.x = Mat(4 * copies, 2);
+  ds.y.resize(4 * copies);
+  const float inputs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const int labels[4] = {0, 1, 1, 0};
+  for (std::size_t c = 0; c < copies; ++c) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      ds.x.at(4 * c + i, 0) = inputs[i][0];
+      ds.x.at(4 * c + i, 1) = inputs[i][1];
+      ds.y[4 * c + i] = labels[i];
+    }
+  }
+  return ds;
+}
+
+// The paper quotes [1]: "the simplest neural networks cannot even compute
+// XOR".  Our MLP with one hidden layer must learn XOR perfectly.
+TEST(Training, MlpLearnsXor) {
+  Xoshiro256 rng(1);
+  Sequential model;
+  model.add(std::make_unique<Dense>(2, 8, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(8, 2, rng));
+
+  const Dataset ds = make_xor_dataset(16);
+  Adam opt(0.01f);
+  FitOptions fit;
+  fit.epochs = 200;
+  fit.batch_size = 16;
+  const EpochStats stats = model.fit(ds, opt, fit);
+  EXPECT_DOUBLE_EQ(stats.train_accuracy, 1.0);
+  EXPECT_LT(stats.train_loss, 0.05);
+}
+
+// ...and a LINEAR model cannot (the quote is right about those).
+TEST(Training, LinearModelCannotLearnXor) {
+  Xoshiro256 rng(2);
+  Sequential model;
+  model.add(std::make_unique<Dense>(2, 2, rng));
+  const Dataset ds = make_xor_dataset(16);
+  Adam opt(0.01f);
+  FitOptions fit;
+  fit.epochs = 300;
+  fit.batch_size = 16;
+  const EpochStats stats = model.fit(ds, opt, fit);
+  EXPECT_LE(stats.train_accuracy, 0.80);
+}
+
+TEST(Training, OverfitsTinyRandomSet) {
+  // A sufficiently wide net must memorise 32 random samples.
+  Xoshiro256 rng(3);
+  Dataset ds;
+  ds.x = Mat(32, 16);
+  ds.y.resize(32);
+  for (std::size_t i = 0; i < ds.x.size(); ++i) {
+    ds.x.data()[i] = static_cast<float>(rng.next_gaussian());
+  }
+  for (auto& y : ds.y) y = static_cast<int>(rng.next_below(2));
+
+  Sequential model;
+  model.add(std::make_unique<Dense>(16, 64, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(64, 2, rng));
+  Adam opt(0.01f);
+  FitOptions fit;
+  fit.epochs = 200;
+  fit.batch_size = 8;
+  const EpochStats stats = model.fit(ds, opt, fit);
+  EXPECT_DOUBLE_EQ(stats.train_accuracy, 1.0);
+}
+
+TEST(Training, AdamBeatsSgdOnXorBudget) {
+  const Dataset ds = make_xor_dataset(16);
+  const auto train_with = [&](Optimizer& opt) {
+    Xoshiro256 rng(4);  // identical init for both runs
+    Sequential model;
+    model.add(std::make_unique<Dense>(2, 8, rng));
+    model.add(std::make_unique<ReLU>());
+    model.add(std::make_unique<Dense>(8, 2, rng));
+    FitOptions fit;
+    fit.epochs = 60;
+    fit.batch_size = 16;
+    return model.fit(ds, opt, fit).train_loss;
+  };
+  Adam adam(0.01f);
+  SGD sgd(0.01f);
+  EXPECT_LT(train_with(adam), train_with(sgd));
+}
+
+TEST(Training, ValidationTracksHeldOutData) {
+  Xoshiro256 rng(5);
+  const Dataset train = make_xor_dataset(8);
+  const Dataset val = make_xor_dataset(2);
+  Sequential model;
+  model.add(std::make_unique<Dense>(2, 8, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(8, 2, rng));
+  Adam opt(0.01f);
+  FitOptions fit;
+  fit.epochs = 200;
+  fit.batch_size = 8;
+  fit.validation = &val;
+  const EpochStats stats = model.fit(train, opt, fit);
+  EXPECT_DOUBLE_EQ(stats.val_accuracy, 1.0);
+  EXPECT_FALSE(std::isnan(stats.val_loss));
+}
+
+TEST(Training, NoValidationReportsNan) {
+  Xoshiro256 rng(6);
+  Sequential model;
+  model.add(std::make_unique<Dense>(2, 2, rng));
+  Adam opt;
+  FitOptions fit;
+  fit.epochs = 1;
+  const EpochStats stats = model.fit(make_xor_dataset(4), opt, fit);
+  EXPECT_TRUE(std::isnan(stats.val_loss));
+}
+
+TEST(Training, EpochCallbackFires) {
+  Xoshiro256 rng(7);
+  Sequential model;
+  model.add(std::make_unique<Dense>(2, 2, rng));
+  Adam opt;
+  FitOptions fit;
+  fit.epochs = 5;
+  int calls = 0;
+  fit.on_epoch = [&](const EpochStats& s) {
+    ++calls;
+    EXPECT_EQ(s.epoch, calls);
+  };
+  (void)model.fit(make_xor_dataset(4), opt, fit);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(Training, DeterministicGivenSeeds) {
+  const auto run = [] {
+    Xoshiro256 rng(8);
+    Sequential model;
+    model.add(std::make_unique<Dense>(2, 8, rng));
+    model.add(std::make_unique<ReLU>());
+    model.add(std::make_unique<Dense>(8, 2, rng));
+    Adam opt(0.01f);
+    FitOptions fit;
+    fit.epochs = 30;
+    fit.batch_size = 8;
+    fit.shuffle_seed = 0x1234;
+    return model.fit(make_xor_dataset(8), opt, fit).train_loss;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(Training, PredictMatchesEvaluateAccuracy) {
+  Xoshiro256 rng(9);
+  Sequential model;
+  model.add(std::make_unique<Dense>(2, 8, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(8, 2, rng));
+  const Dataset ds = make_xor_dataset(4);
+  Adam opt(0.01f);
+  FitOptions fit;
+  fit.epochs = 100;
+  fit.batch_size = 4;
+  (void)model.fit(ds, opt, fit);
+  const auto pred = model.predict(ds.x);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == ds.y[i]) ++hits;
+  }
+  const EvalResult ev = model.evaluate(ds);
+  EXPECT_DOUBLE_EQ(ev.accuracy,
+                   static_cast<double>(hits) / static_cast<double>(pred.size()));
+}
+
+TEST(Training, PredictProbaRowsSumToOne) {
+  Xoshiro256 rng(10);
+  Sequential model;
+  model.add(std::make_unique<Dense>(2, 4, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(4, 3, rng));
+  Mat x(5, 2);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.next_double());
+  }
+  const Mat p = model.predict_proba(x);
+  for (std::size_t r = 0; r < 5; ++r) {
+    float s = 0.0f;
+    for (std::size_t c = 0; c < 3; ++c) s += p.at(r, c);
+    EXPECT_NEAR(s, 1.0f, 1e-5);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Linear SVM baseline
+// ---------------------------------------------------------------------------
+
+TEST(LinearSvm, LearnsLinearlySeparableData) {
+  Xoshiro256 rng(11);
+  Dataset ds;
+  ds.x = Mat(200, 4);
+  ds.y.resize(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const int label = static_cast<int>(rng.next_below(2));
+    for (std::size_t j = 0; j < 4; ++j) {
+      ds.x.at(i, j) = static_cast<float>(rng.next_gaussian()) +
+                      (label == 1 ? 2.0f : -2.0f);
+    }
+    ds.y[i] = label;
+  }
+  mldist::core::LinearSvm svm(4, 2);
+  const double acc = svm.fit(ds, {});
+  EXPECT_GT(acc, 0.97);
+  EXPECT_GT(svm.accuracy(ds), 0.97);
+}
+
+TEST(LinearSvm, CannotLearnXor) {
+  const Dataset ds = make_xor_dataset(32);
+  mldist::core::LinearSvm svm(2, 2);
+  const double acc = svm.fit(ds, {});
+  EXPECT_LE(acc, 0.8);
+}
+
+TEST(LinearSvm, MulticlassSeparation) {
+  Xoshiro256 rng(12);
+  Dataset ds;
+  ds.x = Mat(300, 2);
+  ds.y.resize(300);
+  const float centers[3][2] = {{4, 0}, {-4, 4}, {-4, -4}};
+  for (std::size_t i = 0; i < 300; ++i) {
+    const int label = static_cast<int>(i % 3);
+    ds.x.at(i, 0) = centers[label][0] + static_cast<float>(rng.next_gaussian());
+    ds.x.at(i, 1) = centers[label][1] + static_cast<float>(rng.next_gaussian());
+    ds.y[i] = label;
+  }
+  mldist::core::LinearSvm svm(2, 3);
+  const double acc = svm.fit(ds, {});
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(LinearSvm, ParamCount) {
+  mldist::core::LinearSvm svm(128, 2);
+  EXPECT_EQ(svm.param_count(), 128u * 2u + 2u);
+}
+
+}  // namespace

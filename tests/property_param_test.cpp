@@ -1,0 +1,237 @@
+// Parameterized property suites: the same invariant checked across a sweep
+// of configurations (round windows, message shapes, targets).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "ciphers/gimli.hpp"
+#include "ciphers/gimli_aead.hpp"
+#include "ciphers/gimli_hash.hpp"
+#include "ciphers/speck3264.hpp"
+#include "core/dataset.hpp"
+#include "core/targets.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mldist;
+using ciphers::GimliState;
+using mldist::util::Xoshiro256;
+
+// ---------------------------------------------------------------------------
+// Gimli round windows: inverse composes to the identity for EVERY window.
+// ---------------------------------------------------------------------------
+
+class GimliWindowP : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GimliWindowP, InverseRoundTrips) {
+  const auto [hi, lo] = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(hi * 100 + lo));
+  for (int trial = 0; trial < 10; ++trial) {
+    GimliState s;
+    for (auto& w : s) w = rng.next_u32();
+    const GimliState orig = s;
+    ciphers::gimli_rounds(s, hi, lo);
+    ciphers::gimli_rounds_inverse(s, hi, lo);
+    EXPECT_EQ(s, orig);
+  }
+}
+
+TEST_P(GimliWindowP, PermutesInjectively) {
+  const auto [hi, lo] = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(hi * 7 + lo));
+  GimliState a;
+  for (auto& w : a) w = rng.next_u32();
+  GimliState b = a;
+  b[5] ^= 0x40u;
+  ciphers::gimli_rounds(a, hi, lo);
+  ciphers::gimli_rounds(b, hi, lo);
+  EXPECT_NE(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWindows, GimliWindowP,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 1}, std::pair{4, 1},
+                      std::pair{8, 1}, std::pair{24, 1}, std::pair{24, 17},
+                      std::pair{16, 9}, std::pair{13, 2}, std::pair{4, 4},
+                      std::pair{23, 20}));
+
+// ---------------------------------------------------------------------------
+// Gimli-Hash: fixed digest shape and collision-freedom across lengths.
+// ---------------------------------------------------------------------------
+
+class GimliHashLengthP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GimliHashLengthP, DigestShapeAndDeterminism) {
+  const std::size_t len = GetParam();
+  Xoshiro256 rng(len + 1);
+  const auto msg = rng.bytes(len);
+  const auto d1 = ciphers::gimli_hash(msg);
+  const auto d2 = ciphers::gimli_hash(msg);
+  EXPECT_EQ(d1.size(), 32u);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST_P(GimliHashLengthP, SingleBitFlipChangesDigest) {
+  const std::size_t len = GetParam();
+  if (len == 0) GTEST_SKIP();
+  Xoshiro256 rng(len + 2);
+  auto msg = rng.bytes(len);
+  const auto d1 = ciphers::gimli_hash(msg);
+  msg[len / 2] ^= 0x01;
+  EXPECT_NE(ciphers::gimli_hash(msg), d1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, GimliHashLengthP,
+                         ::testing::Values(0u, 1u, 7u, 15u, 16u, 17u, 31u,
+                                           32u, 33u, 64u, 127u, 128u, 1000u));
+
+// ---------------------------------------------------------------------------
+// Gimli-Cipher AEAD: round trip + tamper rejection across message/AD shapes.
+// ---------------------------------------------------------------------------
+
+class AeadShapeP
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(AeadShapeP, RoundTripAndTamperRejection) {
+  const auto [mlen, adlen] = GetParam();
+  Xoshiro256 rng(mlen * 131 + adlen);
+  std::array<std::uint8_t, ciphers::kGimliAeadKeyBytes> key;
+  rng.fill_bytes(key.data(), key.size());
+  std::array<std::uint8_t, ciphers::kGimliAeadNonceBytes> nonce;
+  rng.fill_bytes(nonce.data(), nonce.size());
+  const auto ad = rng.bytes(adlen);
+  const auto msg = rng.bytes(mlen);
+
+  const auto key_span =
+      std::span<const std::uint8_t, ciphers::kGimliAeadKeyBytes>(key);
+  const auto nonce_span =
+      std::span<const std::uint8_t, ciphers::kGimliAeadNonceBytes>(nonce);
+
+  auto enc = ciphers::gimli_aead_encrypt(key_span, nonce_span, ad, msg);
+  const auto dec = ciphers::gimli_aead_decrypt(key_span, nonce_span, ad,
+                                               enc.ciphertext, enc.tag);
+  ASSERT_TRUE(dec.ok);
+  EXPECT_EQ(dec.plaintext, msg);
+
+  if (mlen > 0) {
+    enc.ciphertext[mlen / 2] ^= 0x01;
+    EXPECT_FALSE(ciphers::gimli_aead_decrypt(key_span, nonce_span, ad,
+                                             enc.ciphertext, enc.tag)
+                     .ok);
+    enc.ciphertext[mlen / 2] ^= 0x01;
+  }
+  enc.tag[7] ^= 0x10;
+  EXPECT_FALSE(ciphers::gimli_aead_decrypt(key_span, nonce_span, ad,
+                                           enc.ciphertext, enc.tag)
+                   .ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AeadShapeP,
+    ::testing::Combine(::testing::Values(0u, 1u, 15u, 16u, 17u, 48u),
+                       ::testing::Values(0u, 1u, 15u, 16u, 32u)));
+
+// ---------------------------------------------------------------------------
+// SPECK: encrypt/decrypt inversion at every round count.
+// ---------------------------------------------------------------------------
+
+class SpeckRoundsP : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpeckRoundsP, RoundTripsForRandomKeys) {
+  const int rounds = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(rounds) + 77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::array<std::uint16_t, 4> key = {
+        static_cast<std::uint16_t>(rng.next_u32()),
+        static_cast<std::uint16_t>(rng.next_u32()),
+        static_cast<std::uint16_t>(rng.next_u32()),
+        static_cast<std::uint16_t>(rng.next_u32())};
+    const ciphers::Speck3264 cipher(key);
+    const auto p = ciphers::SpeckBlock::from_u32(rng.next_u32());
+    EXPECT_EQ(cipher.decrypt(cipher.encrypt(p, rounds), rounds), p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, SpeckRoundsP,
+                         ::testing::Range(0, 23));
+
+// ---------------------------------------------------------------------------
+// Every Target type: sampled differences have the declared shape, nonzero
+// content, and the dataset builder labels them correctly.
+// ---------------------------------------------------------------------------
+
+using TargetFactory = std::unique_ptr<core::Target> (*)();
+
+class TargetContractP : public ::testing::TestWithParam<TargetFactory> {};
+
+TEST_P(TargetContractP, SamplesHaveDeclaredShape) {
+  const auto target = GetParam()();
+  Xoshiro256 rng(3);
+  std::vector<std::vector<std::uint8_t>> diffs;
+  for (int trial = 0; trial < 5; ++trial) {
+    target->sample(rng, diffs);
+    ASSERT_EQ(diffs.size(), target->num_differences());
+    for (const auto& d : diffs) EXPECT_EQ(d.size(), target->output_bytes());
+  }
+}
+
+TEST_P(TargetContractP, DatasetLabelsCycleThroughClasses) {
+  const auto target = GetParam()();
+  Xoshiro256 rng(4);
+  const auto ds = core::collect_dataset(*target, 6, rng);
+  const std::size_t t = target->num_differences();
+  ASSERT_EQ(ds.size(), 6 * t);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds.y[i], static_cast<int>(i % t));
+  }
+  for (std::size_t i = 0; i < ds.x.size(); ++i) {
+    EXPECT_TRUE(ds.x.data()[i] == 0.0f || ds.x.data()[i] == 1.0f);
+  }
+}
+
+TEST_P(TargetContractP, SamplingIsDeterministicPerSeed) {
+  const auto t1 = GetParam()();
+  const auto t2 = GetParam()();
+  Xoshiro256 r1(9);
+  Xoshiro256 r2(9);
+  std::vector<std::vector<std::uint8_t>> d1;
+  std::vector<std::vector<std::uint8_t>> d2;
+  t1->sample(r1, d1);
+  t2->sample(r2, d2);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST_P(TargetContractP, HasNonEmptyName) {
+  EXPECT_FALSE(GetParam()()->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTargets, TargetContractP,
+    ::testing::Values(
+        +[]() -> std::unique_ptr<core::Target> {
+          return std::make_unique<core::GimliHashTarget>(6);
+        },
+        +[]() -> std::unique_ptr<core::Target> {
+          return std::make_unique<core::GimliCipherTarget>(6);
+        },
+        +[]() -> std::unique_ptr<core::Target> {
+          return std::make_unique<core::GimliCipherTarget>(6,
+                                                           std::vector<std::size_t>{4, 12},
+                                                           /*split_rounds=*/true);
+        },
+        +[]() -> std::unique_ptr<core::Target> {
+          return std::make_unique<core::SpeckTarget>(5);
+        },
+        +[]() -> std::unique_ptr<core::Target> {
+          return std::make_unique<core::Gift64Target>(4);
+        },
+        +[]() -> std::unique_ptr<core::Target> {
+          return std::make_unique<core::SalsaTarget>(4);
+        },
+        +[]() -> std::unique_ptr<core::Target> {
+          return std::make_unique<core::TriviumTarget>(288);
+        }));
+
+}  // namespace

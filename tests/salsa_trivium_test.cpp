@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ciphers/salsa20.hpp"
+#include "ciphers/trivium.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mldist::ciphers;
+using mldist::util::Xoshiro256;
+
+// ---------------------------------------------------------------------------
+// Salsa20
+// ---------------------------------------------------------------------------
+
+TEST(Salsa, QuarterroundZeroFixedPoint) {
+  std::uint32_t a = 0, b = 0, c = 0, d = 0;
+  salsa_quarterround(a, b, c, d);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 0u);
+  EXPECT_EQ(c, 0u);
+  EXPECT_EQ(d, 0u);
+}
+
+TEST(Salsa, QuarterroundSpecVector) {
+  // From the Salsa20 specification, §3 (quarterround examples):
+  // quarterround(0x00000001, 0, 0, 0)
+  //   = (0x08008145, 0x00000080, 0x00010200, 0x20500000).
+  std::uint32_t a = 1, b = 0, c = 0, d = 0;
+  salsa_quarterround(a, b, c, d);
+  EXPECT_EQ(a, 0x08008145u);
+  EXPECT_EQ(b, 0x00000080u);
+  EXPECT_EQ(c, 0x00010200u);
+  EXPECT_EQ(d, 0x20500000u);
+}
+
+TEST(Salsa, RoundsAreDeterministic) {
+  Xoshiro256 rng(1);
+  SalsaState s;
+  for (auto& w : s) w = rng.next_u32();
+  SalsaState a = s;
+  SalsaState b = s;
+  salsa20_rounds(a, 8);
+  salsa20_rounds(b, 8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Salsa, ZeroRoundsIsIdentityForRounds) {
+  SalsaState s{};
+  s[3] = 42;
+  SalsaState t = s;
+  salsa20_rounds(t, 0);
+  EXPECT_EQ(t, s);
+}
+
+TEST(Salsa, CoreFeedForwardOnZeroRounds) {
+  // With 0 rounds the core degenerates to doubling every word.
+  SalsaState s;
+  for (std::size_t i = 0; i < 16; ++i) s[i] = static_cast<std::uint32_t>(i + 1);
+  const SalsaState out = salsa20_core(s, 0);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(out[i], 2 * s[i]);
+}
+
+TEST(Salsa, CoreAvalancheAtTwentyRounds) {
+  Xoshiro256 rng(2);
+  SalsaState s;
+  for (auto& w : s) w = rng.next_u32();
+  SalsaState s2 = s;
+  s2[6] ^= 1u;
+  const SalsaState o1 = salsa20_core(s, 20);
+  const SalsaState o2 = salsa20_core(s2, 20);
+  int flipped = 0;
+  for (int i = 0; i < 16; ++i) flipped += __builtin_popcount(o1[i] ^ o2[i]);
+  EXPECT_GT(flipped, 200);
+  EXPECT_LT(flipped, 312);
+}
+
+TEST(Salsa, LowRoundCoreLeavesStructure) {
+  // After a single round a difference in word 6 cannot have reached every
+  // word — the non-Markov structure the distinguisher exploits.
+  SalsaState s{};
+  SalsaState s2 = s;
+  s2[6] ^= 1u;
+  const SalsaState o1 = salsa20_core(s, 1);
+  const SalsaState o2 = salsa20_core(s2, 1);
+  int untouched = 0;
+  for (int i = 0; i < 16; ++i) {
+    if ((o1[i] ^ o2[i]) == (i == 6 ? 1u : 0u)) ++untouched;
+  }
+  EXPECT_GT(untouched, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Trivium
+// ---------------------------------------------------------------------------
+
+TEST(Trivium, Deterministic) {
+  const std::array<std::uint8_t, 10> key{};
+  const std::array<std::uint8_t, 10> iv{};
+  Trivium a(key, iv);
+  Trivium b(key, iv);
+  EXPECT_EQ(a.keystream(64), b.keystream(64));
+}
+
+TEST(Trivium, KeySensitivity) {
+  const std::array<std::uint8_t, 10> iv{};
+  std::array<std::uint8_t, 10> k1{};
+  std::array<std::uint8_t, 10> k2{};
+  k2[9] = 1;
+  Trivium a(k1, iv);
+  Trivium b(k2, iv);
+  EXPECT_NE(a.keystream(64), b.keystream(64));
+}
+
+TEST(Trivium, IvSensitivity) {
+  const std::array<std::uint8_t, 10> key{};
+  std::array<std::uint8_t, 10> iv1{};
+  std::array<std::uint8_t, 10> iv2{};
+  iv2[0] = 0x80;
+  Trivium a(key, iv1);
+  Trivium b(key, iv2);
+  EXPECT_NE(a.keystream(64), b.keystream(64));
+}
+
+TEST(Trivium, KeystreamIsBalancedAtFullInit) {
+  Xoshiro256 rng(3);
+  std::array<std::uint8_t, 10> key;
+  std::array<std::uint8_t, 10> iv;
+  rng.fill_bytes(key.data(), key.size());
+  rng.fill_bytes(iv.data(), iv.size());
+  Trivium t(key, iv);
+  const auto ks = t.keystream(1000);
+  int weight = 0;
+  for (auto b : ks) weight += __builtin_popcount(b);
+  EXPECT_NEAR(weight, 4000, 300);
+}
+
+TEST(Trivium, NextByteIsLsbFirstPackingOfBits) {
+  const std::array<std::uint8_t, 10> key{};
+  const std::array<std::uint8_t, 10> iv{};
+  Trivium bits(key, iv);
+  Trivium bytes(key, iv);
+  std::uint8_t expected = 0;
+  for (int i = 0; i < 8; ++i) {
+    expected |= static_cast<std::uint8_t>(bits.next_bit() << i);
+  }
+  EXPECT_EQ(bytes.next_byte(), expected);
+}
+
+TEST(Trivium, ReducedInitIsNotRandomLooking) {
+  // With very few initialisation clocks, flipping one IV bit leaves most of
+  // the keystream difference zero (slow diffusion) — the property the
+  // extension experiments use.
+  const std::array<std::uint8_t, 10> key{};
+  std::array<std::uint8_t, 10> iv1{};
+  std::array<std::uint8_t, 10> iv2{};
+  iv2[0] = 0x80;
+  Trivium a(key, iv1, /*init_clocks=*/100);
+  Trivium b(key, iv2, /*init_clocks=*/100);
+  const auto ka = a.keystream(16);
+  const auto kb = b.keystream(16);
+  int diff_weight = 0;
+  for (std::size_t i = 0; i < ka.size(); ++i) {
+    diff_weight += __builtin_popcount(static_cast<unsigned>(ka[i] ^ kb[i]));
+  }
+  EXPECT_LT(diff_weight, 40);  // far from the ~64 of random data
+}
+
+TEST(Trivium, FullInitDiffusesIvDifference) {
+  const std::array<std::uint8_t, 10> key{};
+  std::array<std::uint8_t, 10> iv1{};
+  std::array<std::uint8_t, 10> iv2{};
+  iv2[0] = 0x80;
+  Trivium a(key, iv1);
+  Trivium b(key, iv2);
+  const auto ka = a.keystream(64);
+  const auto kb = b.keystream(64);
+  int diff_weight = 0;
+  for (std::size_t i = 0; i < ka.size(); ++i) {
+    diff_weight += __builtin_popcount(static_cast<unsigned>(ka[i] ^ kb[i]));
+  }
+  EXPECT_NEAR(diff_weight, 256, 80);
+}
+
+}  // namespace

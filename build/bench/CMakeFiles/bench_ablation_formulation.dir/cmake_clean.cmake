@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_formulation.dir/ablation_formulation.cpp.o"
+  "CMakeFiles/bench_ablation_formulation.dir/ablation_formulation.cpp.o.d"
+  "bench_ablation_formulation"
+  "bench_ablation_formulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_formulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_position.dir/ablation_position.cpp.o"
+  "CMakeFiles/bench_ablation_position.dir/ablation_position.cpp.o.d"
+  "bench_ablation_position"
+  "bench_ablation_position.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_position.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_t.dir/ablation_t.cpp.o"
+  "CMakeFiles/bench_ablation_t.dir/ablation_t.cpp.o.d"
+  "bench_ablation_t"
+  "bench_ablation_t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_ciphers.cpp" "bench/CMakeFiles/bench_ext_ciphers.dir/ext_ciphers.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_ciphers.dir/ext_ciphers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mldist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mldist_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mldist_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ciphers/CMakeFiles/mldist_ciphers.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mldist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ciphers.dir/ext_ciphers.cpp.o"
+  "CMakeFiles/bench_ext_ciphers.dir/ext_ciphers.cpp.o.d"
+  "bench_ext_ciphers"
+  "bench_ext_ciphers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ciphers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gohrnet.dir/ext_gohrnet.cpp.o"
+  "CMakeFiles/bench_ext_gohrnet.dir/ext_gohrnet.cpp.o.d"
+  "bench_ext_gohrnet"
+  "bench_ext_gohrnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gohrnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_keyrecovery.dir/ext_keyrecovery.cpp.o"
+  "CMakeFiles/bench_ext_keyrecovery.dir/ext_keyrecovery.cpp.o.d"
+  "bench_ext_keyrecovery"
+  "bench_ext_keyrecovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_keyrecovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_toy_gift.dir/fig1_toy_gift.cpp.o"
+  "CMakeFiles/bench_fig1_toy_gift.dir/fig1_toy_gift.cpp.o.d"
+  "bench_fig1_toy_gift"
+  "bench_fig1_toy_gift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_toy_gift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gohr_speck.dir/gohr_speck.cpp.o"
+  "CMakeFiles/bench_gohr_speck.dir/gohr_speck.cpp.o.d"
+  "bench_gohr_speck"
+  "bench_gohr_speck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gohr_speck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_gohr_speck.
+# This may be replaced when dependencies are built.

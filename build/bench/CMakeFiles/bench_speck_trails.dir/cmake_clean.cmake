@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speck_trails.dir/speck_trails.cpp.o"
+  "CMakeFiles/bench_speck_trails.dir/speck_trails.cpp.o.d"
+  "bench_speck_trails"
+  "bench_speck_trails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speck_trails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_trails.dir/table1_trails.cpp.o"
+  "CMakeFiles/bench_table1_trails.dir/table1_trails.cpp.o.d"
+  "bench_table1_trails"
+  "bench_table1_trails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_trails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_archsearch.dir/table3_archsearch.cpp.o"
+  "CMakeFiles/bench_table3_archsearch.dir/table3_archsearch.cpp.o.d"
+  "bench_table3_archsearch"
+  "bench_table3_archsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_archsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_distinguisher.dir/hash_distinguisher.cpp.o"
+  "CMakeFiles/hash_distinguisher.dir/hash_distinguisher.cpp.o.d"
+  "hash_distinguisher"
+  "hash_distinguisher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_distinguisher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

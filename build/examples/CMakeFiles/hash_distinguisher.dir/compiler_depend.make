@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hash_distinguisher.
+# This may be replaced when dependencies are built.

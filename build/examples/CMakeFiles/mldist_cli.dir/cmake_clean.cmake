@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mldist_cli.dir/mldist_cli.cpp.o"
+  "CMakeFiles/mldist_cli.dir/mldist_cli.cpp.o.d"
+  "mldist_cli"
+  "mldist_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mldist_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

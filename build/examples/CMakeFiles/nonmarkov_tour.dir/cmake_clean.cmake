@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonmarkov_tour.dir/nonmarkov_tour.cpp.o"
+  "CMakeFiles/nonmarkov_tour.dir/nonmarkov_tour.cpp.o.d"
+  "nonmarkov_tour"
+  "nonmarkov_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonmarkov_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_game.dir/oracle_game.cpp.o"
+  "CMakeFiles/oracle_game.dir/oracle_game.cpp.o.d"
+  "oracle_game"
+  "oracle_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

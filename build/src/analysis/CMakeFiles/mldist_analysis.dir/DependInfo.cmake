@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/allinone.cpp" "src/analysis/CMakeFiles/mldist_analysis.dir/allinone.cpp.o" "gcc" "src/analysis/CMakeFiles/mldist_analysis.dir/allinone.cpp.o.d"
+  "/root/repo/src/analysis/arx.cpp" "src/analysis/CMakeFiles/mldist_analysis.dir/arx.cpp.o" "gcc" "src/analysis/CMakeFiles/mldist_analysis.dir/arx.cpp.o.d"
+  "/root/repo/src/analysis/ddt.cpp" "src/analysis/CMakeFiles/mldist_analysis.dir/ddt.cpp.o" "gcc" "src/analysis/CMakeFiles/mldist_analysis.dir/ddt.cpp.o.d"
+  "/root/repo/src/analysis/markov.cpp" "src/analysis/CMakeFiles/mldist_analysis.dir/markov.cpp.o" "gcc" "src/analysis/CMakeFiles/mldist_analysis.dir/markov.cpp.o.d"
+  "/root/repo/src/analysis/speck_trails.cpp" "src/analysis/CMakeFiles/mldist_analysis.dir/speck_trails.cpp.o" "gcc" "src/analysis/CMakeFiles/mldist_analysis.dir/speck_trails.cpp.o.d"
+  "/root/repo/src/analysis/toy_gift.cpp" "src/analysis/CMakeFiles/mldist_analysis.dir/toy_gift.cpp.o" "gcc" "src/analysis/CMakeFiles/mldist_analysis.dir/toy_gift.cpp.o.d"
+  "/root/repo/src/analysis/trail_weights.cpp" "src/analysis/CMakeFiles/mldist_analysis.dir/trail_weights.cpp.o" "gcc" "src/analysis/CMakeFiles/mldist_analysis.dir/trail_weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mldist_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ciphers/CMakeFiles/mldist_ciphers.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

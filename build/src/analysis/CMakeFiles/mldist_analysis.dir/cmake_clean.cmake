@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mldist_analysis.dir/allinone.cpp.o"
+  "CMakeFiles/mldist_analysis.dir/allinone.cpp.o.d"
+  "CMakeFiles/mldist_analysis.dir/arx.cpp.o"
+  "CMakeFiles/mldist_analysis.dir/arx.cpp.o.d"
+  "CMakeFiles/mldist_analysis.dir/ddt.cpp.o"
+  "CMakeFiles/mldist_analysis.dir/ddt.cpp.o.d"
+  "CMakeFiles/mldist_analysis.dir/markov.cpp.o"
+  "CMakeFiles/mldist_analysis.dir/markov.cpp.o.d"
+  "CMakeFiles/mldist_analysis.dir/speck_trails.cpp.o"
+  "CMakeFiles/mldist_analysis.dir/speck_trails.cpp.o.d"
+  "CMakeFiles/mldist_analysis.dir/toy_gift.cpp.o"
+  "CMakeFiles/mldist_analysis.dir/toy_gift.cpp.o.d"
+  "CMakeFiles/mldist_analysis.dir/trail_weights.cpp.o"
+  "CMakeFiles/mldist_analysis.dir/trail_weights.cpp.o.d"
+  "libmldist_analysis.a"
+  "libmldist_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mldist_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ciphers/gift128.cpp" "src/ciphers/CMakeFiles/mldist_ciphers.dir/gift128.cpp.o" "gcc" "src/ciphers/CMakeFiles/mldist_ciphers.dir/gift128.cpp.o.d"
+  "/root/repo/src/ciphers/gift64.cpp" "src/ciphers/CMakeFiles/mldist_ciphers.dir/gift64.cpp.o" "gcc" "src/ciphers/CMakeFiles/mldist_ciphers.dir/gift64.cpp.o.d"
+  "/root/repo/src/ciphers/gift_toy.cpp" "src/ciphers/CMakeFiles/mldist_ciphers.dir/gift_toy.cpp.o" "gcc" "src/ciphers/CMakeFiles/mldist_ciphers.dir/gift_toy.cpp.o.d"
+  "/root/repo/src/ciphers/gimli.cpp" "src/ciphers/CMakeFiles/mldist_ciphers.dir/gimli.cpp.o" "gcc" "src/ciphers/CMakeFiles/mldist_ciphers.dir/gimli.cpp.o.d"
+  "/root/repo/src/ciphers/gimli_aead.cpp" "src/ciphers/CMakeFiles/mldist_ciphers.dir/gimli_aead.cpp.o" "gcc" "src/ciphers/CMakeFiles/mldist_ciphers.dir/gimli_aead.cpp.o.d"
+  "/root/repo/src/ciphers/gimli_hash.cpp" "src/ciphers/CMakeFiles/mldist_ciphers.dir/gimli_hash.cpp.o" "gcc" "src/ciphers/CMakeFiles/mldist_ciphers.dir/gimli_hash.cpp.o.d"
+  "/root/repo/src/ciphers/salsa20.cpp" "src/ciphers/CMakeFiles/mldist_ciphers.dir/salsa20.cpp.o" "gcc" "src/ciphers/CMakeFiles/mldist_ciphers.dir/salsa20.cpp.o.d"
+  "/root/repo/src/ciphers/speck3264.cpp" "src/ciphers/CMakeFiles/mldist_ciphers.dir/speck3264.cpp.o" "gcc" "src/ciphers/CMakeFiles/mldist_ciphers.dir/speck3264.cpp.o.d"
+  "/root/repo/src/ciphers/trivium.cpp" "src/ciphers/CMakeFiles/mldist_ciphers.dir/trivium.cpp.o" "gcc" "src/ciphers/CMakeFiles/mldist_ciphers.dir/trivium.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mldist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

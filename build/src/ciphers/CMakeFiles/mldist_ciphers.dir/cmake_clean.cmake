@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mldist_ciphers.dir/gift128.cpp.o"
+  "CMakeFiles/mldist_ciphers.dir/gift128.cpp.o.d"
+  "CMakeFiles/mldist_ciphers.dir/gift64.cpp.o"
+  "CMakeFiles/mldist_ciphers.dir/gift64.cpp.o.d"
+  "CMakeFiles/mldist_ciphers.dir/gift_toy.cpp.o"
+  "CMakeFiles/mldist_ciphers.dir/gift_toy.cpp.o.d"
+  "CMakeFiles/mldist_ciphers.dir/gimli.cpp.o"
+  "CMakeFiles/mldist_ciphers.dir/gimli.cpp.o.d"
+  "CMakeFiles/mldist_ciphers.dir/gimli_aead.cpp.o"
+  "CMakeFiles/mldist_ciphers.dir/gimli_aead.cpp.o.d"
+  "CMakeFiles/mldist_ciphers.dir/gimli_hash.cpp.o"
+  "CMakeFiles/mldist_ciphers.dir/gimli_hash.cpp.o.d"
+  "CMakeFiles/mldist_ciphers.dir/salsa20.cpp.o"
+  "CMakeFiles/mldist_ciphers.dir/salsa20.cpp.o.d"
+  "CMakeFiles/mldist_ciphers.dir/speck3264.cpp.o"
+  "CMakeFiles/mldist_ciphers.dir/speck3264.cpp.o.d"
+  "CMakeFiles/mldist_ciphers.dir/trivium.cpp.o"
+  "CMakeFiles/mldist_ciphers.dir/trivium.cpp.o.d"
+  "libmldist_ciphers.a"
+  "libmldist_ciphers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mldist_ciphers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arch_zoo.cpp" "src/core/CMakeFiles/mldist_core.dir/arch_zoo.cpp.o" "gcc" "src/core/CMakeFiles/mldist_core.dir/arch_zoo.cpp.o.d"
+  "/root/repo/src/core/combiner.cpp" "src/core/CMakeFiles/mldist_core.dir/combiner.cpp.o" "gcc" "src/core/CMakeFiles/mldist_core.dir/combiner.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/mldist_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/mldist_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/distinguisher.cpp" "src/core/CMakeFiles/mldist_core.dir/distinguisher.cpp.o" "gcc" "src/core/CMakeFiles/mldist_core.dir/distinguisher.cpp.o.d"
+  "/root/repo/src/core/key_recovery.cpp" "src/core/CMakeFiles/mldist_core.dir/key_recovery.cpp.o" "gcc" "src/core/CMakeFiles/mldist_core.dir/key_recovery.cpp.o.d"
+  "/root/repo/src/core/linear_baseline.cpp" "src/core/CMakeFiles/mldist_core.dir/linear_baseline.cpp.o" "gcc" "src/core/CMakeFiles/mldist_core.dir/linear_baseline.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/mldist_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/mldist_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/online_game.cpp" "src/core/CMakeFiles/mldist_core.dir/online_game.cpp.o" "gcc" "src/core/CMakeFiles/mldist_core.dir/online_game.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/mldist_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/mldist_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/real_random.cpp" "src/core/CMakeFiles/mldist_core.dir/real_random.cpp.o" "gcc" "src/core/CMakeFiles/mldist_core.dir/real_random.cpp.o.d"
+  "/root/repo/src/core/targets.cpp" "src/core/CMakeFiles/mldist_core.dir/targets.cpp.o" "gcc" "src/core/CMakeFiles/mldist_core.dir/targets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mldist_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ciphers/CMakeFiles/mldist_ciphers.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mldist_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

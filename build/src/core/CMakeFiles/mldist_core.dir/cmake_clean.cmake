@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mldist_core.dir/arch_zoo.cpp.o"
+  "CMakeFiles/mldist_core.dir/arch_zoo.cpp.o.d"
+  "CMakeFiles/mldist_core.dir/combiner.cpp.o"
+  "CMakeFiles/mldist_core.dir/combiner.cpp.o.d"
+  "CMakeFiles/mldist_core.dir/dataset.cpp.o"
+  "CMakeFiles/mldist_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/mldist_core.dir/distinguisher.cpp.o"
+  "CMakeFiles/mldist_core.dir/distinguisher.cpp.o.d"
+  "CMakeFiles/mldist_core.dir/key_recovery.cpp.o"
+  "CMakeFiles/mldist_core.dir/key_recovery.cpp.o.d"
+  "CMakeFiles/mldist_core.dir/linear_baseline.cpp.o"
+  "CMakeFiles/mldist_core.dir/linear_baseline.cpp.o.d"
+  "CMakeFiles/mldist_core.dir/model_io.cpp.o"
+  "CMakeFiles/mldist_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/mldist_core.dir/online_game.cpp.o"
+  "CMakeFiles/mldist_core.dir/online_game.cpp.o.d"
+  "CMakeFiles/mldist_core.dir/oracle.cpp.o"
+  "CMakeFiles/mldist_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/mldist_core.dir/real_random.cpp.o"
+  "CMakeFiles/mldist_core.dir/real_random.cpp.o.d"
+  "CMakeFiles/mldist_core.dir/targets.cpp.o"
+  "CMakeFiles/mldist_core.dir/targets.cpp.o.d"
+  "libmldist_core.a"
+  "libmldist_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mldist_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmldist_core.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/mldist_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/mldist_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/mldist_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/mldist_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/nn/CMakeFiles/mldist_nn.dir/conv1d.cpp.o" "gcc" "src/nn/CMakeFiles/mldist_nn.dir/conv1d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/mldist_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/mldist_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/mldist_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/mldist_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/mldist_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/mldist_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/mldist_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/mldist_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/mat.cpp" "src/nn/CMakeFiles/mldist_nn.dir/mat.cpp.o" "gcc" "src/nn/CMakeFiles/mldist_nn.dir/mat.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/mldist_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/mldist_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/mldist_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/mldist_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/mldist_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/mldist_nn.dir/residual.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/mldist_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/mldist_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mldist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

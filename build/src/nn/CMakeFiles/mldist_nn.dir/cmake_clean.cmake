@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mldist_nn.dir/activations.cpp.o"
+  "CMakeFiles/mldist_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/mldist_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/mldist_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/mldist_nn.dir/conv1d.cpp.o"
+  "CMakeFiles/mldist_nn.dir/conv1d.cpp.o.d"
+  "CMakeFiles/mldist_nn.dir/dense.cpp.o"
+  "CMakeFiles/mldist_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/mldist_nn.dir/dropout.cpp.o"
+  "CMakeFiles/mldist_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/mldist_nn.dir/loss.cpp.o"
+  "CMakeFiles/mldist_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/mldist_nn.dir/lstm.cpp.o"
+  "CMakeFiles/mldist_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/mldist_nn.dir/mat.cpp.o"
+  "CMakeFiles/mldist_nn.dir/mat.cpp.o.d"
+  "CMakeFiles/mldist_nn.dir/model.cpp.o"
+  "CMakeFiles/mldist_nn.dir/model.cpp.o.d"
+  "CMakeFiles/mldist_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/mldist_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/mldist_nn.dir/residual.cpp.o"
+  "CMakeFiles/mldist_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/mldist_nn.dir/serialize.cpp.o"
+  "CMakeFiles/mldist_nn.dir/serialize.cpp.o.d"
+  "libmldist_nn.a"
+  "libmldist_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mldist_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

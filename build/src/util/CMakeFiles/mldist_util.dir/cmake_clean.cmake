@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mldist_util.dir/bits.cpp.o"
+  "CMakeFiles/mldist_util.dir/bits.cpp.o.d"
+  "CMakeFiles/mldist_util.dir/hex.cpp.o"
+  "CMakeFiles/mldist_util.dir/hex.cpp.o.d"
+  "CMakeFiles/mldist_util.dir/rng.cpp.o"
+  "CMakeFiles/mldist_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mldist_util.dir/stats.cpp.o"
+  "CMakeFiles/mldist_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mldist_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mldist_util.dir/thread_pool.cpp.o.d"
+  "libmldist_util.a"
+  "libmldist_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mldist_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

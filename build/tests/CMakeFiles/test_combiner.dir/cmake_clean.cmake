@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combiner.dir/combiner_test.cpp.o"
+  "CMakeFiles/test_combiner.dir/combiner_test.cpp.o.d"
+  "test_combiner"
+  "test_combiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

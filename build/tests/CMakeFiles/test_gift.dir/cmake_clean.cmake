@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gift.dir/gift_test.cpp.o"
+  "CMakeFiles/test_gift.dir/gift_test.cpp.o.d"
+  "test_gift"
+  "test_gift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

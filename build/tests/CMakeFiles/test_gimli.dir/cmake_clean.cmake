@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gimli.dir/gimli_test.cpp.o"
+  "CMakeFiles/test_gimli.dir/gimli_test.cpp.o.d"
+  "test_gimli"
+  "test_gimli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gimli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gimli_modes.dir/gimli_modes_test.cpp.o"
+  "CMakeFiles/test_gimli_modes.dir/gimli_modes_test.cpp.o.d"
+  "test_gimli_modes"
+  "test_gimli_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gimli_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kat.dir/kat_test.cpp.o"
+  "CMakeFiles/test_kat.dir/kat_test.cpp.o.d"
+  "test_kat"
+  "test_kat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

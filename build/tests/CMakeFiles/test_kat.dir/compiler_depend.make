@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_kat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_key_recovery.dir/key_recovery_test.cpp.o"
+  "CMakeFiles/test_key_recovery.dir/key_recovery_test.cpp.o.d"
+  "test_key_recovery"
+  "test_key_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_key_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

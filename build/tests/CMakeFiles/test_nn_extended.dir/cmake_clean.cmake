@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_extended.dir/nn_extended_test.cpp.o"
+  "CMakeFiles/test_nn_extended.dir/nn_extended_test.cpp.o.d"
+  "test_nn_extended"
+  "test_nn_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

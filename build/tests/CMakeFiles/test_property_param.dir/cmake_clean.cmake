@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_param.dir/property_param_test.cpp.o"
+  "CMakeFiles/test_property_param.dir/property_param_test.cpp.o.d"
+  "test_property_param"
+  "test_property_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

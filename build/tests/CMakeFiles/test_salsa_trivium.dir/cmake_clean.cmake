@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_salsa_trivium.dir/salsa_trivium_test.cpp.o"
+  "CMakeFiles/test_salsa_trivium.dir/salsa_trivium_test.cpp.o.d"
+  "test_salsa_trivium"
+  "test_salsa_trivium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_salsa_trivium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

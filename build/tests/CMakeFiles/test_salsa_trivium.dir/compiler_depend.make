@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_salsa_trivium.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_salsa_trivium.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speck.dir/speck_test.cpp.o"
+  "CMakeFiles/test_speck.dir/speck_test.cpp.o.d"
+  "test_speck"
+  "test_speck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,9 +1,10 @@
 // Shared support for the experiment benches: CLI scale selection and table
 // printing.  Every bench prints the paper's reported numbers next to the
 // measured ones and accepts:
-//   --quick   seconds-scale budgets (default) — shape-preserving
-//   --full    larger budgets, closer to the paper's 2^17.6-sample scale
-//   --seed N  override the experiment seed
+//   --quick     seconds-scale budgets (default) — shape-preserving
+//   --full      larger budgets, closer to the paper's 2^17.6-sample scale
+//   --seed N    override the experiment seed
+//   --threads W pipeline worker count (0 = global pool sized to the machine)
 #pragma once
 
 #include <cstdint>
@@ -15,11 +16,14 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hpp"
+
 namespace mldist::bench {
 
 struct Options {
   bool full = false;
   std::uint64_t seed = 0xb0155eedULL;
+  std::size_t threads = 0;        ///< 0 = global pool (hardware concurrency)
   std::size_t base_override = 0;  ///< 0 = use the bench's default budget
   int epochs_override = 0;        ///< 0 = use the bench's default epochs
 
@@ -43,13 +47,16 @@ inline Options parse_options(int argc, char** argv) {
       opt.full = false;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       opt.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opt.threads = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--base") == 0 && i + 1 < argc) {
       opt.base_override = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc) {
       opt.epochs_override = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: %s [--quick|--full] [--seed N] [--base N] [--epochs N]\n",
+          "usage: %s [--quick|--full] [--seed N] [--threads W] [--base N] "
+          "[--epochs N]\n",
           argv[0]);
       std::exit(0);
     }
@@ -95,5 +102,24 @@ class CsvWriter {
  private:
   std::ofstream out_;
 };
+
+/// Write the bench's telemetry object to results/BENCH_<name>.json (one
+/// artifact per bench run, overwritten each time).  The builder should
+/// already carry the run options — use `options_json` for the common part.
+inline bool write_bench_json(const std::string& bench_name,
+                             const util::JsonBuilder& j) {
+  return util::write_json_file("results/BENCH_" + bench_name + ".json",
+                               j.str());
+}
+
+/// The shared CLI options as a JSON object, for embedding into bench
+/// artifacts.
+inline std::string options_json(const Options& opt) {
+  util::JsonBuilder j;
+  j.field("mode", opt.full ? "full" : "quick")
+      .field("seed", static_cast<std::uint64_t>(opt.seed))
+      .field("threads", static_cast<std::uint64_t>(opt.threads));
+  return j.str();
+}
 
 }  // namespace mldist::bench

@@ -10,8 +10,8 @@
 #include <memory>
 
 #include "bench_common.hpp"
-#include "core/arch_zoo.hpp"
 #include "core/distinguisher.hpp"
+#include "core/experiment.hpp"
 #include "core/online_game.hpp"
 #include "core/targets.hpp"
 #include "util/timer.hpp"
@@ -24,21 +24,20 @@ int main(int argc, char** argv) {
 
   // Offline: paper 2^17.6 samples / 20 epochs; quick: 20k base inputs / 5
   // (the 8-round signal is ~0.51, so the offline budget cannot be tiny).
-  const std::size_t offline_base = opt.base(20000, 99000);
-  const int epochs = opt.epochs(5, 20);
+  core::ExperimentConfig config;
+  config.target = "gimli-cipher";
+  config.rounds = 8;
+  config.offline_base_inputs = opt.base(20000, 99000);
+  config.epochs = opt.epochs(5, 20);
   // Online: the paper's 2^14.3 ~ 20171 samples (10085 base inputs x 2).
-  const std::size_t online_base = 10085;
-  const std::size_t games = opt.full ? 20 : 12;
-
-  int rounds = 8;
-  util::Timer timer;
-  core::DistinguisherOptions dopt;
-  dopt.epochs = epochs;
-  dopt.seed = opt.seed ^ 0x911e;
+  config.online_base_inputs = 10085;
+  config.games = opt.full ? 20 : 12;
+  config.seed = opt.seed ^ 0x911e;
+  config.threads = opt.threads;
   // The 8-round advantage is small; decide the game at 2.5 sigma over the
   // paper-scale online budget instead of the framework's 3-sigma default.
-  dopt.z_threshold = 2.5;
-  dopt.validation_fraction = 0.25;  // a itself must be measured precisely
+  config.z_threshold = 2.5;
+  config.validation_fraction = 0.25;  // a itself must be measured precisely
 
   // Algorithm 2's offline gate: train at 8 rounds; if a is not
   // significantly above 1/t at this budget, the attacker ABORTS (the
@@ -46,34 +45,34 @@ int main(int argc, char** argv) {
   // needed 2^17.6 samples for a = 0.512); we then demonstrate the game at
   // 7 rounds, clearly labelled.
   std::unique_ptr<core::MLDistinguisher> dist;
-  std::unique_ptr<core::GimliCipherTarget> target;
+  std::unique_ptr<core::Target> target;
   core::TrainReport train;
+  util::Timer timer;
   for (;;) {
-    target = std::make_unique<core::GimliCipherTarget>(rounds);
-    util::Xoshiro256 rng(opt.seed);
-    dist = std::make_unique<core::MLDistinguisher>(
-        core::build_default_mlp(128, 2, rng), dopt);
+    target = config.make_target();
+    dist = std::make_unique<core::MLDistinguisher>(*target, config);
     timer.reset();
-    train = dist->train(*target, offline_base);
+    train = dist->train(*target, config.offline_base_inputs);
     std::printf("offline @ %d rounds: %zu base inputs (2^%.1f oracle "
-                "queries), %d epochs, %.1fs\n",
-                rounds, offline_base, train.log2_data, epochs,
-                timer.seconds());
+                "queries), %d epochs, %.1fs (collect %.0f q/s on %zu "
+                "threads)\n",
+                config.rounds, config.offline_base_inputs, train.log2_data,
+                config.epochs, timer.seconds(),
+                train.collect.queries_per_sec(), train.collect.threads);
     std::printf("  training accuracy a = %.4f (validation %.4f), usable: "
                 "%s\n",
                 train.train_accuracy, train.val_accuracy,
                 train.usable ? "yes (a > 1/t)" : "no (abort per Algorithm 2)");
-    if (train.usable || rounds == 7) break;
+    if (train.usable || config.rounds == 7) break;
     std::printf("  -> Algorithm 2 aborts at this budget; rerun with --full "
                 "for the paper-scale\n     8-round game.  Demonstrating the "
                 "online game at 7 rounds instead.\n\n");
-    rounds = 7;
+    config.rounds = 7;
   }
   std::printf("\n");
 
   timer.reset();
-  const core::GameReport game =
-      play_games(*dist, *target, games, online_base, opt.seed ^ 0xfade);
+  const core::GameReport game = play_games(*dist, *target, config);
 
   std::printf("%-40s %-10s %-10s\n", "quantity", "paper", "measured");
   bench::print_rule();
@@ -82,11 +81,30 @@ int main(int argc, char** argv) {
   std::printf("%-40s %-10s %.4f\n", "online accuracy a' (ORACLE = RANDOM)",
               "0.5001", game.mean_random_accuracy);
   std::printf("%-40s %-10s 2^%.1f\n", "online data per game", "2^14.3",
-              std::log2(static_cast<double>(online_base) * 3));
+              std::log2(static_cast<double>(config.online_base_inputs) * 3));
   bench::print_rule();
   std::printf("oracle games: %zu   correct: %zu   inconclusive: %zu   "
               "success rate: %.2f   (%.1fs)\n",
               game.games, game.correct, game.inconclusive, game.success_rate,
               timer.seconds());
+
+  util::JsonBuilder artifact;
+  artifact.field("bench", "online_game")
+      .raw("options", bench::options_json(opt))
+      .raw("config", config.to_json())
+      .field("train_accuracy", train.train_accuracy)
+      .field("val_accuracy", train.val_accuracy)
+      .field("usable", train.usable)
+      .field("seconds_per_epoch", train.seconds_per_epoch)
+      .raw("offline_collect", train.collect.to_json())
+      .raw("offline_fit", train.fit.to_json())
+      .field("games", static_cast<std::uint64_t>(game.games))
+      .field("correct", static_cast<std::uint64_t>(game.correct))
+      .field("inconclusive", static_cast<std::uint64_t>(game.inconclusive))
+      .field("success_rate", game.success_rate)
+      .field("mean_cipher_accuracy", game.mean_cipher_accuracy)
+      .field("mean_random_accuracy", game.mean_random_accuracy)
+      .raw("online", game.telemetry.to_json());
+  bench::write_bench_json("online_game", artifact);
   return 0;
 }

@@ -13,10 +13,11 @@
 // is the reproduction target.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "core/arch_zoo.hpp"
 #include "core/distinguisher.hpp"
+#include "core/experiment.hpp"
 #include "core/targets.hpp"
 #include "util/timer.hpp"
 
@@ -24,17 +25,37 @@ namespace {
 
 using namespace mldist;
 
-double run_one(const core::Target& target, std::size_t base_inputs, int epochs,
-               std::uint64_t seed) {
-  util::Xoshiro256 rng(seed);
-  auto model = core::build_default_mlp(target.output_bytes() * 8,
-                                       target.num_differences(), rng);
-  core::DistinguisherOptions opt;
-  opt.epochs = epochs;
-  opt.seed = seed ^ 0x7ab1e2;
-  core::MLDistinguisher dist(std::move(model), opt);
-  const core::TrainReport rep = dist.train(target, base_inputs);
-  return rep.val_accuracy;
+struct RunResult {
+  core::TrainReport report;
+  std::string json;  ///< config + accuracy + per-phase telemetry
+};
+
+RunResult run_one(const std::string& target_name, int rounds,
+                  std::size_t base_inputs, int epochs,
+                  const bench::Options& opt) {
+  core::ExperimentConfig config;
+  config.target = target_name;
+  config.rounds = rounds;
+  config.epochs = epochs;
+  config.seed = opt.seed + static_cast<std::uint64_t>(rounds) +
+                (target_name == "gimli-cipher" ? 100 : 0);
+  config.threads = opt.threads;
+  config.offline_base_inputs = base_inputs;
+  const auto target = config.make_target();
+
+  core::MLDistinguisher dist(*target, config);
+  RunResult res;
+  res.report = dist.train(*target, base_inputs);
+
+  util::JsonBuilder j;
+  j.raw("config", config.to_json())
+      .field("val_accuracy", res.report.val_accuracy)
+      .field("train_accuracy", res.report.train_accuracy)
+      .field("seconds_per_epoch", res.report.seconds_per_epoch)
+      .raw("collect", res.report.collect.to_json())
+      .raw("fit", res.report.fit.to_json());
+  res.json = j.str();
+  return res;
 }
 
 }  // namespace
@@ -54,6 +75,7 @@ int main(int argc, char** argv) {
 
   mldist::bench::CsvWriter csv("table2_accuracy",
       "rounds,paper_hash,measured_hash,paper_cipher,measured_cipher");
+  std::vector<std::string> runs;
   std::printf("%-8s %-22s %-22s\n", "rounds", "GIMLI-HASH acc", "GIMLI-CIPHER acc");
   std::printf("%-8s %-10s %-11s %-10s %-11s\n", "", "paper", "measured",
               "paper", "measured");
@@ -61,17 +83,18 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 3; ++i) {
     const int rounds = 6 + i;
     mldist::util::Timer timer;
-    const core::GimliHashTarget hash(rounds);
-    const double acc_hash =
-        run_one(hash, base_inputs, epochs, opt.seed + static_cast<std::uint64_t>(rounds));
-    const core::GimliCipherTarget cipher(rounds);
-    const double acc_cipher = run_one(
-        cipher, base_inputs, epochs, opt.seed + 100 + static_cast<std::uint64_t>(rounds));
+    const RunResult hash =
+        run_one("gimli-hash", rounds, base_inputs, epochs, opt);
+    const RunResult cipher =
+        run_one("gimli-cipher", rounds, base_inputs, epochs, opt);
     std::printf("%-8d %-10.4f %-11.4f %-10.4f %-11.4f (%.1fs)\n", rounds,
-                paper_hash[i], acc_hash, paper_cipher[i], acc_cipher,
-                timer.seconds());
-    csv.rowf("%d,%.4f,%.4f,%.4f,%.4f", rounds, paper_hash[i], acc_hash,
-             paper_cipher[i], acc_cipher);
+                paper_hash[i], hash.report.val_accuracy, paper_cipher[i],
+                cipher.report.val_accuracy, timer.seconds());
+    csv.rowf("%d,%.4f,%.4f,%.4f,%.4f", rounds, paper_hash[i],
+             hash.report.val_accuracy, paper_cipher[i],
+             cipher.report.val_accuracy);
+    runs.push_back(hash.json);
+    runs.push_back(cipher.json);
   }
   mldist::bench::print_rule();
   std::printf("offline data: %zu base inputs (x2 labels), %d epochs; paper "
@@ -79,5 +102,11 @@ int main(int argc, char** argv) {
               base_inputs, epochs);
   std::printf("expected shape: accuracy decays toward 0.5 with rounds; 6r "
               "strong, 7r moderate, 8r slight.\n");
+
+  mldist::util::JsonBuilder artifact;
+  artifact.field("bench", "table2_accuracy")
+      .raw("options", mldist::bench::options_json(opt))
+      .raw("runs", mldist::util::JsonBuilder::array(runs));
+  mldist::bench::write_bench_json("table2_accuracy", artifact);
   return 0;
 }

@@ -1,13 +1,16 @@
-// mldist_cli — command-line driver for the distinguisher pipeline.
+// mldist_cli — command-line driver for the distinguisher pipeline, built on
+// the unified core::ExperimentConfig API.
 //
 //   mldist_cli train --target gimli-hash --rounds 7 --samples 5000
-//              --epochs 3 --model dist.nnb
+//              --epochs 3 --model dist.nnb [--threads 4] [--json]
 //   mldist_cli test  --target gimli-hash --rounds 7 --model dist.nnb
-//              --samples 2000 [--oracle random]
+//              --samples 2000 [--oracle random] [--json]
 //   mldist_cli list
 //
-// Targets: gimli-hash, gimli-cipher, speck, gift64, salsa, trivium
-// (--rounds means init clocks for trivium).
+// Targets: gimli-hash, gimli-cipher, speck, gift64, gift128, toy, salsa,
+// trivium (--rounds means init clocks for trivium).  With --json the report
+// is printed as one machine-readable JSON line (config, per-phase telemetry,
+// verdict) instead of the human-readable text.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -15,74 +18,64 @@
 #include <memory>
 #include <string>
 
-#include "core/arch_zoo.hpp"
 #include "core/distinguisher.hpp"
+#include "core/experiment.hpp"
 #include "core/targets.hpp"
 #include "nn/serialize.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using namespace mldist;
 
-std::unique_ptr<core::Target> make_target(const std::string& name, int rounds) {
-  if (name == "gimli-hash") return std::make_unique<core::GimliHashTarget>(rounds);
-  if (name == "gimli-cipher") return std::make_unique<core::GimliCipherTarget>(rounds);
-  if (name == "speck") return std::make_unique<core::SpeckTarget>(rounds);
-  if (name == "gift64") return std::make_unique<core::Gift64Target>(rounds);
-  if (name == "gift128") return std::make_unique<core::Gift128Target>(rounds);
-  if (name == "toy") return std::make_unique<core::ToyGiftTarget>();
-  if (name == "salsa") return std::make_unique<core::SalsaTarget>(rounds);
-  if (name == "trivium") return std::make_unique<core::TriviumTarget>(rounds);
-  return nullptr;
-}
-
 struct Args {
   std::string command;
-  std::string target = "gimli-hash";
   std::string model_path = "dist.nnb";
   std::string oracle = "cipher";
-  int rounds = 7;
-  int epochs = 3;
-  std::size_t samples = 4000;
-  std::uint64_t seed = 42;
+  bool json = false;
+  core::ExperimentConfig config;
 };
 
 bool parse(int argc, char** argv, Args& out) {
   if (argc < 2) return false;
   out.command = argv[1];
+  out.config.rounds = 7;
+  out.config.epochs = 3;
+  out.config.seed = 42;
+  out.config.offline_base_inputs = 4000;
+  out.config.online_base_inputs = 4000;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    if (flag == "--json") {
+      out.json = true;
+      continue;
+    }
+    const char* v = next();
+    if (!v) return false;
     if (flag == "--target") {
-      const char* v = next();
-      if (!v) return false;
-      out.target = v;
+      out.config.target = v;
     } else if (flag == "--rounds") {
-      const char* v = next();
-      if (!v) return false;
-      out.rounds = std::atoi(v);
+      out.config.rounds = std::atoi(v);
     } else if (flag == "--epochs") {
-      const char* v = next();
-      if (!v) return false;
-      out.epochs = std::atoi(v);
+      out.config.epochs = std::atoi(v);
     } else if (flag == "--samples") {
-      const char* v = next();
-      if (!v) return false;
-      out.samples = std::strtoull(v, nullptr, 10);
+      const std::size_t samples = std::strtoull(v, nullptr, 10);
+      out.config.offline_base_inputs = samples;
+      out.config.online_base_inputs = samples;
+    } else if (flag == "--threads") {
+      out.config.threads = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--arch") {
+      out.config.arch = v;
     } else if (flag == "--model") {
-      const char* v = next();
-      if (!v) return false;
       out.model_path = v;
     } else if (flag == "--oracle") {
-      const char* v = next();
-      if (!v) return false;
       out.oracle = v;
     } else if (flag == "--seed") {
-      const char* v = next();
-      if (!v) return false;
-      out.seed = std::strtoull(v, nullptr, 0);
+      out.config.seed = std::strtoull(v, nullptr, 0);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -95,9 +88,11 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  mldist_cli train --target T --rounds R --samples N "
-               "--epochs E --model PATH [--seed S]\n"
+               "--epochs E --model PATH\n"
+               "             [--arch A] [--threads W] [--seed S] [--json]\n"
                "  mldist_cli test  --target T --rounds R --samples N "
-               "--model PATH [--oracle cipher|random]\n"
+               "--model PATH\n"
+               "             [--oracle cipher|random] [--threads W] [--json]\n"
                "  mldist_cli list\n");
   return 2;
 }
@@ -112,80 +107,138 @@ int cmd_list() {
   std::printf("  toy           (the 8-bit Fig. 1 cipher; --rounds ignored)\n");
   std::printf("  salsa         (rounds 1..20)\n");
   std::printf("  trivium       (--rounds = init clocks, full = 1152)\n");
-  std::printf("architectures: see core/arch_zoo.hpp (MLP I..VI, LSTM, CNN, "
-              "gohr-net)\n");
+  std::printf("architectures: default-mlp, gohr-net/D, and the Table-3 zoo "
+              "(MLP I..VI, LSTM, CNN)\n");
   return 0;
 }
 
 int cmd_train(const Args& args) {
-  auto target = make_target(args.target, args.rounds);
-  if (!target) return usage();
-  util::Xoshiro256 rng(args.seed);
-  auto model = core::build_default_mlp(target->output_bytes() * 8,
-                                       target->num_differences(), rng);
-  core::DistinguisherOptions opt;
-  opt.epochs = args.epochs;
-  opt.seed = args.seed;
-  opt.on_epoch = [](const nn::EpochStats& s) {
-    std::printf("epoch %d: train %.4f  val %.4f\n", s.epoch, s.train_accuracy,
-                s.val_accuracy);
-  };
-  core::MLDistinguisher dist(std::move(model), opt);
-  const core::TrainReport rep = dist.train(*target, args.samples);
-  std::printf("training accuracy a = %.4f over 2^%.1f queries -> %s\n",
-              rep.val_accuracy, rep.log2_data,
-              rep.usable ? "usable" : "NOT usable (Algorithm 2 aborts)");
+  std::unique_ptr<core::Target> target;
+  try {
+    target = args.config.make_target();
+  } catch (const std::invalid_argument&) {
+    return usage();
+  }
+  core::ExperimentConfig config = args.config;
+  if (!args.json) {
+    config.on_epoch = [](const nn::EpochStats& s) {
+      std::printf("epoch %d: train %.4f  val %.4f  (%.2fs)\n", s.epoch,
+                  s.train_accuracy, s.val_accuracy, s.seconds);
+    };
+  }
+  core::MLDistinguisher dist(*target, config);
+  const core::TrainReport rep =
+      dist.train(*target, config.offline_base_inputs);
   nn::save_params(dist.model(), args.model_path);
-  std::printf("model written to %s\n", args.model_path.c_str());
+
+  if (args.json) {
+    util::JsonBuilder j;
+    j.field("command", "train")
+        .raw("config", config.to_json())
+        .field("target_name", target->name())
+        .field("train_accuracy", rep.train_accuracy)
+        .field("val_accuracy", rep.val_accuracy)
+        .field("train_loss", rep.train_loss)
+        .field("samples", rep.samples)
+        .field("log2_data", rep.log2_data)
+        .field("usable", rep.usable)
+        .field("seconds_per_epoch", rep.seconds_per_epoch)
+        .raw("collect", rep.collect.to_json())
+        .raw("fit", rep.fit.to_json())
+        .field("model_path", args.model_path);
+    std::printf("%s\n", j.str().c_str());
+  } else {
+    std::printf("offline collection: %zu queries in %.2fs (%.0f queries/s, "
+                "%zu threads)\n",
+                rep.collect.queries, rep.collect.seconds,
+                rep.collect.queries_per_sec(), rep.collect.threads);
+    std::printf("training accuracy a = %.4f over 2^%.1f queries -> %s\n",
+                rep.val_accuracy, rep.log2_data,
+                rep.usable ? "usable" : "NOT usable (Algorithm 2 aborts)");
+    std::printf("model written to %s\n", args.model_path.c_str());
+  }
   return rep.usable ? 0 : 1;
 }
 
 int cmd_test(const Args& args) {
-  auto target = make_target(args.target, args.rounds);
-  if (!target) return usage();
-  util::Xoshiro256 rng(args.seed);
-  auto model = core::build_default_mlp(target->output_bytes() * 8,
-                                       target->num_differences(), rng);
+  std::unique_ptr<core::Target> target;
+  try {
+    target = args.config.make_target();
+  } catch (const std::invalid_argument&) {
+    return usage();
+  }
+  const core::ExperimentConfig& config = args.config;
+  auto model = config.make_model(*target);
   nn::load_params(*model, args.model_path);
 
-  // Rebind the distinguisher to the loaded weights: a short re-train would
-  // overwrite them, so we train a throwaway instance only to record t and
-  // the reference accuracy, then swap the weights back in.
-  core::DistinguisherOptions opt;
-  opt.epochs = 1;
-  opt.seed = args.seed;
+  // Rebind the distinguisher to the loaded weights: we must not re-train
+  // over them, so calibrate a on fresh cipher data with the weights frozen.
+  core::DistinguisherOptions opt(config);
   core::MLDistinguisher dist(std::move(model), opt);
-  // Calibrate a on fresh cipher data without touching the loaded weights.
   const core::CipherOracle calibration(*target);
+  double calibration_accuracy = 0.0;
   {
-    util::Xoshiro256 crng(args.seed ^ 0xca11);
-    const nn::Dataset cal = core::collect_dataset(calibration, 500, crng);
+    core::CollectOptions copt = opt.collect_options(config.seed ^ 0xca11);
+    const nn::Dataset cal =
+        core::collect_dataset(calibration, 500, copt);
     const auto pred = dist.model().predict(cal.x);
     std::size_t hits = 0;
     for (std::size_t i = 0; i < pred.size(); ++i) hits += (pred[i] == cal.y[i]);
-    std::printf("calibration accuracy on fresh cipher data: %.4f\n",
-                static_cast<double>(hits) / static_cast<double>(pred.size()));
+    calibration_accuracy =
+        static_cast<double>(hits) / static_cast<double>(pred.size());
   }
 
   const core::RandomOracle random_oracle(target->num_differences(),
                                          target->output_bytes());
-  util::Xoshiro256 orng(args.seed ^ 0x0b5e);
   const core::Oracle& oracle =
       args.oracle == "random"
           ? static_cast<const core::Oracle&>(random_oracle)
           : static_cast<const core::Oracle&>(calibration);
-  const nn::Dataset online = core::collect_dataset(oracle, args.samples, orng);
+  core::PhaseTelemetry collect_tel;
+  core::CollectOptions copt = opt.collect_options(config.seed ^ 0x0b5e);
+  const nn::Dataset online = core::collect_dataset(
+      oracle, config.online_base_inputs, copt, &collect_tel);
+  const util::Timer predict_timer;
   const auto pred = dist.model().predict(online.x);
+  core::PhaseTelemetry predict_tel;
+  predict_tel.seconds = predict_timer.seconds();
+  predict_tel.rows = pred.size();
+  predict_tel.threads = collect_tel.threads;
   std::size_t hits = 0;
   for (std::size_t i = 0; i < pred.size(); ++i) hits += (pred[i] == online.y[i]);
   const double acc =
       static_cast<double>(hits) / static_cast<double>(pred.size());
   const double p0 = 1.0 / static_cast<double>(target->num_differences());
-  std::printf("online accuracy a' = %.4f (1/t = %.4f) -> oracle looks like "
-              "%s\n", acc, p0, acc > p0 + 3 * std::sqrt(p0 * (1 - p0) /
-              static_cast<double>(pred.size()))
-                  ? "CIPHER"
-                  : "RANDOM");
+  const bool looks_cipher =
+      acc > p0 + 3 * std::sqrt(p0 * (1 - p0) /
+                               static_cast<double>(pred.size()));
+
+  if (args.json) {
+    util::JsonBuilder j;
+    j.field("command", "test")
+        .raw("config", config.to_json())
+        .field("target_name", target->name())
+        .field("oracle", args.oracle)
+        .field("calibration_accuracy", calibration_accuracy)
+        .field("online_accuracy", acc)
+        .field("random_guess", p0)
+        .field("samples", pred.size())
+        .field("verdict", looks_cipher ? "CIPHER" : "RANDOM")
+        .raw("collect", collect_tel.to_json())
+        .raw("predict", predict_tel.to_json())
+        .field("model_path", args.model_path);
+    std::printf("%s\n", j.str().c_str());
+  } else {
+    std::printf("calibration accuracy on fresh cipher data: %.4f\n",
+                calibration_accuracy);
+    std::printf("online collection: %zu queries in %.2fs (%.0f queries/s, "
+                "%zu threads)\n",
+                collect_tel.queries, collect_tel.seconds,
+                collect_tel.queries_per_sec(), collect_tel.threads);
+    std::printf("online accuracy a' = %.4f (1/t = %.4f) -> oracle looks like "
+                "%s\n",
+                acc, p0, looks_cipher ? "CIPHER" : "RANDOM");
+  }
   return 0;
 }
 

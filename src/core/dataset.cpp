@@ -1,19 +1,23 @@
 #include "core/dataset.hpp"
 
+#include <algorithm>
+
 #include "util/bits.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace mldist::core {
 
-nn::Dataset collect_dataset(const Oracle& oracle, std::size_t base_inputs,
-                            util::Xoshiro256& rng) {
-  const std::size_t t = oracle.num_differences();
-  const std::size_t features = oracle.output_bytes() * 8;
-  nn::Dataset ds;
-  ds.x = nn::Mat(base_inputs * t, features);
-  ds.y.resize(base_inputs * t);
+namespace {
 
+/// Collect base inputs [s_begin, s_end) into their rows of `ds`, drawing all
+/// randomness from `rng`.  Shared by the serial path (one call spanning
+/// everything) and the parallel engine (one call per chunk).
+void collect_span(const Oracle& oracle, std::size_t s_begin, std::size_t s_end,
+                  util::Xoshiro256& rng, nn::Dataset& ds) {
+  const std::size_t t = oracle.num_differences();
   std::vector<std::vector<std::uint8_t>> diffs;
-  for (std::size_t s = 0; s < base_inputs; ++s) {
+  for (std::size_t s = s_begin; s < s_end; ++s) {
     oracle.query(rng, diffs);
     for (std::size_t i = 0; i < t; ++i) {
       const std::size_t row = s * t + i;
@@ -21,6 +25,22 @@ nn::Dataset collect_dataset(const Oracle& oracle, std::size_t base_inputs,
       ds.y[row] = static_cast<int>(i);
     }
   }
+}
+
+nn::Dataset make_empty(const Oracle& oracle, std::size_t base_inputs) {
+  nn::Dataset ds;
+  ds.x = nn::Mat(base_inputs * oracle.num_differences(),
+                 oracle.output_bytes() * 8);
+  ds.y.resize(base_inputs * oracle.num_differences());
+  return ds;
+}
+
+}  // namespace
+
+nn::Dataset collect_dataset(const Oracle& oracle, std::size_t base_inputs,
+                            util::Xoshiro256& rng) {
+  nn::Dataset ds = make_empty(oracle, base_inputs);
+  collect_span(oracle, 0, base_inputs, rng, ds);
   return ds;
 }
 
@@ -28,6 +48,46 @@ nn::Dataset collect_dataset(const Target& target, std::size_t base_inputs,
                             util::Xoshiro256& rng) {
   const CipherOracle oracle(target);
   return collect_dataset(oracle, base_inputs, rng);
+}
+
+nn::Dataset collect_dataset(const Oracle& oracle, std::size_t base_inputs,
+                            const CollectOptions& options,
+                            PhaseTelemetry* telemetry) {
+  const util::Timer timer;
+  nn::Dataset ds = make_empty(oracle, base_inputs);
+
+  const std::size_t chunk = std::max<std::size_t>(1, options.chunk_base_inputs);
+  const std::size_t num_chunks = (base_inputs + chunk - 1) / chunk;
+  // One derived stream per chunk: the grid is fixed by (seed, chunk size)
+  // alone, so the bytes cannot depend on how chunks land on workers.
+  const auto chunks = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      util::Xoshiro256 rng(util::derive_stream_seed(options.seed, c));
+      const std::size_t s_begin = c * chunk;
+      const std::size_t s_end = std::min(base_inputs, s_begin + chunk);
+      collect_span(oracle, s_begin, s_end, rng, ds);
+    }
+  };
+
+  const std::size_t threads =
+      util::parallel_for_threads(options.threads, num_chunks, chunks);
+
+  if (telemetry != nullptr) {
+    telemetry->seconds = timer.seconds();
+    // Algorithm 2 issues t+1 primitive queries per base input (the base
+    // plus its t partners).
+    telemetry->queries = base_inputs * (oracle.num_differences() + 1);
+    telemetry->rows = ds.size();
+    telemetry->threads = threads;
+  }
+  return ds;
+}
+
+nn::Dataset collect_dataset(const Target& target, std::size_t base_inputs,
+                            const CollectOptions& options,
+                            PhaseTelemetry* telemetry) {
+  const CipherOracle oracle(target);
+  return collect_dataset(oracle, base_inputs, options, telemetry);
 }
 
 }  // namespace mldist::core

@@ -3,9 +3,69 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/targets.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace mldist::core {
+
+namespace {
+// Stream indices expanding the experiment seed into the independent RNG
+// streams of the pipeline phases (util::derive_stream_seed).  Part of the
+// reproducibility contract: a report is a pure function of (options, these
+// constants), never of the worker count.
+constexpr std::uint64_t kOfflineTrainStream = 0x0ff1a0ULL;
+constexpr std::uint64_t kOfflineValStream = 0x0ff1a1ULL;
+constexpr std::uint64_t kShuffleStream = 0x5aff1eULL;
+
+/// Invoke fn(pool*) with the pool implied by `threads` (0 = process-wide
+/// pool; otherwise a dedicated pool).  Inside an enclosing parallel region
+/// the global pool is passed instead — nested parallel_for inlines anyway,
+/// so spawning a fresh pool would only waste threads.
+template <typename Fn>
+auto with_pool(std::size_t threads, Fn&& fn) {
+  if (threads == 0 || util::ThreadPool::in_parallel_region()) {
+    return fn(static_cast<util::ThreadPool*>(nullptr));
+  }
+  util::ThreadPool pool(threads);  // a 1-thread pool runs everything inline
+  return fn(&pool);
+}
+}  // namespace
+
+DistinguisherOptions::DistinguisherOptions(const ExperimentConfig& config)
+    : epochs(config.epochs),
+      batch_size(config.batch_size),
+      learning_rate(config.learning_rate),
+      validation_fraction(config.validation_fraction),
+      z_threshold(config.z_threshold),
+      seed(config.seed),
+      threads(config.threads),
+      on_epoch(config.on_epoch) {}
+
+CollectOptions DistinguisherOptions::collect_options(
+    std::uint64_t stream_seed) const {
+  CollectOptions c;
+  c.seed = stream_seed;
+  c.threads = threads;
+  c.chunk_base_inputs = collect_chunk;
+  return c;
+}
+
+nn::FitOptions DistinguisherOptions::fit_options(
+    std::uint64_t shuffle_seed, const nn::Dataset* validation) const {
+  nn::FitOptions fit;
+  fit.epochs = epochs;
+  fit.batch_size = batch_size;
+  fit.shuffle_seed = shuffle_seed;
+  fit.validation = validation;
+  if (on_epoch) {
+    // Forward by reference: the closure state lives once, in this options
+    // struct, not duplicated into every FitOptions built from it.
+    fit.on_epoch = [cb = &on_epoch](const nn::EpochStats& s) { (*cb)(s); };
+  }
+  return fit;
+}
 
 MLDistinguisher::MLDistinguisher(std::unique_ptr<nn::Sequential> model,
                                  DistinguisherOptions options)
@@ -13,10 +73,14 @@ MLDistinguisher::MLDistinguisher(std::unique_ptr<nn::Sequential> model,
   if (!model_) throw std::invalid_argument("MLDistinguisher: null model");
 }
 
+MLDistinguisher::MLDistinguisher(const Target& target,
+                                 const ExperimentConfig& config)
+    : MLDistinguisher(config.make_model(target),
+                      DistinguisherOptions(config)) {}
+
 TrainReport MLDistinguisher::train(const Target& target,
                                    std::size_t base_inputs) {
   t_ = target.num_differences();
-  util::Xoshiro256 rng(options_.seed);
 
   const std::size_t val_base = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(base_inputs) *
@@ -24,16 +88,26 @@ TrainReport MLDistinguisher::train(const Target& target,
   const std::size_t train_base =
       base_inputs > val_base ? base_inputs - val_base : 1;
 
-  const nn::Dataset train_set = collect_dataset(target, train_base, rng);
-  const nn::Dataset val_set = collect_dataset(target, val_base, rng);
+  PhaseTelemetry collect_tel;
+  PhaseTelemetry val_tel;
+  const nn::Dataset train_set = collect_dataset(
+      target, train_base,
+      options_.collect_options(
+          util::derive_stream_seed(options_.seed, kOfflineTrainStream)),
+      &collect_tel);
+  const nn::Dataset val_set = collect_dataset(
+      target, val_base,
+      options_.collect_options(
+          util::derive_stream_seed(options_.seed, kOfflineValStream)),
+      &val_tel);
+  collect_tel.seconds += val_tel.seconds;
+  collect_tel.queries += val_tel.queries;
+  collect_tel.rows += val_tel.rows;
 
   nn::Adam opt(options_.learning_rate);
-  nn::FitOptions fit;
-  fit.epochs = options_.epochs;
-  fit.batch_size = options_.batch_size;
-  fit.shuffle_seed = rng.next_u64();
-  fit.validation = &val_set;
-  fit.on_epoch = options_.on_epoch;
+  const nn::FitOptions fit = options_.fit_options(
+      util::derive_stream_seed(options_.seed, kShuffleStream), &val_set);
+  const util::Timer fit_timer;
   const nn::EpochStats stats = model_->fit(train_set, opt, fit);
 
   train_report_ = TrainReport{};
@@ -41,6 +115,15 @@ TrainReport MLDistinguisher::train(const Target& target,
   train_report_.val_accuracy = stats.val_accuracy;
   train_report_.train_loss = stats.train_loss;
   train_report_.samples = train_set.size() + val_set.size();
+  train_report_.collect = collect_tel;
+  train_report_.fit.seconds = fit_timer.seconds();
+  train_report_.fit.rows =
+      train_set.size() * static_cast<std::size_t>(std::max(0, options_.epochs));
+  train_report_.fit.threads = util::ThreadPool::global().thread_count();
+  train_report_.seconds_per_epoch =
+      options_.epochs > 0
+          ? train_report_.fit.seconds / static_cast<double>(options_.epochs)
+          : 0.0;
   // Each base input costs t+1 oracle queries (the base and its t partners).
   train_report_.log2_data =
       std::log2(static_cast<double>(base_inputs * (t_ + 1)));
@@ -64,15 +147,25 @@ OnlineReport MLDistinguisher::test(const Oracle& oracle,
   if (oracle.num_differences() != t_) {
     throw std::invalid_argument("MLDistinguisher: oracle t mismatch");
   }
-  util::Xoshiro256 rng(seed != 0 ? seed
-                                 : (options_.seed ^ 0x0417e57ULL));
-  const nn::Dataset online = collect_dataset(oracle, base_inputs, rng);
-  const std::vector<int> pred = model_->predict(online.x);
+  const std::uint64_t stream =
+      seed != 0 ? seed : (options_.seed ^ 0x0417e57ULL);
+
+  OnlineReport rep;
+  const nn::Dataset online = collect_dataset(
+      oracle, base_inputs, options_.collect_options(stream), &rep.collect);
+
+  const util::Timer predict_timer;
+  const std::vector<int> pred = with_pool(options_.threads, [&](util::ThreadPool* pool) {
+    return model_->predict(online.x, /*batch_size=*/512, pool);
+  });
+  rep.predict.seconds = predict_timer.seconds();
+  rep.predict.rows = pred.size();
+  rep.predict.threads = rep.collect.threads;
+
   std::size_t hits = 0;
   for (std::size_t i = 0; i < pred.size(); ++i) {
     if (pred[i] == online.y[i]) ++hits;
   }
-  OnlineReport rep;
   rep.samples = pred.size();
   rep.accuracy = static_cast<double>(hits) / static_cast<double>(pred.size());
   rep.log2_data = std::log2(static_cast<double>(base_inputs * (t_ + 1)));

@@ -9,13 +9,19 @@
 // differences and tally the prediction accuracy a'.  Decide CIPHER when a'
 // is statistically closer to a than to 1/t (the paper states the rule as
 // a' = a vs a' = 1/t; with finite samples we compare binomial z-scores).
+//
+// Both phases run on the parallel data engine (core/dataset): collection
+// fans out over derived per-chunk RNG streams and scoring over fixed
+// batches, so reports are bitwise identical for any `threads` setting.
 #pragma once
 
 #include <memory>
 #include <optional>
 
 #include "core/dataset.hpp"
+#include "core/experiment.hpp"
 #include "core/oracle.hpp"
+#include "core/telemetry.hpp"
 #include "nn/model.hpp"
 #include "nn/optimizer.hpp"
 
@@ -30,6 +36,9 @@ struct TrainReport {
   std::size_t samples = 0;      ///< labelled rows seen (base inputs * t)
   double log2_data = 0.0;       ///< log2 of oracle queries spent offline
   bool usable = false;          ///< a > 1/t with margin (Algorithm 2 line 12)
+  PhaseTelemetry collect;       ///< offline data generation (train + val)
+  PhaseTelemetry fit;           ///< training; rows = samples seen over epochs
+  double seconds_per_epoch = 0.0;
 };
 
 struct OnlineReport {
@@ -38,6 +47,8 @@ struct OnlineReport {
   double log2_data = 0.0;
   double z_vs_random = 0.0;  ///< z-score of a' against 1/t
   Verdict verdict = Verdict::kInconclusive;
+  PhaseTelemetry collect;    ///< online data generation
+  PhaseTelemetry predict;    ///< batched model scoring
 };
 
 struct DistinguisherOptions {
@@ -47,7 +58,24 @@ struct DistinguisherOptions {
   double validation_fraction = 0.1;  ///< held out from the offline data
   double z_threshold = 3.0;          ///< significance for all decisions
   std::uint64_t seed = 0x600d5eedULL;
+  std::size_t threads = 0;           ///< engine workers: 0 = hardware, 1 = serial
+  std::size_t collect_chunk = 64;    ///< base inputs per derived RNG stream
   std::function<void(const nn::EpochStats&)> on_epoch;
+
+  DistinguisherOptions() = default;
+  /// Thin projection of the unified config (see core/experiment.hpp).
+  explicit DistinguisherOptions(const ExperimentConfig& config);
+
+  /// The data-engine options for a phase whose chunk streams are keyed on
+  /// `stream_seed`.
+  CollectOptions collect_options(std::uint64_t stream_seed) const;
+
+  /// The nn-level training options, derived from this single source of
+  /// truth (instead of copying epochs/batch/seed field by field at every
+  /// call site).  The on_epoch callback is forwarded by reference — `this`
+  /// must outlive the fit call.
+  nn::FitOptions fit_options(std::uint64_t shuffle_seed,
+                             const nn::Dataset* validation) const;
 };
 
 /// Owns the model and the Algorithm 2 phases for one target.
@@ -56,6 +84,9 @@ class MLDistinguisher {
   /// `model` must map output_bytes*8 features to t logits.
   MLDistinguisher(std::unique_ptr<nn::Sequential> model,
                   DistinguisherOptions options = {});
+
+  /// Convenience: build model and options from one ExperimentConfig.
+  MLDistinguisher(const Target& target, const ExperimentConfig& config);
 
   /// Offline phase: collect `base_inputs` queries from the cipher, train.
   TrainReport train(const Target& target, std::size_t base_inputs);

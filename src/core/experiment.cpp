@@ -1,0 +1,57 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "core/arch_zoo.hpp"
+#include "core/targets.hpp"
+#include "util/json.hpp"
+
+namespace mldist::core {
+
+std::unique_ptr<Target> ExperimentConfig::make_target() const {
+  if (target == "gimli-hash") return std::make_unique<GimliHashTarget>(rounds);
+  if (target == "gimli-cipher") return std::make_unique<GimliCipherTarget>(rounds);
+  if (target == "speck") return std::make_unique<SpeckTarget>(rounds);
+  if (target == "gift64") return std::make_unique<Gift64Target>(rounds);
+  if (target == "gift128") return std::make_unique<Gift128Target>(rounds);
+  if (target == "toy") return std::make_unique<ToyGiftTarget>();
+  if (target == "salsa") return std::make_unique<SalsaTarget>(rounds);
+  if (target == "trivium") return std::make_unique<TriviumTarget>(rounds);
+  throw std::invalid_argument("ExperimentConfig: unknown target " + target);
+}
+
+std::unique_ptr<nn::Sequential> ExperimentConfig::make_model(
+    const Target& t) const {
+  const std::size_t input_bits = t.output_bytes() * 8;
+  const std::size_t classes = t.num_differences();
+  util::Xoshiro256 rng(seed);
+  if (arch == "default-mlp") {
+    return build_default_mlp(input_bits, classes, rng);
+  }
+  if (arch.rfind("gohr-net/", 0) == 0) {
+    const std::size_t depth =
+        static_cast<std::size_t>(std::stoul(arch.substr(9)));
+    return build_gohr_net(input_bits, classes, depth, rng);
+  }
+  return build_architecture(arch, input_bits, classes, rng);
+}
+
+std::string ExperimentConfig::to_json() const {
+  util::JsonBuilder j;
+  j.field("target", target)
+      .field("rounds", rounds)
+      .field("arch", arch)
+      .field("epochs", epochs)
+      .field("batch_size", batch_size)
+      .field("learning_rate", static_cast<double>(learning_rate))
+      .field("validation_fraction", validation_fraction)
+      .field("z_threshold", z_threshold)
+      .field("seed", seed)
+      .field("threads", threads)
+      .field("offline_base_inputs", offline_base_inputs)
+      .field("online_base_inputs", online_base_inputs)
+      .field("games", games);
+  return j.str();
+}
+
+}  // namespace mldist::core

@@ -1,0 +1,61 @@
+// ExperimentConfig: one declarative record for a full Algorithm-2 run.
+//
+// Every knob an experiment needs — the target primitive, the architecture
+// (by arch_zoo name), the training hyper-parameters, the sample budgets of
+// the offline/online phases, the seed and the worker count — lives here
+// once.  MLDistinguisher, play_games, the benches and mldist_cli all
+// consume this record instead of each growing its own ad-hoc option struct;
+// DistinguisherOptions keeps a thin constructor from it so existing call
+// sites keep compiling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace mldist::core {
+
+class Target;
+
+struct ExperimentConfig {
+  // --- what to attack -----------------------------------------------------
+  std::string target = "gimli-hash";  ///< see make_target() for the names
+  int rounds = 7;                     ///< round budget (init clocks for trivium)
+
+  // --- classifier ---------------------------------------------------------
+  std::string arch = "default-mlp";   ///< "default-mlp", an arch_zoo name
+                                      ///< ("MLP II", ...) or "gohr-net/D"
+  int epochs = 5;
+  std::size_t batch_size = 128;
+  float learning_rate = 1e-3f;
+  double validation_fraction = 0.1;
+
+  // --- experiment protocol ------------------------------------------------
+  double z_threshold = 3.0;
+  std::uint64_t seed = 0x600d5eedULL;
+  std::size_t threads = 0;            ///< 0 = hardware, 1 = serial
+  std::size_t offline_base_inputs = 4000;
+  std::size_t online_base_inputs = 2000;
+  std::size_t games = 12;             ///< oracle games for play_games
+
+  /// Epoch progress callback, forwarded (not copied) into training.
+  std::function<void(const nn::EpochStats&)> on_epoch;
+
+  /// Instantiate the configured target.  Throws std::invalid_argument for
+  /// unknown names.  Known names: gimli-hash, gimli-cipher, speck, gift64,
+  /// gift128, toy, salsa, trivium.
+  std::unique_ptr<Target> make_target() const;
+
+  /// Instantiate the configured architecture for `target`'s shapes, with
+  /// weight init keyed on this config's seed.
+  std::unique_ptr<nn::Sequential> make_model(const Target& target) const;
+
+  /// The config as one JSON object (hyper-parameters only, no callbacks).
+  std::string to_json() const;
+};
+
+}  // namespace mldist::core

@@ -4,6 +4,8 @@
 
 #include "ciphers/speck3264.hpp"
 #include "util/bits.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace mldist::core {
 
@@ -89,10 +91,25 @@ KeyRecoveryResult speck_last_round_key_recovery(
   res.true_subkey = true_subkey;
   res.candidates_scored = candidates.size();
   std::vector<double> scores(candidates.size());
+
+  // Candidates are independent; score them in parallel (disjoint slots) and
+  // reduce serially in candidate order below, so the ranking is bitwise
+  // identical for any worker count.
+  const util::Timer score_timer;
+  const auto score_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      scores[c] = score_candidate(model, candidates[c], base_ct, diff_ct);
+    }
+  };
+  const std::size_t workers =
+      util::parallel_for_threads(options.threads, candidates.size(), score_range);
+  res.telemetry.seconds = score_timer.seconds();
+  res.telemetry.rows = candidates.size() * options.base_inputs * t;
+  res.telemetry.threads = workers;
+
   double best = -1.0;
   double wrong_sum = 0.0;
   for (std::size_t c = 0; c < candidates.size(); ++c) {
-    scores[c] = score_candidate(model, candidates[c], base_ct, diff_ct);
     if (candidates[c] == true_subkey) {
       res.true_score = scores[c];
     } else {

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "core/telemetry.hpp"
 #include "nn/model.hpp"
 #include "util/rng.hpp"
 
@@ -33,6 +34,10 @@ struct KeyRecoveryOptions {
   /// Candidate subkeys to score.  Empty = all 2^16 (slow but complete).
   std::vector<std::uint16_t> candidates;
   std::uint64_t seed = 0x6e45ULL;
+  /// Candidate-scoring fan-out (0 = hardware, 1 = serial).  Candidates are
+  /// scored independently and reduced in order, so the result never depends
+  /// on this.
+  std::size_t threads = 0;
 };
 
 struct KeyRecoveryResult {
@@ -43,6 +48,7 @@ struct KeyRecoveryResult {
   double true_score = 0.0;
   double mean_wrong_score = 0.0;   ///< average over wrong candidates
   std::size_t candidates_scored = 0;
+  PhaseTelemetry telemetry;        ///< candidate-scoring throughput
 };
 
 /// Run the attack.  `model` must be trained on (total_rounds - 1)-round

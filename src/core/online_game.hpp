@@ -3,9 +3,16 @@
 // trained MLDistinguisher and must name the oracle.  `play_games` repeats
 // the game and reports the attacker's success rate together with the
 // paper's headline numbers (accuracy on cipher data vs random data).
+//
+// Games are independent, so they fan out over the thread pool: the
+// referee's coin flips and per-game online seeds are drawn serially up
+// front (preserving the referee stream), then each game runs in parallel
+// and the tallies are reduced in game order — the report is bitwise
+// identical for any worker count.
 #pragma once
 
 #include "core/distinguisher.hpp"
+#include "core/telemetry.hpp"
 
 namespace mldist::core {
 
@@ -16,12 +23,19 @@ struct GameReport {
   double success_rate = 0.0;        ///< correct / games
   double mean_cipher_accuracy = 0.0;  ///< mean a' when ORACLE = CIPHER
   double mean_random_accuracy = 0.0;  ///< mean a' when ORACLE = RANDOM
+  PhaseTelemetry telemetry;  ///< queries/rows across all games, wall time
 };
 
 /// Play `games` independent rounds with `online_base_inputs` online base
 /// inputs each.  The distinguisher must already be trained on `target`.
+/// `threads` controls the game-level fan-out (0 = hardware, 1 = serial);
+/// it never changes the report, only the wall time.
 GameReport play_games(const MLDistinguisher& dist, const Target& target,
                       std::size_t games, std::size_t online_base_inputs,
-                      std::uint64_t seed);
+                      std::uint64_t seed, std::size_t threads = 0);
+
+/// Convenience: budgets, seed and fan-out from one ExperimentConfig.
+GameReport play_games(const MLDistinguisher& dist, const Target& target,
+                      const ExperimentConfig& config);
 
 }  // namespace mldist::core

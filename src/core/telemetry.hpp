@@ -1,0 +1,42 @@
+// Per-phase throughput telemetry for the distinguisher pipeline.
+//
+// Every phase of Algorithm 2 (offline data generation, training, online
+// data generation, scoring) fills one PhaseTelemetry so reports and benches
+// can track queries/sec and rows/sec as the engine is parallelised; the
+// BENCH_*.json artifacts are built from these records.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace mldist::core {
+
+struct PhaseTelemetry {
+  double seconds = 0.0;
+  std::size_t queries = 0;  ///< oracle queries issued (0 for pure-NN phases)
+  std::size_t rows = 0;     ///< labelled rows produced / scored
+  std::size_t threads = 1;  ///< worker count the phase fanned out over
+
+  double queries_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(queries) / seconds : 0.0;
+  }
+  double rows_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(rows) / seconds : 0.0;
+  }
+
+  std::string to_json() const {
+    util::JsonBuilder j;
+    j.field("seconds", seconds)
+        .field("queries", queries)
+        .field("rows", rows)
+        .field("threads", threads)
+        .field("queries_per_sec", queries_per_sec())
+        .field("rows_per_sec", rows_per_sec());
+    return j.str();
+  }
+};
+
+}  // namespace mldist::core

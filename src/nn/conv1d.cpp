@@ -108,10 +108,15 @@ Mat GlobalMaxPool1D::forward(const Mat& x, bool training) {
   if (x.cols() != length_ * channels_) {
     throw std::invalid_argument("GlobalMaxPool1D: input width mismatch");
   }
-  batch_ = x.rows();
-  Mat y(batch_, channels_);
-  if (training) argmax_.assign(batch_ * channels_, 0);
-  for (std::size_t n = 0; n < batch_; ++n) {
+  const std::size_t batch = x.rows();
+  Mat y(batch, channels_);
+  // Inference-mode forward must stay free of member writes: batched
+  // evaluate/predict runs it concurrently on a shared model.
+  if (training) {
+    batch_ = batch;
+    argmax_.assign(batch_ * channels_, 0);
+  }
+  for (std::size_t n = 0; n < batch; ++n) {
     const float* xr = x.row(n);
     float* yr = y.row(n);
     for (std::size_t c = 0; c < channels_; ++c) {

@@ -6,6 +6,9 @@
 #include <limits>
 #include <numeric>
 
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
 namespace mldist::nn {
 
 Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
@@ -21,8 +24,36 @@ Mat Sequential::forward(const Mat& x, bool training) {
 
 Mat Sequential::predict_proba(const Mat& x) { return softmax(forward(x)); }
 
-std::vector<int> Sequential::predict(const Mat& x) {
-  return argmax_rows(forward(x));
+namespace {
+/// Copy rows [begin, end) of `x` into a fresh batch matrix.
+Mat slice_rows(const Mat& x, std::size_t begin, std::size_t end) {
+  Mat out(end - begin, x.cols());
+  std::copy(x.row(begin), x.row(begin) + (end - begin) * x.cols(), out.data());
+  return out;
+}
+
+util::ThreadPool& pool_or_global(util::ThreadPool* pool) {
+  return pool != nullptr ? *pool : util::ThreadPool::global();
+}
+}  // namespace
+
+std::vector<int> Sequential::predict(const Mat& x, std::size_t batch_size,
+                                     util::ThreadPool* pool) {
+  const std::size_t n = x.rows();
+  const std::size_t bs = std::max<std::size_t>(1, batch_size);
+  const std::size_t batches = (n + bs - 1) / bs;
+  if (batches <= 1) return argmax_rows(forward(x));
+
+  std::vector<int> out(n);
+  pool_or_global(pool).parallel_for(batches, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      const std::size_t begin = b * bs;
+      const std::size_t end = std::min(n, begin + bs);
+      const std::vector<int> pred = argmax_rows(forward(slice_rows(x, begin, end)));
+      std::copy(pred.begin(), pred.end(), out.begin() + static_cast<std::ptrdiff_t>(begin));
+    }
+  });
+  return out;
 }
 
 std::vector<ParamView> Sequential::params() {
@@ -72,6 +103,7 @@ EpochStats Sequential::fit(const Dataset& train, Optimizer& opt,
 
   EpochStats last;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const util::Timer epoch_timer;
     if (options.shuffle) std::shuffle(order.begin(), order.end(), rng);
     double loss_sum = 0.0;
     double acc_sum = 0.0;
@@ -107,34 +139,47 @@ EpochStats Sequential::fit(const Dataset& train, Optimizer& opt,
       last.val_loss = std::numeric_limits<double>::quiet_NaN();
       last.val_accuracy = std::numeric_limits<double>::quiet_NaN();
     }
+    last.seconds = epoch_timer.seconds();
     if (options.on_epoch) options.on_epoch(last);
   }
   return last;
 }
 
-EvalResult Sequential::evaluate(const Dataset& data, std::size_t batch_size) {
+EvalResult Sequential::evaluate(const Dataset& data, std::size_t batch_size,
+                                util::ThreadPool* pool) {
   assert(data.x.rows() == data.y.size());
+  const std::size_t n = data.size();
+  const std::size_t bs = std::max<std::size_t>(1, batch_size);
+  const std::size_t batches = (n + bs - 1) / bs;
+  // Per-batch partials are reduced in batch order below, so the result is
+  // bitwise identical to a serial pass regardless of the worker count.
+  std::vector<double> batch_loss(batches, 0.0);
+  std::vector<std::size_t> batch_hits(batches, 0);
+  pool_or_global(pool).parallel_for(batches, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      const std::size_t begin = b * bs;
+      const std::size_t end = std::min(n, begin + bs);
+      const std::vector<int> yb(
+          data.y.begin() + static_cast<std::ptrdiff_t>(begin),
+          data.y.begin() + static_cast<std::ptrdiff_t>(end));
+      const Mat logits = forward(slice_rows(data.x, begin, end), /*training=*/false);
+      const LossResult lr =
+          softmax_cross_entropy(logits, yb, /*compute_grad=*/false);
+      batch_loss[b] = lr.loss * static_cast<double>(end - begin);
+      batch_hits[b] = static_cast<std::size_t>(
+          std::lround(lr.accuracy * static_cast<double>(end - begin)));
+    }
+  });
   double loss_sum = 0.0;
   std::size_t hits = 0;
-  for (std::size_t begin = 0; begin < data.size(); begin += batch_size) {
-    const std::size_t end = std::min(begin + batch_size, data.size());
-    Mat xb(end - begin, data.x.cols());
-    for (std::size_t i = begin; i < end; ++i) {
-      const float* src = data.x.row(i);
-      std::copy(src, src + data.x.cols(), xb.row(i - begin));
-    }
-    std::vector<int> yb(data.y.begin() + static_cast<std::ptrdiff_t>(begin),
-                        data.y.begin() + static_cast<std::ptrdiff_t>(end));
-    const Mat logits = forward(xb, /*training=*/false);
-    const LossResult lr = softmax_cross_entropy(logits, yb, /*compute_grad=*/false);
-    loss_sum += lr.loss * static_cast<double>(end - begin);
-    hits += static_cast<std::size_t>(
-        std::lround(lr.accuracy * static_cast<double>(end - begin)));
+  for (std::size_t b = 0; b < batches; ++b) {
+    loss_sum += batch_loss[b];
+    hits += batch_hits[b];
   }
   EvalResult out;
-  if (data.size() > 0) {
-    out.loss = loss_sum / static_cast<double>(data.size());
-    out.accuracy = static_cast<double>(hits) / static_cast<double>(data.size());
+  if (n > 0) {
+    out.loss = loss_sum / static_cast<double>(n);
+    out.accuracy = static_cast<double>(hits) / static_cast<double>(n);
   }
   return out;
 }

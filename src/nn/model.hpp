@@ -11,6 +11,10 @@
 #include "nn/optimizer.hpp"
 #include "util/rng.hpp"
 
+namespace mldist::util {
+class ThreadPool;
+}
+
 namespace mldist::nn {
 
 /// A labelled classification data set: one sample per row of X, integer
@@ -28,6 +32,7 @@ struct EpochStats {
   double train_accuracy = 0.0;
   double val_loss = 0.0;       ///< NaN when no validation set was given
   double val_accuracy = 0.0;
+  double seconds = 0.0;        ///< wall time of this epoch (incl. validation)
 };
 
 struct FitOptions {
@@ -57,15 +62,23 @@ class Sequential {
 
   /// Softmax probabilities for a batch.
   Mat predict_proba(const Mat& x);
-  /// Argmax class predictions for a batch.
-  std::vector<int> predict(const Mat& x);
+
+  /// Argmax class predictions.  Rows are scored in fixed `batch_size`
+  /// slices fanned out over `pool` (nullptr = the process-wide pool); each
+  /// row's logits are independent of its batch, so the predictions are
+  /// bitwise identical for any worker count.
+  std::vector<int> predict(const Mat& x, std::size_t batch_size = 512,
+                           util::ThreadPool* pool = nullptr);
 
   /// Mini-batch training with softmax cross-entropy.  Returns the stats of
   /// the final epoch.
   EpochStats fit(const Dataset& train, Optimizer& opt, const FitOptions& options);
 
-  /// Loss and accuracy over a data set (batched internally).
-  EvalResult evaluate(const Dataset& data, std::size_t batch_size = 512);
+  /// Loss and accuracy over a data set.  Independent batches are scored
+  /// concurrently on `pool` (nullptr = the process-wide pool) and reduced
+  /// in batch order, so the result does not depend on the worker count.
+  EvalResult evaluate(const Dataset& data, std::size_t batch_size = 512,
+                      util::ThreadPool* pool = nullptr);
 
   /// All trainable parameters, in layer order.
   std::vector<ParamView> params();

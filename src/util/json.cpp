@@ -1,0 +1,102 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace mldist::util {
+
+void JsonBuilder::key(const std::string& k) {
+  if (!body_.empty()) body_ += ",";
+  body_ += quote(k) + ":";
+}
+
+JsonBuilder& JsonBuilder::field(const std::string& k, double value) {
+  key(k);
+  if (std::isfinite(value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    body_ += buf;
+  } else {
+    body_ += "null";  // JSON has no NaN/Inf
+  }
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::field(const std::string& k, std::uint64_t value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::field(const std::string& k, int value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::field(const std::string& k, bool value) {
+  key(k);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::field(const std::string& k, const std::string& value) {
+  key(k);
+  body_ += quote(value);
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::field(const std::string& k, const char* value) {
+  return field(k, std::string(value));
+}
+
+JsonBuilder& JsonBuilder::raw(const std::string& k, const std::string& json) {
+  key(k);
+  body_ += json;
+  return *this;
+}
+
+std::string JsonBuilder::array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += items[i];
+  }
+  return out + "]";
+}
+
+std::string JsonBuilder::quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out + "\"";
+}
+
+bool write_json_file(const std::string& path, const std::string& json) {
+  const std::filesystem::path p(path);
+  std::error_code ec;
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path(), ec);
+  std::ofstream out(path);
+  if (!out) return false;
+  out << json << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace mldist::util

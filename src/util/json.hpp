@@ -1,0 +1,44 @@
+// Minimal JSON emission for telemetry records and bench artifacts.
+//
+// The repo only ever *writes* JSON (one object per report / bench run, fed
+// to external plotting or tracking scripts), so this is a builder, not a
+// parser.  Nesting is by composition: build the child with its own
+// JsonBuilder and attach it with raw().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mldist::util {
+
+class JsonBuilder {
+ public:
+  JsonBuilder& field(const std::string& key, double value);
+  JsonBuilder& field(const std::string& key, std::uint64_t value);
+  JsonBuilder& field(const std::string& key, int value);
+  JsonBuilder& field(const std::string& key, bool value);
+  JsonBuilder& field(const std::string& key, const std::string& value);
+  JsonBuilder& field(const std::string& key, const char* value);
+  /// Attach pre-rendered JSON (an object or array) under `key`.
+  JsonBuilder& raw(const std::string& key, const std::string& json);
+
+  /// The finished object, e.g. {"a":1,"b":"x"}.
+  std::string str() const { return "{" + body_ + "}"; }
+
+  /// Render a list of pre-rendered JSON values as an array.
+  static std::string array(const std::vector<std::string>& items);
+  /// Quote and escape a string as a JSON value.
+  static std::string quote(const std::string& s);
+
+ private:
+  void key(const std::string& k);
+
+  std::string body_;
+};
+
+/// Write `json` to `path` (one line, trailing newline), creating parent
+/// directories.  Returns false on I/O failure.
+bool write_json_file(const std::string& path, const std::string& json);
+
+}  // namespace mldist::util

@@ -12,6 +12,13 @@ std::uint64_t splitmix64_next(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_stream_seed(std::uint64_t master, std::uint64_t index) {
+  std::uint64_t state = master;
+  (void)splitmix64_next(state);
+  state ^= (index + 1) * 0x9e3779b97f4a7c15ULL;
+  return splitmix64_next(state);
+}
+
 Xoshiro256::Xoshiro256(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64_next(sm);

@@ -16,6 +16,15 @@ namespace mldist::util {
 /// splitmix64 step: advances `state` and returns the next output word.
 std::uint64_t splitmix64_next(std::uint64_t& state);
 
+/// Seed for the `index`-th independent RNG stream of a master seed.  The
+/// parallel data engine gives every fixed-size chunk of work the stream
+/// `Xoshiro256(derive_stream_seed(master, chunk_index))`, so the output is a
+/// pure function of (master, chunk grid) and bitwise identical for any
+/// worker count.  splitmix64-based: the master is advanced one step (so the
+/// streams are decorrelated from a raw master that is itself used as a
+/// xoshiro seed) and the index enters through the golden-ratio increment.
+std::uint64_t derive_stream_seed(std::uint64_t master, std::uint64_t index);
+
 /// Xoshiro256** PRNG.  Not cryptographically secure; used only to drive
 /// experiments (key/nonce/plaintext sampling, weight init, shuffles).
 class Xoshiro256 {

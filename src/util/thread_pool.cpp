@@ -4,6 +4,18 @@
 
 namespace mldist::util {
 
+namespace {
+thread_local bool tls_in_parallel_region = false;
+
+struct RegionGuard {
+  bool prev;
+  RegionGuard() : prev(tls_in_parallel_region) { tls_in_parallel_region = true; }
+  ~RegionGuard() { tls_in_parallel_region = prev; }
+};
+}  // namespace
+
+bool ThreadPool::in_parallel_region() { return tls_in_parallel_region; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   std::size_t n = threads;
   if (n == 0) {
@@ -39,6 +51,7 @@ void ThreadPool::worker_loop(std::size_t index) {
       task = tasks_[index];
     }
     if (task.body != nullptr && task.begin < task.end) {
+      RegionGuard guard;
       (*task.body)(task.begin, task.end);
     }
     {
@@ -53,7 +66,8 @@ void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   const std::size_t total = thread_count();
   if (n == 0) return;
-  if (total == 1 || n == 1) {
+  if (total == 1 || n == 1 || tls_in_parallel_region) {
+    RegionGuard guard;
     body(0, n);
     return;
   }
@@ -75,7 +89,10 @@ void ThreadPool::parallel_for(
     ++generation_;
   }
   wake_.notify_all();
-  body(0, std::min(n, per));
+  {
+    RegionGuard guard;
+    body(0, std::min(n, per));
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   done_.wait(lock, [&] { return pending_ == 0; });
 }
@@ -83,6 +100,25 @@ void ThreadPool::parallel_for(
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
+}
+
+std::size_t parallel_for_threads(
+    std::size_t threads, std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return 1;
+  if (threads == 1 || n == 1 || tls_in_parallel_region) {
+    RegionGuard guard;
+    body(0, n);
+    return 1;
+  }
+  if (threads == 0) {
+    ThreadPool& pool = ThreadPool::global();
+    pool.parallel_for(n, body);
+    return pool.thread_count();
+  }
+  ThreadPool pool(threads);
+  pool.parallel_for(n, body);
+  return pool.thread_count();
 }
 
 }  // namespace mldist::util

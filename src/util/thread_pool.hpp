@@ -1,10 +1,17 @@
 // A minimal persistent thread pool with a parallel_for primitive.
 //
-// The NN hot path (matrix multiplication) uses it to split output rows
-// across cores; everything else in the repo is single-threaded and
-// deterministic.  parallel_for partitions [0, n) into one contiguous chunk
-// per worker, so results are bitwise independent of the worker count as
-// long as chunks write disjoint memory.
+// The data engine (core/dataset) and the NN hot paths (matmul, batched
+// evaluate/predict) use it to split independent work across cores.
+// parallel_for partitions [0, n) into one contiguous chunk per worker, so
+// results are bitwise independent of the worker count as long as chunks
+// write disjoint memory.
+//
+// parallel_for is reentrancy-safe: a call made from inside a parallel_for
+// body (e.g. a matmul running under the batch-level evaluate loop) executes
+// the whole range inline on the current thread instead of re-entering the
+// pool.  The outermost caller therefore owns the fan-out and nested levels
+// degrade to serial, which both avoids deadlock and keeps the work grid —
+// hence the results — identical.
 #pragma once
 
 #include <condition_variable>
@@ -35,6 +42,10 @@ class ThreadPool {
   /// Process-wide pool (lazily constructed, sized to the hardware).
   static ThreadPool& global();
 
+  /// True while the current thread is executing a parallel_for chunk (of any
+  /// pool).  Nested parallel_for calls detect this and run inline.
+  static bool in_parallel_region();
+
  private:
   struct Task {
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
@@ -53,5 +64,14 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   bool stop_ = false;
 };
+
+/// Run body over [0, n) with the fan-out implied by `threads`: 0 = the
+/// process-wide pool, 1 = inline serial, otherwise a dedicated pool of that
+/// many workers.  Inside an enclosing parallel region the body always runs
+/// inline (see the reentrancy contract above).  Returns the worker count
+/// actually used, for telemetry.
+std::size_t parallel_for_threads(
+    std::size_t threads, std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body);
 
 }  // namespace mldist::util

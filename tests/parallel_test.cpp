@@ -1,0 +1,208 @@
+// Determinism contract of the parallel pipeline (see DESIGN.md):
+//   * derive_stream_seed gives independent, reproducible per-chunk streams;
+//   * collect_dataset's chunked engine is a pure function of (seed, chunk
+//     size) — bitwise identical for every worker count, including sizes
+//     that do not divide evenly into chunks;
+//   * Sequential::evaluate / predict reduce per-batch partials in batch
+//     order — identical results for every pool size;
+//   * nested parallel_for calls run inline instead of deadlocking;
+//   * a full MLDistinguisher::train is reproducible across thread counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/distinguisher.hpp"
+#include "core/experiment.hpp"
+#include "core/targets.hpp"
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace mldist;
+
+// ---------------------------------------------------------------------------
+// derive_stream_seed
+// ---------------------------------------------------------------------------
+
+TEST(StreamSeed, DeterministicPerIndex) {
+  EXPECT_EQ(util::derive_stream_seed(42, 0), util::derive_stream_seed(42, 0));
+  EXPECT_EQ(util::derive_stream_seed(42, 7), util::derive_stream_seed(42, 7));
+}
+
+TEST(StreamSeed, DistinctAcrossIndicesAndMasters) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t master : {0ULL, 1ULL, 42ULL, 0xdeadbeefULL}) {
+    for (std::uint64_t index = 0; index < 256; ++index) {
+      seen.insert(util::derive_stream_seed(master, index));
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u * 256u);
+}
+
+TEST(StreamSeed, StreamsAreNotShiftedCopies) {
+  // The first outputs of adjacent streams must not overlap: a plain
+  // counter seed would make stream c+1 replay stream c shifted by one.
+  util::Xoshiro256 a(util::derive_stream_seed(9, 0));
+  util::Xoshiro256 b(util::derive_stream_seed(9, 1));
+  std::set<std::uint64_t> outputs;
+  for (int i = 0; i < 64; ++i) {
+    outputs.insert(a.next_u64());
+    outputs.insert(b.next_u64());
+  }
+  EXPECT_EQ(outputs.size(), 128u);
+}
+
+// ---------------------------------------------------------------------------
+// collect_dataset engine
+// ---------------------------------------------------------------------------
+
+bool same_dataset(const nn::Dataset& a, const nn::Dataset& b) {
+  return a.x.rows() == b.x.rows() && a.x.cols() == b.x.cols() &&
+         a.y == b.y &&
+         std::memcmp(a.x.data(), b.x.data(),
+                     a.x.size() * sizeof(float)) == 0;
+}
+
+TEST(CollectEngine, BitwiseIdenticalAcrossThreadCounts) {
+  const core::GimliHashTarget target(2);
+  const core::CipherOracle oracle(target);
+  // 130 base inputs with chunk 16: 8 full chunks plus a ragged tail.
+  core::CollectOptions opt;
+  opt.seed = 0xfeedULL;
+  opt.chunk_base_inputs = 16;
+
+  opt.threads = 1;
+  const nn::Dataset serial = core::collect_dataset(oracle, 130, opt);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{0}}) {
+    opt.threads = threads;
+    const nn::Dataset ds = core::collect_dataset(oracle, 130, opt);
+    EXPECT_TRUE(same_dataset(serial, ds)) << "threads=" << threads;
+  }
+}
+
+TEST(CollectEngine, SeedAndChunkSizeDefineTheBytes) {
+  const core::ToyGiftTarget target;
+  const core::CipherOracle oracle(target);
+  core::CollectOptions opt;
+  opt.seed = 5;
+  opt.threads = 1;
+  opt.chunk_base_inputs = 8;
+  const nn::Dataset a = core::collect_dataset(oracle, 64, opt);
+  const nn::Dataset b = core::collect_dataset(oracle, 64, opt);
+  EXPECT_TRUE(same_dataset(a, b));
+
+  opt.seed = 6;
+  const nn::Dataset other_seed = core::collect_dataset(oracle, 64, opt);
+  EXPECT_FALSE(same_dataset(a, other_seed));
+
+  // The chunk grid is part of the contract: a different chunk size maps
+  // streams to different spans, so the bytes legitimately change.
+  opt.seed = 5;
+  opt.chunk_base_inputs = 16;
+  const nn::Dataset other_chunk = core::collect_dataset(oracle, 64, opt);
+  EXPECT_FALSE(same_dataset(a, other_chunk));
+}
+
+TEST(CollectEngine, TelemetryCountsQueriesAndRows) {
+  const core::GimliHashTarget target(2);
+  const core::CipherOracle oracle(target);
+  core::CollectOptions opt;
+  opt.threads = 2;
+  core::PhaseTelemetry tel;
+  const nn::Dataset ds = core::collect_dataset(oracle, 50, opt, &tel);
+  const std::size_t t = oracle.num_differences();
+  EXPECT_EQ(ds.size(), 50 * t);
+  EXPECT_EQ(tel.rows, 50 * t);
+  EXPECT_EQ(tel.queries, 50 * (t + 1));
+  EXPECT_GE(tel.threads, 1u);
+  EXPECT_GE(tel.seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// evaluate / predict across pool sizes
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEval, EvaluateAndPredictStableAcrossPoolSizes) {
+  const core::GimliHashTarget target(2);
+  const core::CipherOracle oracle(target);
+  core::CollectOptions copt;
+  copt.seed = 11;
+  copt.threads = 1;
+  const nn::Dataset data = core::collect_dataset(oracle, 200, copt);
+
+  core::ExperimentConfig config;
+  config.seed = 3;
+  auto model = config.make_model(target);
+
+  // Small batches force many parallel slices over the 400-row set.
+  util::ThreadPool one(1);
+  const nn::EvalResult ref = model->evaluate(data, 32, &one);
+  const std::vector<int> ref_pred = model->predict(data.x, 32, &one);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    util::ThreadPool pool(threads);
+    const nn::EvalResult got = model->evaluate(data, 32, &pool);
+    EXPECT_EQ(got.loss, ref.loss) << "threads=" << threads;
+    EXPECT_EQ(got.accuracy, ref.accuracy) << "threads=" << threads;
+    EXPECT_EQ(model->predict(data.x, 32, &pool), ref_pred)
+        << "threads=" << threads;
+  }
+  // The global pool (whatever its size) must agree too.
+  const nn::EvalResult global = model->evaluate(data, 32);
+  EXPECT_EQ(global.loss, ref.loss);
+  EXPECT_EQ(global.accuracy, ref.accuracy);
+}
+
+// ---------------------------------------------------------------------------
+// nested parallel regions
+// ---------------------------------------------------------------------------
+
+TEST(NestedParallel, InnerParallelForRunsInlineWithoutDeadlock) {
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  util::parallel_for_threads(4, 8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      ++outer;
+      EXPECT_TRUE(util::ThreadPool::in_parallel_region());
+      // Would deadlock (or mis-schedule) if it re-entered the same pool.
+      util::ThreadPool::global().parallel_for(
+          4, [&](std::size_t b, std::size_t e) {
+            inner += static_cast<int>(e - b);
+          });
+    }
+  });
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), 8 * 4);
+  EXPECT_FALSE(util::ThreadPool::in_parallel_region());
+}
+
+// ---------------------------------------------------------------------------
+// end-to-end train reproducibility
+// ---------------------------------------------------------------------------
+
+TEST(ParallelTrain, TrainReportIdenticalAcrossThreadSettings) {
+  const auto run = [](std::size_t threads) {
+    core::ExperimentConfig config;
+    config.target = "gimli-hash";
+    config.rounds = 2;
+    config.epochs = 1;
+    config.seed = 77;
+    config.threads = threads;
+    const auto target = config.make_target();
+    core::MLDistinguisher dist(*target, config);
+    return dist.train(*target, 300);
+  };
+  const core::TrainReport a = run(1);
+  const core::TrainReport b = run(2);
+  EXPECT_EQ(a.train_accuracy, b.train_accuracy);
+  EXPECT_EQ(a.val_accuracy, b.val_accuracy);
+  EXPECT_EQ(a.train_loss, b.train_loss);
+  EXPECT_EQ(a.samples, b.samples);
+}
+
+}  // namespace

@@ -43,8 +43,9 @@ int main(int argc, char** argv) {
   fit.validation = &val;
   fit.shuffle_seed = opt.seed;
   fit.on_epoch = [](const nn::EpochStats& s) {
+    const double val = s.val_accuracy.value_or(0.0);
     std::printf("%-8d %-12.4f %-12.4f %+.4f\n", s.epoch, s.train_accuracy,
-                s.val_accuracy, s.train_accuracy - s.val_accuracy);
+                val, s.train_accuracy - val);
   };
   util::Timer timer;
   (void)model->fit(train, adam, fit);

@@ -2,7 +2,7 @@
 // the unified core::ExperimentConfig API.
 //
 //   mldist_cli train --target gimli-hash --rounds 7 --samples 5000
-//              --epochs 3 --model dist.nnb [--threads 4] [--json]
+//              --epochs 3 --model dist.nnb [--threads 4] [--retries 3] [--json]
 //   mldist_cli test  --target gimli-hash --rounds 7 --model dist.nnb
 //              --samples 2000 [--oracle random] [--json]
 //   mldist_cli list
@@ -11,23 +11,35 @@
 // trivium (--rounds means init clocks for trivium).  With --json the report
 // is printed as one machine-readable JSON line (config, per-phase telemetry,
 // verdict) instead of the human-readable text.
+//
+// Exit codes: 0 success, 1 distinguisher not usable, 2 usage/config error,
+// 3 runtime failure (I/O, corrupt model file, ...).  Failures print a
+// structured error — a JSON error record under --json — instead of crashing
+// with an unhandled exception.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "core/distinguisher.hpp"
 #include "core/experiment.hpp"
+#include "core/model_io.hpp"
 #include "core/targets.hpp"
-#include "nn/serialize.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
 using namespace mldist;
+
+// Distinct exit codes for scripting: configuration mistakes are retryable
+// by the caller with different flags, runtime failures are not.
+constexpr int kExitNotUsable = 1;
+constexpr int kExitConfig = 2;
+constexpr int kExitRuntime = 3;
 
 struct Args {
   std::string command;
@@ -76,6 +88,10 @@ bool parse(int argc, char** argv, Args& out) {
       out.oracle = v;
     } else if (flag == "--seed") {
       out.config.seed = std::strtoull(v, nullptr, 0);
+    } else if (flag == "--retries") {
+      out.config.max_retries = std::atoi(v);
+    } else if (flag == "--checkpoint") {
+      out.config.checkpoint_path = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -89,12 +105,13 @@ int usage() {
                "usage:\n"
                "  mldist_cli train --target T --rounds R --samples N "
                "--epochs E --model PATH\n"
-               "             [--arch A] [--threads W] [--seed S] [--json]\n"
+               "             [--arch A] [--threads W] [--seed S] "
+               "[--retries N] [--checkpoint PATH] [--json]\n"
                "  mldist_cli test  --target T --rounds R --samples N "
                "--model PATH\n"
                "             [--oracle cipher|random] [--threads W] [--json]\n"
                "  mldist_cli list\n");
-  return 2;
+  return kExitConfig;
 }
 
 int cmd_list() {
@@ -113,23 +130,21 @@ int cmd_list() {
 }
 
 int cmd_train(const Args& args) {
-  std::unique_ptr<core::Target> target;
-  try {
-    target = args.config.make_target();
-  } catch (const std::invalid_argument&) {
-    return usage();
-  }
+  std::unique_ptr<core::Target> target = args.config.make_target();
   core::ExperimentConfig config = args.config;
   if (!args.json) {
     config.on_epoch = [](const nn::EpochStats& s) {
       std::printf("epoch %d: train %.4f  val %.4f  (%.2fs)\n", s.epoch,
-                  s.train_accuracy, s.val_accuracy, s.seconds);
+                  s.train_accuracy, s.val_accuracy.value_or(0.0), s.seconds);
     };
   }
   core::MLDistinguisher dist(*target, config);
   const core::TrainReport rep =
       dist.train(*target, config.offline_base_inputs);
-  nn::save_params(dist.model(), args.model_path);
+  // Self-describing, CRC-checksummed format (core/model_io) so `test` can
+  // rebuild the architecture and detect on-disk corruption.
+  core::save_model(dist.model(), config.arch, target->output_bytes() * 8,
+                   target->num_differences(), args.model_path);
 
   if (args.json) {
     util::JsonBuilder j;
@@ -145,6 +160,7 @@ int cmd_train(const Args& args) {
         .field("seconds_per_epoch", rep.seconds_per_epoch)
         .raw("collect", rep.collect.to_json())
         .raw("fit", rep.fit.to_json())
+        .raw("robustness", rep.robustness.to_json())
         .field("model_path", args.model_path);
     std::printf("%s\n", j.str().c_str());
   } else {
@@ -152,24 +168,33 @@ int cmd_train(const Args& args) {
                 "%zu threads)\n",
                 rep.collect.queries, rep.collect.seconds,
                 rep.collect.queries_per_sec(), rep.collect.threads);
+    if (rep.robustness.attempts > 1 || rep.robustness.degraded_to_baseline) {
+      std::printf("recovery: %d attempts, %d divergences, %d rollbacks%s\n",
+                  rep.robustness.attempts, rep.robustness.divergences,
+                  rep.robustness.rollbacks,
+                  rep.robustness.degraded_to_baseline
+                      ? " -> DEGRADED to linear baseline"
+                      : "");
+    }
     std::printf("training accuracy a = %.4f over 2^%.1f queries -> %s\n",
                 rep.val_accuracy, rep.log2_data,
                 rep.usable ? "usable" : "NOT usable (Algorithm 2 aborts)");
     std::printf("model written to %s\n", args.model_path.c_str());
   }
-  return rep.usable ? 0 : 1;
+  return rep.usable ? 0 : kExitNotUsable;
 }
 
 int cmd_test(const Args& args) {
-  std::unique_ptr<core::Target> target;
-  try {
-    target = args.config.make_target();
-  } catch (const std::invalid_argument&) {
-    return usage();
-  }
+  std::unique_ptr<core::Target> target = args.config.make_target();
   const core::ExperimentConfig& config = args.config;
-  auto model = config.make_model(*target);
-  nn::load_params(*model, args.model_path);
+  core::LoadedModel loaded = core::load_model(args.model_path);
+  if (loaded.input_bits != target->output_bytes() * 8 ||
+      loaded.classes != target->num_differences()) {
+    throw std::invalid_argument(
+        "model " + args.model_path + " (arch " + loaded.arch +
+        ") does not match target " + target->name());
+  }
+  std::unique_ptr<nn::Sequential> model = std::move(loaded.model);
 
   // Rebind the distinguisher to the loaded weights: we must not re-train
   // over them, so calibrate a on fresh cipher data with the weights frozen.
@@ -242,13 +267,36 @@ int cmd_test(const Args& args) {
   return 0;
 }
 
+/// Print a structured error record (JSON under --json) and return the exit
+/// code, instead of dying with an unhandled exception.
+int report_error(bool json, const char* kind, const std::string& what,
+                 int code) {
+  if (json) {
+    util::JsonBuilder j;
+    j.field("error", true).field("kind", kind).field("what", what)
+        .field("exit_code", code);
+    std::printf("%s\n", j.str().c_str());
+  } else {
+    std::fprintf(stderr, "mldist_cli: %s error: %s\n", kind, what.c_str());
+  }
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!parse(argc, argv, args)) return usage();
-  if (args.command == "list") return cmd_list();
-  if (args.command == "train") return cmd_train(args);
-  if (args.command == "test") return cmd_test(args);
-  return usage();
+  try {
+    if (args.command == "list") return cmd_list();
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "test") return cmd_test(args);
+    return usage();
+  } catch (const std::invalid_argument& e) {
+    // Bad target/arch names, model/target mismatches: caller-fixable.
+    return report_error(args.json, "config", e.what(), kExitConfig);
+  } catch (const std::exception& e) {
+    // I/O failures, corrupt model files, internal errors.
+    return report_error(args.json, "runtime", e.what(), kExitRuntime);
+  }
 }

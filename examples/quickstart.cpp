@@ -28,7 +28,7 @@ int main() {
   options.epochs = 3;
   options.on_epoch = [](const nn::EpochStats& s) {
     std::printf("  epoch %d: train acc %.4f, val acc %.4f\n", s.epoch,
-                s.train_accuracy, s.val_accuracy);
+                s.train_accuracy, s.val_accuracy.value_or(0.0));
   };
   core::MLDistinguisher dist(std::move(model), options);
   std::printf("offline phase (training)...\n");

@@ -1,0 +1,39 @@
+#include "core/checkpoint.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+namespace mldist::core {
+
+bool CheckpointManager::update(nn::Sequential& model, double val_accuracy) {
+  if (has_checkpoint() && val_accuracy <= best_) return false;
+  const std::string tmp = path_ + ".tmp";
+  nn::save_params(model, tmp);
+  // Atomic publish: a crash mid-write leaves the previous checkpoint (or
+  // nothing) at `path_`, never a torn file.
+  std::filesystem::rename(tmp, path_);
+  best_ = val_accuracy;
+  return true;
+}
+
+void CheckpointManager::restore(nn::Sequential& model) const {
+  if (!has_checkpoint()) {
+    throw std::runtime_error("CheckpointManager: no checkpoint to restore");
+  }
+  try {
+    nn::load_params(model, path_);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("CheckpointManager: restore from " + path_ +
+                             " failed: " + e.what());
+  }
+}
+
+void CheckpointManager::remove_file() const {
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);
+  std::filesystem::remove(path_ + ".tmp", ec);
+}
+
+}  // namespace mldist::core

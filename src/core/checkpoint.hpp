@@ -1,0 +1,57 @@
+// Checkpoint/resume support for the offline phase (ISSUE 2).
+//
+// A CheckpointManager snapshots the model parameters whenever the
+// validation accuracy improves, so a diverging training run can be rolled
+// back to the last good state instead of starting over (or aborting the
+// whole Algorithm-2 run).  Snapshots are crash-safe: the payload is written
+// to "<path>.tmp" and atomically renamed over <path>, and the nn::serialize
+// format's CRC-32 footer (util/crc32) makes a torn or bit-rotted checkpoint
+// detectable at restore time.
+//
+// RetryPolicy is the companion knob set consumed by MLDistinguisher::train:
+// on nn::TrainingDiverged it restores the checkpoint, multiplies the
+// learning rate by `lr_backoff`, optionally reseeds the shuffle stream, and
+// tries again up to `max_attempts` times before degrading to the linear
+// baseline classifier.
+#pragma once
+
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace mldist::core {
+
+struct RetryPolicy {
+  int max_attempts = 3;   ///< fit attempts before degrading to the baseline
+  float lr_backoff = 0.5f;  ///< learning-rate factor applied per retry
+  bool reseed = true;     ///< derive a fresh shuffle stream per retry
+  /// Checkpoint file; empty = an auto-generated path under the system temp
+  /// directory, removed after training.
+  std::string checkpoint_path;
+};
+
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(std::string path) : path_(std::move(path)) {}
+
+  /// Snapshot `model` when `val_accuracy` beats the best seen so far
+  /// (atomic tmp-file + rename).  Returns true when a snapshot was written.
+  bool update(nn::Sequential& model, double val_accuracy);
+
+  bool has_checkpoint() const { return best_ >= 0.0; }
+  double best_val_accuracy() const { return best_; }
+  const std::string& path() const { return path_; }
+
+  /// Roll `model` back to the best snapshot.  Throws std::runtime_error
+  /// when no snapshot exists or the file fails its CRC verification.
+  void restore(nn::Sequential& model) const;
+
+  /// Delete the checkpoint file (best-effort; keeps the recorded best).
+  void remove_file() const;
+
+ private:
+  std::string path_;
+  double best_ = -1.0;
+};
+
+}  // namespace mldist::core

@@ -1,12 +1,19 @@
 #include "core/distinguisher.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
 #include <stdexcept>
 
+#include "core/linear_baseline.hpp"
 #include "core/targets.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+
+#include <unistd.h>
 
 namespace mldist::core {
 
@@ -18,6 +25,7 @@ namespace {
 constexpr std::uint64_t kOfflineTrainStream = 0x0ff1a0ULL;
 constexpr std::uint64_t kOfflineValStream = 0x0ff1a1ULL;
 constexpr std::uint64_t kShuffleStream = 0x5aff1eULL;
+constexpr std::uint64_t kBaselineStream = 0xba5e11eULL;
 
 /// Invoke fn(pool*) with the pool implied by `threads` (0 = process-wide
 /// pool; otherwise a dedicated pool).  Inside an enclosing parallel region
@@ -31,6 +39,28 @@ auto with_pool(std::size_t threads, Fn&& fn) {
   util::ThreadPool pool(threads);  // a 1-thread pool runs everything inline
   return fn(&pool);
 }
+
+/// A collision-free checkpoint path under the temp directory for callers
+/// that did not configure one (pid + process-local counter: concurrent
+/// trainings, in this process or in parallel ctest jobs, never clash).
+std::string auto_checkpoint_path(std::uint64_t seed) {
+  static std::atomic<unsigned> counter{0};
+  char name[96];
+  std::snprintf(name, sizeof(name), "mldist-ckpt-%llx-%d-%u.nnb",
+                static_cast<unsigned long long>(seed),
+                static_cast<int>(::getpid()),
+                counter.fetch_add(1, std::memory_order_relaxed));
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// The training fault injector: set one weight to NaN so the next forward
+/// pass produces a non-finite loss for the health guard to catch.
+void poison_first_weight(nn::Sequential& model) {
+  const auto params = model.params();
+  if (!params.empty() && params.front().size > 0) {
+    params.front().value[0] = std::numeric_limits<float>::quiet_NaN();
+  }
+}
 }  // namespace
 
 DistinguisherOptions::DistinguisherOptions(const ExperimentConfig& config)
@@ -41,7 +71,11 @@ DistinguisherOptions::DistinguisherOptions(const ExperimentConfig& config)
       z_threshold(config.z_threshold),
       seed(config.seed),
       threads(config.threads),
-      on_epoch(config.on_epoch) {}
+      on_epoch(config.on_epoch) {
+  retry.max_attempts = config.max_retries;
+  retry.lr_backoff = config.lr_backoff;
+  retry.checkpoint_path = config.checkpoint_path;
+}
 
 CollectOptions DistinguisherOptions::collect_options(
     std::uint64_t stream_seed) const {
@@ -78,9 +112,12 @@ MLDistinguisher::MLDistinguisher(const Target& target,
     : MLDistinguisher(config.make_model(target),
                       DistinguisherOptions(config)) {}
 
+MLDistinguisher::~MLDistinguisher() = default;
+
 TrainReport MLDistinguisher::train(const Target& target,
                                    std::size_t base_inputs) {
   t_ = target.num_differences();
+  baseline_.reset();
 
   const std::size_t val_base = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(base_inputs) *
@@ -104,16 +141,77 @@ TrainReport MLDistinguisher::train(const Target& target,
   collect_tel.queries += val_tel.queries;
   collect_tel.rows += val_tel.rows;
 
-  nn::Adam opt(options_.learning_rate);
-  const nn::FitOptions fit = options_.fit_options(
-      util::derive_stream_seed(options_.seed, kShuffleStream), &val_set);
+  // Fault-tolerant fit: every attempt checkpoints its best-validation
+  // epoch; a divergence rolls back to that checkpoint and retries with a
+  // backed-off learning rate and (optionally) a fresh shuffle stream.
+  const bool auto_ckpt = options_.retry.checkpoint_path.empty();
+  CheckpointManager ckpt(auto_ckpt ? auto_checkpoint_path(options_.seed)
+                                   : options_.retry.checkpoint_path);
+  RobustnessTelemetry rob;
+  const int max_attempts = std::max(1, options_.retry.max_attempts);
+  nn::EpochStats stats;
+  bool trained = false;
+  float lr = options_.learning_rate;
   const util::Timer fit_timer;
-  const nn::EpochStats stats = model_->fit(train_set, opt, fit);
+  for (int attempt = 1; attempt <= max_attempts && !trained; ++attempt) {
+    rob.attempts = attempt;
+    nn::Adam opt(lr);
+    nn::HealthMonitor monitor(options_.health);
+    // Attempt 1 uses the pre-robustness shuffle stream, so clean runs stay
+    // bitwise identical to earlier versions; retries draw fresh streams.
+    const std::uint64_t shuffle_stream =
+        (options_.retry.reseed && attempt > 1)
+            ? kShuffleStream + static_cast<std::uint64_t>(attempt - 1)
+            : kShuffleStream;
+    nn::FitOptions fit = options_.fit_options(
+        util::derive_stream_seed(options_.seed, shuffle_stream), &val_set);
+    if (options_.health_checks) fit.health = &monitor;
+    const auto forward_cb = fit.on_epoch;
+    fit.on_epoch = [&, attempt](const nn::EpochStats& s) {
+      if (forward_cb) forward_cb(s);
+      if (s.val_accuracy) ckpt.update(*model_, *s.val_accuracy);
+      // Injected training fault (tests / soak bench): poison a weight
+      // after the checkpoint so the next epoch diverges and the rollback
+      // restores this epoch's healthy state.
+      if (options_.faults.poison_weight_epoch > 0 &&
+          attempt <= options_.faults.poison_max_attempts &&
+          s.epoch == options_.faults.poison_weight_epoch) {
+        poison_first_weight(*model_);
+      }
+    };
+    try {
+      stats = model_->fit(train_set, opt, fit);
+      trained = true;
+    } catch (const nn::TrainingDiverged& e) {
+      ++rob.divergences;
+      rob.last_fault = e.what();
+      model_->zero_grad();  // the aborted batch left gradients accumulated
+      if (ckpt.has_checkpoint()) {
+        ckpt.restore(*model_);
+        ++rob.rollbacks;
+      }
+      lr *= options_.retry.lr_backoff;
+    }
+  }
 
   train_report_ = TrainReport{};
-  train_report_.train_accuracy = stats.train_accuracy;
-  train_report_.val_accuracy = stats.val_accuracy;
-  train_report_.train_loss = stats.train_loss;
+  if (trained) {
+    train_report_.train_accuracy = stats.train_accuracy;
+    train_report_.val_accuracy = stats.val_accuracy.value_or(0.0);
+    train_report_.train_loss = stats.train_loss;
+  } else {
+    // Retries exhausted: degrade to the linear baseline classifier so the
+    // online game still gets a usable verdict (recorded in the telemetry).
+    rob.degraded_to_baseline = true;
+    baseline_ = std::make_unique<LinearSvm>(train_set.x.cols(), t_);
+    LinearSvmOptions sopt;
+    sopt.epochs = std::max(1, options_.epochs);
+    sopt.seed = util::derive_stream_seed(options_.seed, kBaselineStream);
+    train_report_.train_accuracy = baseline_->fit(train_set, sopt);
+    train_report_.val_accuracy = baseline_->accuracy(val_set);
+    train_report_.train_loss = 0.0;
+  }
+  train_report_.robustness = rob;
   train_report_.samples = train_set.size() + val_set.size();
   train_report_.collect = collect_tel;
   train_report_.fit.seconds = fit_timer.seconds();
@@ -131,10 +229,11 @@ TrainReport MLDistinguisher::train(const Target& target,
   // ask for a z_threshold-sigma margin on the validation set.
   const std::size_t val_rows = val_set.size();
   const double z = util::binomial_z_score(
-      static_cast<std::size_t>(
-          std::lround(stats.val_accuracy * static_cast<double>(val_rows))),
+      static_cast<std::size_t>(std::lround(train_report_.val_accuracy *
+                                           static_cast<double>(val_rows))),
       val_rows, util::random_guess_accuracy(t_));
   train_report_.usable = z > options_.z_threshold;
+  if (auto_ckpt) ckpt.remove_file();
   return train_report_;
 }
 
@@ -155,9 +254,14 @@ OnlineReport MLDistinguisher::test(const Oracle& oracle,
       oracle, base_inputs, options_.collect_options(stream), &rep.collect);
 
   const util::Timer predict_timer;
-  const std::vector<int> pred = with_pool(options_.threads, [&](util::ThreadPool* pool) {
-    return model_->predict(online.x, /*batch_size=*/512, pool);
-  });
+  // Degraded mode: the neural fit never converged, so score with the
+  // linear-baseline fallback instead of the (unusable) network.
+  const std::vector<int> pred =
+      baseline_ != nullptr
+          ? baseline_->predict(online.x)
+          : with_pool(options_.threads, [&](util::ThreadPool* pool) {
+              return model_->predict(online.x, /*batch_size=*/512, pool);
+            });
   rep.predict.seconds = predict_timer.seconds();
   rep.predict.rows = pred.size();
   rep.predict.threads = rep.collect.threads;

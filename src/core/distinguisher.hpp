@@ -18,14 +18,18 @@
 #include <memory>
 #include <optional>
 
+#include "core/checkpoint.hpp"
 #include "core/dataset.hpp"
 #include "core/experiment.hpp"
 #include "core/oracle.hpp"
 #include "core/telemetry.hpp"
 #include "nn/model.hpp"
 #include "nn/optimizer.hpp"
+#include "util/fault.hpp"
 
 namespace mldist::core {
+
+class LinearSvm;
 
 enum class Verdict { kCipher, kRandom, kInconclusive };
 
@@ -39,6 +43,7 @@ struct TrainReport {
   PhaseTelemetry collect;       ///< offline data generation (train + val)
   PhaseTelemetry fit;           ///< training; rows = samples seen over epochs
   double seconds_per_epoch = 0.0;
+  RobustnessTelemetry robustness;  ///< retry/rollback/degradation record
 };
 
 struct OnlineReport {
@@ -61,6 +66,18 @@ struct DistinguisherOptions {
   std::size_t threads = 0;           ///< engine workers: 0 = hardware, 1 = serial
   std::size_t collect_chunk = 64;    ///< base inputs per derived RNG stream
   std::function<void(const nn::EpochStats&)> on_epoch;
+
+  // --- robustness (ISSUE 2) ----------------------------------------------
+  /// Divergence handling: rollback to the best checkpoint, back off the
+  /// learning rate, retry; degrade to the linear baseline when exhausted.
+  RetryPolicy retry;
+  /// Thresholds of the fit-time numeric-health guard.
+  nn::HealthOptions health;
+  /// Master switch for the guard (off = the pre-robustness fit behaviour).
+  bool health_checks = true;
+  /// Injected faults, used by tests and the robustness soak bench to force
+  /// the recovery paths deterministically.  Off by default.
+  util::FaultConfig faults;
 
   DistinguisherOptions() = default;
   /// Thin projection of the unified config (see core/experiment.hpp).
@@ -88,7 +105,14 @@ class MLDistinguisher {
   /// Convenience: build model and options from one ExperimentConfig.
   MLDistinguisher(const Target& target, const ExperimentConfig& config);
 
+  ~MLDistinguisher();
+
   /// Offline phase: collect `base_inputs` queries from the cipher, train.
+  /// Fault-tolerant: divergences detected by the numeric-health guard roll
+  /// the model back to the best checkpoint and retry with a backed-off
+  /// learning rate (options.retry); when all attempts fail the
+  /// distinguisher degrades to the linear baseline classifier and the
+  /// report's robustness telemetry records the degradation.
   TrainReport train(const Target& target, std::size_t base_inputs);
 
   /// Online phase against an unknown oracle; needs a prior train().
@@ -102,12 +126,16 @@ class MLDistinguisher {
 
   nn::Sequential& model() { return *model_; }
   const TrainReport& last_train() const { return train_report_; }
+  /// True when training exhausted its retries and the online phase now runs
+  /// on the linear baseline classifier instead of the neural model.
+  bool degraded() const { return baseline_ != nullptr; }
 
  private:
   std::unique_ptr<nn::Sequential> model_;
   DistinguisherOptions options_;
   TrainReport train_report_;
   std::size_t t_ = 0;
+  std::unique_ptr<LinearSvm> baseline_;  ///< set when degraded
 };
 
 }  // namespace mldist::core

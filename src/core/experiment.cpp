@@ -50,7 +50,10 @@ std::string ExperimentConfig::to_json() const {
       .field("threads", threads)
       .field("offline_base_inputs", offline_base_inputs)
       .field("online_base_inputs", online_base_inputs)
-      .field("games", games);
+      .field("games", games)
+      .field("max_retries", max_retries)
+      .field("lr_backoff", static_cast<double>(lr_backoff))
+      .field("checkpoint_path", checkpoint_path);
   return j.str();
 }
 

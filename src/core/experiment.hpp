@@ -42,6 +42,11 @@ struct ExperimentConfig {
   std::size_t online_base_inputs = 2000;
   std::size_t games = 12;             ///< oracle games for play_games
 
+  // --- fault tolerance (ISSUE 2) ------------------------------------------
+  int max_retries = 3;       ///< fit attempts before degrading to the baseline
+  float lr_backoff = 0.5f;   ///< learning-rate factor applied per retry
+  std::string checkpoint_path;  ///< empty = auto temp file, removed after train
+
   /// Epoch progress callback, forwarded (not copied) into training.
   std::function<void(const nn::EpochStats&)> on_epoch;
 

@@ -1,0 +1,106 @@
+#include "core/fault_injection.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+namespace mldist::core {
+
+namespace {
+// A query is re-issued at most this many times per drop burst, so a
+// pathological drop_prob cannot stall collection forever.
+constexpr int kMaxConsecutiveDrops = 8;
+}
+
+void FaultyOracle::query(util::Xoshiro256& rng,
+                         std::vector<std::vector<std::uint8_t>>& diffs) const {
+  // All fault decisions come from a child stream forked off the caller's
+  // chunk RNG: deterministic in the collection seed, independent of the
+  // worker count, and decorrelated from the data draws themselves.
+  util::Xoshiro256 faults = rng.fork();
+
+  int drops = 0;
+  while (config_.drop_prob > 0.0 && drops < kMaxConsecutiveDrops &&
+         faults.next_double() < config_.drop_prob) {
+    // The answer is lost in flight: the oracle did the work (consuming its
+    // RNG draws) but the caller never sees it and must re-issue.
+    inner_.query(rng, diffs);
+    ++drops;
+  }
+  if (drops > 0) drops_.fetch_add(drops, std::memory_order_relaxed);
+
+  if (config_.latency_spike_prob > 0.0 &&
+      faults.next_double() < config_.latency_spike_prob) {
+    latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.latency_spike_us));
+  }
+
+  inner_.query(rng, diffs);
+
+  if (config_.bit_flip_prob > 0.0 &&
+      faults.next_double() < config_.bit_flip_prob && !diffs.empty()) {
+    const std::size_t d = faults.next_below(diffs.size());
+    if (!diffs[d].empty()) {
+      const std::size_t bit = faults.next_below(diffs[d].size() * 8);
+      diffs[d][bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      bit_flips_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  queries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+FaultyOracle::Counters FaultyOracle::counters() const {
+  Counters c;
+  c.queries = queries_.load(std::memory_order_relaxed);
+  c.drops = drops_.load(std::memory_order_relaxed);
+  c.bit_flips = bit_flips_.load(std::memory_order_relaxed);
+  c.latency_spikes = latency_spikes_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void FaultyOracle::reset_counters() {
+  queries_.store(0, std::memory_order_relaxed);
+  drops_.store(0, std::memory_order_relaxed);
+  bit_flips_.store(0, std::memory_order_relaxed);
+  latency_spikes_.store(0, std::memory_order_relaxed);
+}
+
+void flip_file_bit(const std::string& path, std::size_t byte_offset,
+                   unsigned bit) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) throw std::runtime_error("flip_file_bit: cannot open " + path);
+  f.seekg(static_cast<std::streamoff>(byte_offset));
+  char byte = 0;
+  if (!f.read(&byte, 1)) {
+    throw std::runtime_error("flip_file_bit: offset past end of " + path);
+  }
+  byte = static_cast<char>(byte ^ static_cast<char>(1u << (bit % 8)));
+  f.seekp(static_cast<std::streamoff>(byte_offset));
+  f.write(&byte, 1);
+  if (!f) throw std::runtime_error("flip_file_bit: write failed for " + path);
+}
+
+void truncate_file(const std::string& path, std::size_t size) {
+  std::error_code ec;
+  const auto current = std::filesystem::file_size(path, ec);
+  if (ec) throw std::runtime_error("truncate_file: cannot stat " + path);
+  if (size > current) {
+    throw std::runtime_error("truncate_file: would grow " + path);
+  }
+  std::filesystem::resize_file(path, size, ec);
+  if (ec) throw std::runtime_error("truncate_file: resize failed for " + path);
+}
+
+void overwrite_file_prefix(const std::string& path, const std::string& prefix) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) throw std::runtime_error("overwrite_file_prefix: cannot open " + path);
+  f.write(prefix.data(), static_cast<std::streamsize>(prefix.size()));
+  if (!f) {
+    throw std::runtime_error("overwrite_file_prefix: write failed for " + path);
+  }
+}
+
+}  // namespace mldist::core

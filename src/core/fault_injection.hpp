@@ -1,0 +1,76 @@
+// Fault-injection harness (ISSUE 2): make the recovery paths deterministic
+// and testable.
+//
+// FaultyOracle wraps any Oracle and injects the production failure modes of
+// a distinguisher service talking to a remote oracle:
+//   - dropped queries: the answer is lost in flight and the query is
+//     re-issued (costing extra oracle work, counted per drop),
+//   - bit-flipped outputs: one random bit of one answer is corrupted,
+//   - latency spikes: the answer stalls for a configured duration.
+//
+// Determinism: every fault decision is drawn from a stream forked off the
+// caller's RNG.  The parallel collection engine hands each chunk its own
+// derived stream, so the fault schedule is a pure function of the
+// collection seed — same seed ⇒ same faults, for any worker count.
+//
+// The file injectors below corrupt model files on disk (bit flips,
+// truncation, header smashing) so the model_io/serialize error paths are
+// exercised by tests instead of only by real-world corruption.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/oracle.hpp"
+#include "util/fault.hpp"
+
+namespace mldist::core {
+
+/// Wraps `inner` (not owned; must outlive this) and injects the oracle
+/// faults configured in `config`.  Thread-safe: the fault counters are
+/// atomics, and all schedule state lives in the caller's RNG stream.
+class FaultyOracle : public Oracle {
+ public:
+  FaultyOracle(const Oracle& inner, util::FaultConfig config)
+      : inner_(inner), config_(config) {}
+
+  std::size_t num_differences() const override {
+    return inner_.num_differences();
+  }
+  std::size_t output_bytes() const override { return inner_.output_bytes(); }
+  void query(util::Xoshiro256& rng,
+             std::vector<std::vector<std::uint8_t>>& diffs) const override;
+
+  struct Counters {
+    std::uint64_t queries = 0;         ///< answered queries
+    std::uint64_t drops = 0;           ///< answers lost and re-issued
+    std::uint64_t bit_flips = 0;       ///< corrupted answers
+    std::uint64_t latency_spikes = 0;  ///< stalled answers
+  };
+  Counters counters() const;
+  void reset_counters();
+
+ private:
+  const Oracle& inner_;
+  util::FaultConfig config_;
+  mutable std::atomic<std::uint64_t> queries_{0};
+  mutable std::atomic<std::uint64_t> drops_{0};
+  mutable std::atomic<std::uint64_t> bit_flips_{0};
+  mutable std::atomic<std::uint64_t> latency_spikes_{0};
+};
+
+// --- corrupt-file injectors (model_io / serialize error paths) ------------
+
+/// Flip bit `bit` (0..7) of the byte at `byte_offset`.  Throws
+/// std::runtime_error on I/O failure or out-of-range offset.
+void flip_file_bit(const std::string& path, std::size_t byte_offset,
+                   unsigned bit = 0);
+
+/// Truncate the file to `size` bytes (must not grow it).
+void truncate_file(const std::string& path, std::size_t size);
+
+/// Overwrite the first bytes of the file with `prefix` (e.g. a bad magic).
+void overwrite_file_prefix(const std::string& path, const std::string& prefix);
+
+}  // namespace mldist::core

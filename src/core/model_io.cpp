@@ -63,7 +63,14 @@ LoadedModel load_model(const std::string& path) {
     throw std::runtime_error("load_model: malformed header in " + path);
   }
   out.model = build_named(out.arch, out.input_bits, out.classes);
-  nn::load_params(*out.model, in);
+  // The payload carries a CRC-32 footer (see nn/serialize.hpp); surface
+  // integrity failures with the path so "corrupt model file" errors are
+  // actionable.
+  try {
+    nn::load_params(*out.model, in);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("load_model: " + path + ": " + e.what());
+  }
   return out;
 }
 

@@ -7,7 +7,9 @@
 // role the paper's ".h5" files play between the offline and online phases.
 //
 // Format: "MLDM1\n<arch>\n<input_bits> <classes>\n" followed by the
-// nn::save_params payload.
+// nn::save_params payload (which ends in a CRC-32 footer; corruption of the
+// tensor data is detected at load time, legacy footer-less files load with
+// a warning).
 #pragma once
 
 #include <memory>

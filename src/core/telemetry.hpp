@@ -39,4 +39,25 @@ struct PhaseTelemetry {
   }
 };
 
+/// Recovery telemetry for the fault-tolerant offline phase (ISSUE 2): how
+/// many fit attempts the retry policy spent, what diverged, and whether the
+/// run had to degrade to the linear baseline classifier.
+struct RobustnessTelemetry {
+  int attempts = 1;        ///< fit attempts consumed (1 = clean first try)
+  int divergences = 0;     ///< TrainingDiverged conditions raised
+  int rollbacks = 0;       ///< checkpoint restores after a divergence
+  bool degraded_to_baseline = false;  ///< all retries failed; linear fallback
+  std::string last_fault;  ///< description of the most recent divergence
+
+  std::string to_json() const {
+    util::JsonBuilder j;
+    j.field("attempts", attempts)
+        .field("divergences", divergences)
+        .field("rollbacks", rollbacks)
+        .field("degraded_to_baseline", degraded_to_baseline)
+        .field("last_fault", last_fault);
+    return j.str();
+  }
+};
+
 }  // namespace mldist::core

@@ -1,0 +1,74 @@
+#include "nn/health.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace mldist::nn {
+
+const char* to_string(HealthIssue issue) {
+  switch (issue) {
+    case HealthIssue::kNone: return "none";
+    case HealthIssue::kNonFiniteLoss: return "non-finite loss";
+    case HealthIssue::kNonFiniteWeight: return "non-finite weight";
+    case HealthIssue::kLossExplosion: return "loss explosion";
+    case HealthIssue::kGradientBlowup: return "gradient blowup";
+  }
+  return "unknown";
+}
+
+namespace {
+std::string describe(HealthIssue issue, int epoch, double value) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "training diverged at epoch %d: %s (%g)",
+                epoch, to_string(issue), value);
+  return buf;
+}
+}  // namespace
+
+TrainingDiverged::TrainingDiverged(HealthIssue issue, int epoch, double value)
+    : std::runtime_error(describe(issue, epoch, value)),
+      issue_(issue),
+      epoch_(epoch),
+      value_(value) {}
+
+void HealthMonitor::check_batch(int epoch, double batch_loss,
+                                double grad_norm) {
+  if (!std::isfinite(batch_loss)) {
+    throw TrainingDiverged(HealthIssue::kNonFiniteLoss, epoch, batch_loss);
+  }
+  if (!std::isfinite(grad_norm) || grad_norm > options_.grad_norm_limit) {
+    throw TrainingDiverged(HealthIssue::kGradientBlowup, epoch, grad_norm);
+  }
+}
+
+void HealthMonitor::check_epoch(int epoch, double train_loss,
+                                const std::vector<ParamView>& params) {
+  if (!std::isfinite(train_loss)) {
+    throw TrainingDiverged(HealthIssue::kNonFiniteLoss, epoch, train_loss);
+  }
+  if (!recent_losses_.empty()) {
+    const double baseline =
+        std::accumulate(recent_losses_.begin(), recent_losses_.end(), 0.0) /
+        static_cast<double>(recent_losses_.size());
+    if (baseline > 0.0 && train_loss > options_.loss_explosion_factor * baseline) {
+      throw TrainingDiverged(HealthIssue::kLossExplosion, epoch, train_loss);
+    }
+  }
+  if (options_.check_weights) {
+    for (const auto& p : params) {
+      for (std::size_t i = 0; i < p.size; ++i) {
+        if (!std::isfinite(p.value[i])) {
+          throw TrainingDiverged(HealthIssue::kNonFiniteWeight, epoch,
+                                 static_cast<double>(p.value[i]));
+        }
+      }
+    }
+  }
+  recent_losses_.push_back(train_loss);
+  if (recent_losses_.size() > options_.baseline_window) {
+    recent_losses_.erase(recent_losses_.begin());
+  }
+}
+
+}  // namespace mldist::nn

@@ -1,0 +1,88 @@
+// Numeric-health guards for training (ISSUE 2: fault-tolerant training).
+//
+// Gohr-style neural distinguishers are sensitive to training instability —
+// related work retrains with adjusted schedules when accuracy collapses
+// (Zhang & Wang; Lu et al.).  A HealthMonitor attached to Sequential::fit
+// watches every mini-batch and epoch for the classic failure signatures:
+//
+//   - non-finite loss (NaN/Inf from overflow or poisoned weights),
+//   - gradient-norm blowup (exploding updates before they hit the params),
+//   - epoch-loss explosion against a rolling baseline of recent epochs,
+//   - non-finite weights after an epoch.
+//
+// Any of these raises TrainingDiverged, a typed condition that carries the
+// issue kind, the epoch and the offending value.  MLDistinguisher's retry
+// policy catches it, rolls back to the last good checkpoint and retries
+// with a reduced learning rate (see core/checkpoint.hpp).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace mldist::nn {
+
+enum class HealthIssue {
+  kNone = 0,
+  kNonFiniteLoss,
+  kNonFiniteWeight,
+  kLossExplosion,
+  kGradientBlowup,
+};
+
+const char* to_string(HealthIssue issue);
+
+struct HealthOptions {
+  /// Diverged when an epoch's mean loss exceeds this factor times the
+  /// rolling mean of the last `baseline_window` epoch losses.
+  double loss_explosion_factor = 10.0;
+  std::size_t baseline_window = 5;
+  /// Diverged when a mini-batch gradient L2 norm exceeds this bound.
+  double grad_norm_limit = 1e6;
+  /// Scan all weights for NaN/Inf at the end of each epoch.
+  bool check_weights = true;
+};
+
+/// Typed divergence condition raised by the guards below.
+class TrainingDiverged : public std::runtime_error {
+ public:
+  TrainingDiverged(HealthIssue issue, int epoch, double value);
+
+  HealthIssue issue() const { return issue_; }
+  int epoch() const { return epoch_; }
+  double value() const { return value_; }
+
+ private:
+  HealthIssue issue_;
+  int epoch_;
+  double value_;
+};
+
+/// Stateful guard owned by one fit attempt (reset() before reuse).
+class HealthMonitor {
+ public:
+  HealthMonitor() = default;
+  explicit HealthMonitor(HealthOptions options) : options_(options) {}
+
+  /// Per-batch guard: non-finite loss and gradient blowup.  Called after
+  /// backward, before the optimizer applies the (possibly poisoned) step.
+  void check_batch(int epoch, double batch_loss, double grad_norm);
+
+  /// Per-epoch guard: non-finite/exploding epoch loss, non-finite weights.
+  /// Feeds the rolling baseline when the epoch is healthy.
+  void check_epoch(int epoch, double train_loss,
+                   const std::vector<ParamView>& params);
+
+  /// Forget the rolling baseline (a fresh attempt after a rollback).
+  void reset() { recent_losses_.clear(); }
+
+  const HealthOptions& options() const { return options_; }
+
+ private:
+  HealthOptions options_;
+  std::vector<double> recent_losses_;  ///< last `baseline_window` epoch losses
+};
+
+}  // namespace mldist::nn

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <limits>
 #include <numeric>
 
 #include "util/thread_pool.hpp"
@@ -70,6 +69,10 @@ std::size_t Sequential::param_count() {
   return n;
 }
 
+void Sequential::zero_grad() {
+  for (const auto& p : params()) std::fill(p.grad, p.grad + p.size, 0.0f);
+}
+
 std::string Sequential::summary() {
   std::string s;
   for (auto& l : layers_) {
@@ -90,12 +93,24 @@ Mat gather_rows(const Mat& x, const std::vector<std::size_t>& idx,
   }
   return out;
 }
+
+double grad_l2_norm(const std::vector<ParamView>& params) {
+  double sum = 0.0;
+  for (const auto& p : params) {
+    for (std::size_t i = 0; i < p.size; ++i) {
+      const double g = p.grad[i];
+      sum += g * g;
+    }
+  }
+  return std::sqrt(sum);
+}
 }  // namespace
 
 EpochStats Sequential::fit(const Dataset& train, Optimizer& opt,
                            const FitOptions& options) {
   assert(train.x.rows() == train.y.size());
-  opt.attach(params());
+  const std::vector<ParamView> param_views = params();
+  opt.attach(param_views);
 
   std::vector<std::size_t> order(train.size());
   std::iota(order.begin(), order.end(), 0);
@@ -107,6 +122,7 @@ EpochStats Sequential::fit(const Dataset& train, Optimizer& opt,
     if (options.shuffle) std::shuffle(order.begin(), order.end(), rng);
     double loss_sum = 0.0;
     double acc_sum = 0.0;
+    double max_grad_norm = 0.0;
     std::size_t seen = 0;
     for (std::size_t begin = 0; begin < train.size();
          begin += options.batch_size) {
@@ -121,6 +137,13 @@ EpochStats Sequential::fit(const Dataset& train, Optimizer& opt,
       for (std::size_t li = layers_.size(); li-- > 0;) {
         grad = layers_[li]->backward(grad);
       }
+      if (options.health != nullptr) {
+        // Guard before the step so a poisoned update never reaches the
+        // parameters; the caller rolls back and zero_grad()s on throw.
+        const double gnorm = grad_l2_norm(param_views);
+        max_grad_norm = std::max(max_grad_norm, gnorm);
+        options.health->check_batch(epoch + 1, lr.loss, gnorm);
+      }
       opt.step();
 
       loss_sum += lr.loss * static_cast<double>(end - begin);
@@ -131,13 +154,17 @@ EpochStats Sequential::fit(const Dataset& train, Optimizer& opt,
     last.epoch = epoch + 1;
     last.train_loss = loss_sum / static_cast<double>(seen);
     last.train_accuracy = acc_sum / static_cast<double>(seen);
+    last.grad_norm = max_grad_norm;
     if (options.validation != nullptr) {
       const EvalResult v = evaluate(*options.validation);
       last.val_loss = v.loss;
       last.val_accuracy = v.accuracy;
     } else {
-      last.val_loss = std::numeric_limits<double>::quiet_NaN();
-      last.val_accuracy = std::numeric_limits<double>::quiet_NaN();
+      last.val_loss.reset();
+      last.val_accuracy.reset();
+    }
+    if (options.health != nullptr) {
+      options.health->check_epoch(epoch + 1, last.train_loss, param_views);
     }
     last.seconds = epoch_timer.seconds();
     if (options.on_epoch) options.on_epoch(last);

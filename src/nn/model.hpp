@@ -3,9 +3,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "nn/health.hpp"
 #include "nn/layer.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
@@ -30,8 +32,11 @@ struct EpochStats {
   int epoch = 0;
   double train_loss = 0.0;
   double train_accuracy = 0.0;
-  double val_loss = 0.0;       ///< NaN when no validation set was given
-  double val_accuracy = 0.0;
+  std::optional<double> val_loss;      ///< empty when no validation set
+  std::optional<double> val_accuracy;  ///< empty when no validation set
+  /// Largest mini-batch gradient L2 norm of the epoch; only measured when a
+  /// HealthMonitor is attached (0 otherwise).
+  double grad_norm = 0.0;
   double seconds = 0.0;        ///< wall time of this epoch (incl. validation)
 };
 
@@ -41,6 +46,11 @@ struct FitOptions {
   bool shuffle = true;
   std::uint64_t shuffle_seed = 0x5eedULL;
   const Dataset* validation = nullptr;  ///< optional held-out set
+  /// Numeric-health guard (see nn/health.hpp): when set, fit checks every
+  /// mini-batch loss / gradient norm and every epoch's loss and weights,
+  /// throwing TrainingDiverged on the first failure.  Non-owning; the
+  /// monitor keeps its rolling baseline across the whole fit call.
+  HealthMonitor* health = nullptr;
   /// Called after every epoch (e.g. to print progress); may be empty.
   std::function<void(const EpochStats&)> on_epoch;
 };
@@ -71,8 +81,13 @@ class Sequential {
                            util::ThreadPool* pool = nullptr);
 
   /// Mini-batch training with softmax cross-entropy.  Returns the stats of
-  /// the final epoch.
+  /// the final epoch.  With options.health set, throws nn::TrainingDiverged
+  /// as soon as a numeric-health check fails (gradients may be left
+  /// half-accumulated; call zero_grad() before reusing the model).
   EpochStats fit(const Dataset& train, Optimizer& opt, const FitOptions& options);
+
+  /// Clear all accumulated parameter gradients (e.g. after an aborted fit).
+  void zero_grad();
 
   /// Loss and accuracy over a data set.  Independent batches are scored
   /// concurrently on `pool` (nullptr = the process-wide pool) and reduced

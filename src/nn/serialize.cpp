@@ -1,53 +1,98 @@
 #include "nn/serialize.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
+#include "util/crc32.hpp"
+
 namespace mldist::nn {
 
 namespace {
 constexpr char kMagic[4] = {'N', 'N', 'B', '1'};
+// CRC footer appended after the tensors: kCrcMagic + uint32 CRC-32 of every
+// payload byte before the footer.  Legacy files simply end at the last
+// tensor; load_params tolerates the missing footer (with a warning) so
+// pre-footer model files keep loading.
+constexpr char kCrcMagic[4] = {'C', 'R', 'C', '1'};
 }
 
 void save_params(Sequential& model, std::ostream& out) {
-  out.write(kMagic, sizeof(kMagic));
+  util::Crc32 crc;
+  const auto put = [&](const void* data, std::size_t n) {
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+    crc.update(data, n);
+  };
+  put(kMagic, sizeof(kMagic));
   const auto params = model.params();
   const std::uint32_t count = static_cast<std::uint32_t>(params.size());
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  put(&count, sizeof(count));
   for (const auto& p : params) {
     const std::uint64_t size = p.size;
-    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
-    out.write(reinterpret_cast<const char*>(p.value),
-              static_cast<std::streamsize>(size * sizeof(float)));
+    put(&size, sizeof(size));
+    put(p.value, size * sizeof(float));
   }
+  out.write(kCrcMagic, sizeof(kCrcMagic));
+  const std::uint32_t sum = crc.value();
+  out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
   if (!out) throw std::runtime_error("save_params: stream write failed");
 }
 
 void load_params(Sequential& model, std::istream& in) {
+  util::Crc32 crc;
+  const auto get = [&](void* data, std::size_t n) {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (in) crc.update(data, n);
+  };
   char magic[4];
-  in.read(magic, sizeof(magic));
+  get(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("load_params: bad magic");
   }
   std::uint32_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  get(&count, sizeof(count));
   const auto params = model.params();
   if (!in || count != params.size()) {
     throw std::runtime_error("load_params: tensor count mismatch");
   }
   for (const auto& p : params) {
     std::uint64_t size = 0;
-    in.read(reinterpret_cast<char*>(&size), sizeof(size));
+    get(&size, sizeof(size));
     if (!in || size != p.size) {
       throw std::runtime_error("load_params: tensor shape mismatch");
     }
-    in.read(reinterpret_cast<char*>(p.value),
-            static_cast<std::streamsize>(size * sizeof(float)));
+    get(p.value, size * sizeof(float));
     if (!in) throw std::runtime_error("load_params: truncated stream");
+  }
+  // Integrity footer.  A clean end-of-stream here is a legacy (pre-CRC)
+  // file: warn but accept.  Anything else must be a valid footer whose
+  // checksum matches the payload just read.
+  char footer[4];
+  in.read(footer, sizeof(footer));
+  if (in.gcount() == 0) {
+    std::fprintf(stderr,
+                 "load_params: warning: no CRC32 footer (legacy model file); "
+                 "integrity not verified\n");
+    return;
+  }
+  if (in.gcount() != sizeof(footer) ||
+      std::memcmp(footer, kCrcMagic, sizeof(kCrcMagic)) != 0) {
+    throw std::runtime_error(
+        "load_params: corrupt model file (bad CRC footer)");
+  }
+  std::uint32_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in) {
+    throw std::runtime_error(
+        "load_params: corrupt model file (truncated CRC footer)");
+  }
+  if (stored != crc.value()) {
+    throw std::runtime_error(
+        "load_params: corrupt model file (CRC32 mismatch)");
   }
 }
 

@@ -1,0 +1,32 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for file integrity.
+//
+// Model files and checkpoints append a CRC footer over their payload so a
+// bit flip or truncation on disk is detected at load time instead of
+// silently corrupting the online phase (ISSUE 2: fault-tolerant inference).
+// The zlib chaining convention is used: crc32(data, n, prev) continues a
+// running checksum that started at 0, so streaming writers can checksum
+// without buffering the payload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mldist::util {
+
+/// Checksum `size` bytes, continuing from `crc` (0 for a fresh stream).
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc = 0);
+
+/// Incremental wrapper for streaming writers/readers.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t size) {
+    crc_ = crc32(data, size, crc_);
+  }
+  std::uint32_t value() const { return crc_; }
+  void reset() { crc_ = 0; }
+
+ private:
+  std::uint32_t crc_ = 0;
+};
+
+}  // namespace mldist::util

@@ -1,0 +1,18 @@
+#include "util/fault.hpp"
+
+#include "util/json.hpp"
+
+namespace mldist::util {
+
+std::string FaultConfig::to_json() const {
+  JsonBuilder j;
+  j.field("bit_flip_prob", bit_flip_prob)
+      .field("drop_prob", drop_prob)
+      .field("latency_spike_prob", latency_spike_prob)
+      .field("latency_spike_us", static_cast<std::uint64_t>(latency_spike_us))
+      .field("poison_weight_epoch", poison_weight_epoch)
+      .field("poison_max_attempts", poison_max_attempts);
+  return j.str();
+}
+
+}  // namespace mldist::util

@@ -1,0 +1,50 @@
+// Fault-injection configuration (ISSUE 2: fault-tolerant training &
+// inference).
+//
+// One declarative record describes every fault the harness can inject:
+// oracle-level faults (bit-flipped answers, dropped queries that must be
+// re-issued, latency spikes) consumed by core::FaultyOracle, and a
+// training-level fault (a weight poisoned to NaN at the end of a chosen
+// epoch) consumed by MLDistinguisher's retry loop to force the
+// divergence → rollback → retry path deterministically.
+//
+// Determinism contract: oracle fault decisions are drawn from a stream
+// forked off the caller's per-chunk RNG (see FaultyOracle::query), so the
+// fault schedule is a pure function of the collection seed — the same seed
+// yields the same faults for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mldist::util {
+
+struct FaultConfig {
+  // --- oracle faults (FaultyOracle) --------------------------------------
+  double bit_flip_prob = 0.0;       ///< per query: flip one bit of one answer
+  double drop_prob = 0.0;           ///< per query: answer lost, re-issued
+  double latency_spike_prob = 0.0;  ///< per query: stall before answering
+  std::uint32_t latency_spike_us = 200;  ///< stall duration when it fires
+
+  // --- training faults (MLDistinguisher retry loop) -----------------------
+  /// Poison one weight to NaN at the end of this epoch (0 = off).  The next
+  /// epoch's forward pass then produces a non-finite loss, which the
+  /// numeric-health guard turns into a TrainingDiverged condition.
+  int poison_weight_epoch = 0;
+  /// The poison fires on attempts 1..poison_max_attempts; later retries run
+  /// clean (so recovery can be observed) — set it >= the retry budget to
+  /// force degradation to the linear baseline.
+  int poison_max_attempts = 1;
+
+  bool any_oracle_faults() const {
+    return bit_flip_prob > 0.0 || drop_prob > 0.0 || latency_spike_prob > 0.0;
+  }
+  bool enabled() const {
+    return any_oracle_faults() || poison_weight_epoch > 0;
+  }
+
+  /// The config as one JSON object (for bench artifacts).
+  std::string to_json() const;
+};
+
+}  // namespace mldist::util

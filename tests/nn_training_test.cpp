@@ -119,11 +119,13 @@ TEST(Training, ValidationTracksHeldOutData) {
   fit.batch_size = 8;
   fit.validation = &val;
   const EpochStats stats = model.fit(train, opt, fit);
-  EXPECT_DOUBLE_EQ(stats.val_accuracy, 1.0);
-  EXPECT_FALSE(std::isnan(stats.val_loss));
+  ASSERT_TRUE(stats.val_accuracy.has_value());
+  EXPECT_DOUBLE_EQ(*stats.val_accuracy, 1.0);
+  ASSERT_TRUE(stats.val_loss.has_value());
+  EXPECT_FALSE(std::isnan(*stats.val_loss));
 }
 
-TEST(Training, NoValidationReportsNan) {
+TEST(Training, NoValidationLeavesValStatsEmpty) {
   Xoshiro256 rng(6);
   Sequential model;
   model.add(std::make_unique<Dense>(2, 2, rng));
@@ -131,7 +133,8 @@ TEST(Training, NoValidationReportsNan) {
   FitOptions fit;
   fit.epochs = 1;
   const EpochStats stats = model.fit(make_xor_dataset(4), opt, fit);
-  EXPECT_TRUE(std::isnan(stats.val_loss));
+  EXPECT_FALSE(stats.val_loss.has_value());
+  EXPECT_FALSE(stats.val_accuracy.has_value());
 }
 
 TEST(Training, EpochCallbackFires) {

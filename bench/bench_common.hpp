@@ -5,6 +5,8 @@
 //   --full      larger budgets, closer to the paper's 2^17.6-sample scale
 //   --seed N    override the experiment seed
 //   --threads W pipeline worker count (0 = global pool sized to the machine)
+//   --kernel K  force the compute-kernel implementation
+//               (reference | blocked | avx2); default = best supported
 #pragma once
 
 #include <cstdint>
@@ -13,9 +15,16 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/distinguisher.hpp"
+#include "core/targets.hpp"
+#include "kernels/dispatch.hpp"
+#include "nn/model.hpp"
 #include "util/json.hpp"
 
 namespace mldist::bench {
@@ -49,6 +58,13 @@ inline Options parse_options(int argc, char** argv) {
       opt.seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       opt.threads = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+      try {
+        kernels::set_dispatch(argv[++i]);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "--kernel: %s\n", e.what());
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--base") == 0 && i + 1 < argc) {
       opt.base_override = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc) {
@@ -56,7 +72,7 @@ inline Options parse_options(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--quick|--full] [--seed N] [--threads W] [--base N] "
-          "[--epochs N]\n",
+          "[--epochs N] [--kernel reference|blocked|avx2]\n",
           argv[0]);
       std::exit(0);
     }
@@ -113,13 +129,29 @@ inline bool write_bench_json(const std::string& bench_name,
 }
 
 /// The shared CLI options as a JSON object, for embedding into bench
-/// artifacts.
+/// artifacts.  Records the active kernel implementation so an artifact is
+/// attributable to the dispatch path that produced it.
 inline std::string options_json(const Options& opt) {
   util::JsonBuilder j;
   j.field("mode", opt.full ? "full" : "quick")
       .field("seed", static_cast<std::uint64_t>(opt.seed))
-      .field("threads", static_cast<std::uint64_t>(opt.threads));
+      .field("threads", static_cast<std::uint64_t>(opt.threads))
+      .field("kernel", kernels::impl_name(kernels::dispatch()));
   return j.str();
+}
+
+/// The train-a-distinguisher block shared by the model benches
+/// (gohr_speck, ext_gohrnet): wrap `model` in an MLDistinguisher and train
+/// it on `target`.  Every GEMM in the run goes through the dispatched
+/// kernel, so --kernel selects the implementation for the whole bench.
+inline core::TrainReport train_distinguisher(
+    std::unique_ptr<nn::Sequential> model, const core::Target& target,
+    std::size_t base_inputs, int epochs, std::uint64_t seed) {
+  core::DistinguisherOptions dopt;
+  dopt.epochs = epochs;
+  dopt.seed = seed;
+  core::MLDistinguisher dist(std::move(model), dopt);
+  return dist.train(target, base_inputs);
 }
 
 }  // namespace mldist::bench

@@ -26,12 +26,9 @@ void run_pair(const core::Target& target, std::size_t base_inputs, int epochs,
             : core::build_default_mlp(target.output_bytes() * 8,
                                       target.num_differences(), rng);
     const std::size_t params = model->param_count();
-    core::DistinguisherOptions dopt;
-    dopt.epochs = epochs;
-    dopt.seed = seed ^ 0x90d4;
-    core::MLDistinguisher dist(std::move(model), dopt);
     mldist::util::Timer timer;
-    const core::TrainReport rep = dist.train(target, base_inputs);
+    const core::TrainReport rep = bench::train_distinguisher(
+        std::move(model), target, base_inputs, epochs, seed ^ 0x90d4);
     std::printf("%-26s %-14s %-10zu %-10.4f %.1fs\n", target.name().c_str(),
                 use_gohr ? "gohr-net(d=2)" : "MLP II", params,
                 rep.val_accuracy, timer.seconds());

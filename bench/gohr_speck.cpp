@@ -71,13 +71,10 @@ int main(int argc, char** argv) {
     const analysis::AllInOneResult classical = analysis::allinone_distinguisher(
         hist, pair, 32, classical_n / 8, rng);
 
-    auto model = core::build_default_mlp(32, 2, rng);
-    core::DistinguisherOptions dopt;
-    dopt.epochs = epochs;
-    dopt.seed = opt.seed ^ static_cast<std::uint64_t>(rounds * 77);
-    core::MLDistinguisher dist(std::move(model), dopt);
     const core::SpeckTarget target(rounds);
-    const core::TrainReport rep = dist.train(target, nn_base);
+    const core::TrainReport rep = bench::train_distinguisher(
+        core::build_default_mlp(32, 2, rng), target, nn_base, epochs,
+        opt.seed ^ static_cast<std::uint64_t>(rounds * 77));
 
     std::printf("%-7d %-24.2f %-22.4f %-6.4f %-6.3f (%.1fs)\n", rounds,
                 hist.best_weight(), classical.accuracy, rep.val_accuracy,

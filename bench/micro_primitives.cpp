@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "ciphers/gift64.hpp"
 #include "ciphers/gimli.hpp"
@@ -16,6 +17,9 @@
 #include "core/arch_zoo.hpp"
 #include "core/dataset.hpp"
 #include "core/targets.hpp"
+#include "kernels/dispatch.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/gimli_batch.hpp"
 #include "nn/optimizer.hpp"
 #include "util/bits.hpp"
 #include "util/rng.hpp"
@@ -106,6 +110,55 @@ void BM_TriviumInit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TriviumInit);
+
+// Per-implementation GEMM throughput at a training-representative shape
+// (batch 128 x the 128-feature MLP's widest layer).  Args: impl index.
+// Unsupported impls (avx2 on a non-AVX2 host) are skipped.
+void BM_GemmKernel(benchmark::State& state) {
+  const auto impl = static_cast<kernels::Impl>(state.range(0));
+  if (!kernels::supported(impl)) {
+    state.SkipWithError("impl not supported on this host");
+    return;
+  }
+  const std::size_t m = 128, k = 128, n = 128;
+  util::Xoshiro256 rng(11);
+  std::vector<float> a(m * k), b(k * n), c(m * n);
+  for (auto& v : a) v = static_cast<float>(rng.next_gaussian());
+  for (auto& v : b) v = static_cast<float>(rng.next_gaussian());
+  for (auto _ : state) {
+    kernels::gemm_impl(impl, a.data(), static_cast<std::ptrdiff_t>(k), 1,
+                       b.data(), static_cast<std::ptrdiff_t>(n), 1, c.data(),
+                       m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(kernels::impl_name(impl));
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 *
+          static_cast<double>(m * k * n),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+BENCHMARK(BM_GemmKernel)->Arg(0)->Arg(1)->Arg(2);
+
+// Per-implementation batched Gimli: 8 rounds (the paper's reduced window)
+// over 256 states per call.  Args: impl index.
+void BM_GimliBatchKernel(benchmark::State& state) {
+  const auto impl = static_cast<kernels::Impl>(state.range(0));
+  if (!kernels::supported(impl)) {
+    state.SkipWithError("impl not supported on this host");
+    return;
+  }
+  const std::size_t n = 256;
+  util::Xoshiro256 rng(12);
+  std::vector<std::uint32_t> soa(12 * n);
+  for (auto& w : soa) w = rng.next_u32();
+  for (auto _ : state) {
+    kernels::gimli_rounds_batch_impl(impl, soa.data(), n, 8, 1);
+    benchmark::DoNotOptimize(soa.data());
+  }
+  state.SetLabel(kernels::impl_name(impl));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GimliBatchKernel)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_BitsToFloats(benchmark::State& state) {
   util::Xoshiro256 rng(1);

@@ -28,6 +28,7 @@
 #include "core/experiment.hpp"
 #include "core/model_io.hpp"
 #include "core/targets.hpp"
+#include "kernels/dispatch.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
@@ -80,6 +81,13 @@ bool parse(int argc, char** argv, Args& out) {
       out.config.online_base_inputs = samples;
     } else if (flag == "--threads") {
       out.config.threads = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--kernel") {
+      try {
+        mldist::kernels::set_dispatch(v);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "--kernel: %s\n", e.what());
+        return false;
+      }
     } else if (flag == "--arch") {
       out.config.arch = v;
     } else if (flag == "--model") {
@@ -106,7 +114,8 @@ int usage() {
                "  mldist_cli train --target T --rounds R --samples N "
                "--epochs E --model PATH\n"
                "             [--arch A] [--threads W] [--seed S] "
-               "[--retries N] [--checkpoint PATH] [--json]\n"
+               "[--kernel reference|blocked|avx2]\n"
+               "             [--retries N] [--checkpoint PATH] [--json]\n"
                "  mldist_cli test  --target T --rounds R --samples N "
                "--model PATH\n"
                "             [--oracle cipher|random] [--threads W] [--json]\n"

@@ -2,7 +2,9 @@
 
 #include <bit>
 #include <cassert>
+#include <vector>
 
+#include "kernels/gimli_batch.hpp"
 #include "util/bits.hpp"
 
 namespace mldist::ciphers {
@@ -100,6 +102,28 @@ void gimli_rounds_inverse(GimliState& s, int hi, int lo) {
 
 void gimli_permute_inverse(GimliState& s) {
   gimli_rounds_inverse(s, kGimliRounds, 1);
+}
+
+void gimli_rounds_batch(std::uint32_t* soa, std::size_t n, int hi, int lo) {
+  assert(1 <= lo && lo <= hi && hi <= kGimliRounds);
+  kernels::gimli_rounds_batch(soa, n, hi, lo);
+}
+
+void gimli_rounds_batch(GimliState* states, std::size_t n, int hi, int lo) {
+  if (n == 0) return;
+  std::vector<std::uint32_t> soa(12 * n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (int w = 0; w < 12; ++w) soa[static_cast<std::size_t>(w) * n + s] = states[s][w];
+  }
+  gimli_rounds_batch(soa.data(), n, hi, lo);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (int w = 0; w < 12; ++w) states[s][w] = soa[static_cast<std::size_t>(w) * n + s];
+  }
+}
+
+void gimli_reduced_batch(std::uint32_t* soa, std::size_t n, int n_rounds) {
+  assert(n_rounds >= 0 && n_rounds <= kGimliRounds);
+  if (n_rounds > 0) gimli_rounds_batch(soa, n, n_rounds, 1);
 }
 
 void gimli_state_to_bytes(const GimliState& s, std::uint8_t out[48]) {

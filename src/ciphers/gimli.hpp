@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace mldist::ciphers {
@@ -44,6 +45,21 @@ void gimli_rounds_inverse(GimliState& s, int hi, int lo);
 
 /// Inverse of the full permutation.
 void gimli_permute_inverse(GimliState& s);
+
+/// Batched round window: apply rounds hi..lo to n independent states stored
+/// column-sliced (SoA): soa[w * n + s] is word w of state s.  Routes through
+/// the kernels dispatch (reference / blocked / avx2); every implementation
+/// is bitwise identical to looping gimli_rounds over the states.
+void gimli_rounds_batch(std::uint32_t* soa, std::size_t n, int hi, int lo);
+
+/// Convenience AoS overload for test vectors and callers holding GimliState
+/// values: packs to SoA, permutes, unpacks.  Bitwise identical to the scalar
+/// loop; the SoA entry point is the one the data pipeline uses.
+void gimli_rounds_batch(GimliState* states, std::size_t n, int hi, int lo);
+
+/// Batched variant of gimli_reduced: last n_rounds rounds of the countdown
+/// on every state; n_rounds == 0 is the identity.
+void gimli_reduced_batch(std::uint32_t* soa, std::size_t n, int n_rounds);
 
 /// Serialise the state to 48 little-endian bytes (word s[i] at offset 4*i).
 void gimli_state_to_bytes(const GimliState& s, std::uint8_t out[48]);

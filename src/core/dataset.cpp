@@ -16,13 +16,22 @@ namespace {
 void collect_span(const Oracle& oracle, std::size_t s_begin, std::size_t s_end,
                   util::Xoshiro256& rng, nn::Dataset& ds) {
   const std::size_t t = oracle.num_differences();
-  std::vector<std::vector<std::uint8_t>> diffs;
-  for (std::size_t s = s_begin; s < s_end; ++s) {
-    oracle.query(rng, diffs);
-    for (std::size_t i = 0; i < t; ++i) {
-      const std::size_t row = s * t + i;
-      util::bits_to_floats(diffs[i], ds.x.row(row));
-      ds.y[row] = static_cast<int>(i);
+  // Query in slabs so batched oracles amortise per-call overhead and the
+  // Gimli targets run the batched permutation kernel.  The query_batch
+  // contract (RNG consumed in per-sample order, byte-identical output)
+  // makes the dataset bytes invariant to the slab size — and to whether
+  // this loop or the old one-query-at-a-time loop collected them.
+  constexpr std::size_t kSlab = 32;
+  DiffBatch batch;
+  for (std::size_t s = s_begin; s < s_end; s += kSlab) {
+    const std::size_t count = std::min(kSlab, s_end - s);
+    oracle.query_batch(rng, count, batch);
+    for (std::size_t b = 0; b < count; ++b) {
+      for (std::size_t i = 0; i < t; ++i) {
+        const std::size_t row = (s + b) * t + i;
+        util::bits_to_floats(batch[b][i], ds.x.row(row));
+        ds.y[row] = static_cast<int>(i);
+      }
     }
   }
 }

@@ -24,6 +24,17 @@ class Oracle {
   /// Fill `diffs[i]` with the output difference for input difference i.
   virtual void query(util::Xoshiro256& rng,
                      std::vector<std::vector<std::uint8_t>>& diffs) const = 0;
+  /// Answer `count` queries at once.  Same contract as Target::sample_batch:
+  /// overrides must consume `rng` in the per-query order of this default
+  /// loop and produce byte-identical results, so collected datasets do not
+  /// depend on the batch size.  The default loop also keeps decorating
+  /// oracles (e.g. the fault-injection wrapper, which only overrides
+  /// query()) behaviourally unchanged.
+  virtual void query_batch(util::Xoshiro256& rng, std::size_t count,
+                           DiffBatch& out) const {
+    out.resize(count);
+    for (std::size_t s = 0; s < count; ++s) query(rng, out[s]);
+  }
 };
 
 class CipherOracle : public Oracle {
@@ -37,6 +48,10 @@ class CipherOracle : public Oracle {
   void query(util::Xoshiro256& rng,
              std::vector<std::vector<std::uint8_t>>& diffs) const override {
     target_.sample(rng, diffs);
+  }
+  void query_batch(util::Xoshiro256& rng, std::size_t count,
+                   DiffBatch& out) const override {
+    target_.sample_batch(rng, count, out);
   }
 
  private:

@@ -5,6 +5,7 @@
 #include "ciphers/gift128.hpp"
 #include "ciphers/gift64.hpp"
 #include "ciphers/gift_toy.hpp"
+#include "ciphers/gimli.hpp"
 #include "ciphers/gimli_hash.hpp"
 #include "ciphers/salsa20.hpp"
 #include "ciphers/speck3264.hpp"
@@ -17,6 +18,24 @@ namespace {
 void require_t(std::size_t t) {
   if (t < 2) {
     throw std::invalid_argument("Target: Algorithm 2 needs t >= 2 differences");
+  }
+}
+
+// SoA state-byte access for the batched Gimli paths: word w of state s in an
+// n-state block lives at soa[w * n + s], bytes little-endian within words —
+// the same convention as gimli_state_to_bytes.
+void soa_xor_byte(std::uint32_t* soa, std::size_t n, std::size_t s,
+                  std::size_t byte_idx, std::uint8_t v) {
+  soa[(byte_idx / 4) * n + s] ^=
+      static_cast<std::uint32_t>(v) << (8 * (byte_idx % 4));
+}
+
+// XOR of the first 16 state bytes of two states, stored as the output
+// difference (words 0..3, little-endian).
+void soa_diff16(const std::uint32_t* soa, std::size_t n, std::size_t s_a,
+                std::size_t s_b, std::uint8_t* out) {
+  for (std::size_t w = 0; w < 4; ++w) {
+    util::store_u32_le(out + 4 * w, soa[w * n + s_a] ^ soa[w * n + s_b]);
   }
 }
 }  // namespace
@@ -65,6 +84,56 @@ void GimliHashTarget::sample(
     std::vector<std::uint8_t> m = base;
     m[positions_[i]] ^= 0x01;
     out_diffs[i] = util::xor_vec(hash_first_half(m), h);
+  }
+}
+
+void GimliHashTarget::sample_batch(util::Xoshiro256& rng, std::size_t count,
+                                   DiffBatch& out) const {
+  out.resize(count);
+  if (count == 0) return;
+  const std::size_t t = positions_.size();
+
+  // Draw all randomness first, in per-sample order, so the byte stream (and
+  // therefore the dataset) is identical to looping sample() — the batch
+  // size can never change the collected data.
+  std::vector<std::vector<std::uint8_t>> bases(count);
+  for (auto& b : bases) b = rng.bytes(15);
+
+  // The zero prefix blocks are difference-free, so every hash shares the
+  // same post-prefix state; compute it once (absorbing a 16-byte zero block
+  // is just one reduced permutation) and replicate.
+  ciphers::GimliState pre{};
+  for (std::size_t b = 0; b < prefix_blocks_; ++b) {
+    ciphers::gimli_reduced(pre, rounds_);
+  }
+
+  // One state per primitive query: sample s occupies slots
+  // [s*(t+1), (s+1)*(t+1)) — base hash first, then the t flipped messages.
+  const std::size_t per = t + 1;
+  const std::size_t n = count * per;
+  std::vector<std::uint32_t> soa(12 * n);
+  for (std::size_t s = 0; s < count; ++s) {
+    for (std::size_t v = 0; v < per; ++v) {
+      const std::size_t idx = s * per + v;
+      for (std::size_t w = 0; w < 12; ++w) soa[w * n + idx] = pre[w];
+      std::vector<std::uint8_t> m = bases[s];
+      if (v > 0) m[positions_[v - 1]] ^= 0x01;
+      for (std::size_t i = 0; i < m.size(); ++i) soa_xor_byte(soa.data(), n, idx, i, m[i]);
+      // Sponge padding: 0x01 after the 15-byte block, 0x01 into byte 47.
+      soa_xor_byte(soa.data(), n, idx, 15, 0x01);
+      soa_xor_byte(soa.data(), n, idx, ciphers::kGimliStateBytes - 1, 0x01);
+    }
+  }
+
+  // The first 16 digest bytes are read before the second squeeze
+  // permutation, so one batched permutation finishes every hash.
+  ciphers::gimli_rounds_batch(soa.data(), n, rounds_, 1);
+
+  for (std::size_t s = 0; s < count; ++s) {
+    out[s].assign(t, std::vector<std::uint8_t>(16));
+    for (std::size_t i = 0; i < t; ++i) {
+      soa_diff16(soa.data(), n, s * per + 1 + i, s * per, out[s][i].data());
+    }
   }
 }
 
@@ -128,6 +197,61 @@ void GimliCipherTarget::sample(
     auto n2 = nonce;
     n2[positions_[i]] ^= 0x01;
     out_diffs[i] = util::xor_vec(first_block(key, n2), c);
+  }
+}
+
+void GimliCipherTarget::sample_batch(util::Xoshiro256& rng, std::size_t count,
+                                     DiffBatch& out) const {
+  out.resize(count);
+  if (count == 0) return;
+  const std::size_t t = positions_.size();
+
+  // Randomness in per-sample order: key then nonce, exactly as sample().
+  std::vector<std::array<std::uint8_t, ciphers::kGimliAeadKeyBytes>> keys(count);
+  std::vector<std::array<std::uint8_t, ciphers::kGimliAeadNonceBytes>> nonces(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    rng.fill_bytes(keys[s].data(), keys[s].size());
+    rng.fill_bytes(nonces[s].data(), nonces[s].size());
+  }
+
+  const std::size_t per = t + 1;
+  const std::size_t n = count * per;
+  std::vector<std::uint32_t> soa(12 * n);
+  for (std::size_t s = 0; s < count; ++s) {
+    for (std::size_t v = 0; v < per; ++v) {
+      const std::size_t idx = s * per + v;
+      auto nonce = nonces[s];
+      if (v > 0) nonce[positions_[v - 1]] ^= 0x01;
+      // State = bytes(nonce || key), little-endian words.
+      for (std::size_t w = 0; w < 4; ++w) {
+        soa[w * n + idx] = util::load_u32_le(nonce.data() + 4 * w);
+      }
+      for (std::size_t w = 0; w < 8; ++w) {
+        soa[(4 + w) * n + idx] = util::load_u32_le(keys[s].data() + 4 * w);
+      }
+    }
+  }
+
+  if (schedule_.init > 0) {
+    ciphers::gimli_rounds_batch(soa.data(), n, schedule_.init, 1);
+  }
+  // Empty associated data: only the padded final block (0x01 at byte 0 and
+  // byte 47) followed by the AD-phase permutation.
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    soa_xor_byte(soa.data(), n, idx, 0, 0x01);
+    soa_xor_byte(soa.data(), n, idx, ciphers::kGimliStateBytes - 1, 0x01);
+  }
+  if (schedule_.ad > 0) {
+    ciphers::gimli_rounds_batch(soa.data(), n, schedule_.ad, 1);
+  }
+
+  // The zero first message block XORs nothing into the rate, so c0 is just
+  // the first 16 state bytes here — the tag phase never touches it.
+  for (std::size_t s = 0; s < count; ++s) {
+    out[s].assign(t, std::vector<std::uint8_t>(16));
+    for (std::size_t i = 0; i < t; ++i) {
+      soa_diff16(soa.data(), n, s * per + 1 + i, s * per, out[s][i].data());
+    }
   }
 }
 

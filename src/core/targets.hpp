@@ -19,6 +19,9 @@
 
 namespace mldist::core {
 
+/// `batch[s][i]` = output difference i of base input s.
+using DiffBatch = std::vector<std::vector<std::vector<std::uint8_t>>>;
+
 class Target {
  public:
   virtual ~Target() = default;
@@ -32,6 +35,17 @@ class Target {
   /// by the callee.
   virtual void sample(util::Xoshiro256& rng,
                       std::vector<std::vector<std::uint8_t>>& out_diffs) const = 0;
+  /// Sample `count` base inputs at once.  The contract batched overrides
+  /// must keep: consume `rng` in exactly the per-sample order of the default
+  /// loop (sample 0's draws first, then sample 1's, ...) and produce
+  /// byte-identical differences — so the collected dataset is invariant to
+  /// the batch size.  The Gimli targets override this to run the batched
+  /// permutation kernel over all count * (t + 1) primitive queries.
+  virtual void sample_batch(util::Xoshiro256& rng, std::size_t count,
+                            DiffBatch& out) const {
+    out.resize(count);
+    for (std::size_t s = 0; s < count; ++s) sample(rng, out[s]);
+  }
   virtual std::string name() const = 0;
 };
 
@@ -55,6 +69,8 @@ class GimliHashTarget : public Target {
   std::size_t output_bytes() const override { return 16; }
   void sample(util::Xoshiro256& rng,
               std::vector<std::vector<std::uint8_t>>& out_diffs) const override;
+  void sample_batch(util::Xoshiro256& rng, std::size_t count,
+                    DiffBatch& out) const override;
   std::string name() const override;
 
  private:
@@ -82,6 +98,8 @@ class GimliCipherTarget : public Target {
   std::size_t output_bytes() const override { return 16; }
   void sample(util::Xoshiro256& rng,
               std::vector<std::vector<std::uint8_t>>& out_diffs) const override;
+  void sample_batch(util::Xoshiro256& rng, std::size_t count,
+                    DiffBatch& out) const override;
   std::string name() const override;
 
  private:

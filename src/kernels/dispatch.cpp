@@ -1,0 +1,123 @@
+#include "kernels/dispatch.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mldist::kernels {
+
+// Defined in gemm_avx2.cpp so the answer reflects how that translation
+// unit was actually compiled.
+bool detail_avx2_compiled();
+
+namespace {
+
+struct State {
+  Impl active;
+  std::string env;
+
+  State() {
+    const char* raw = std::getenv("MLDIST_KERNEL");
+    env = raw ? raw : "";
+    active = best_supported();
+    if (!env.empty()) {
+      Impl requested;
+      if (!parse_impl(env, requested)) {
+        std::fprintf(stderr,
+                     "[kernels] MLDIST_KERNEL=%s is not a known kernel "
+                     "(reference|blocked|avx2); using %s\n",
+                     env.c_str(), impl_name(active));
+      } else if (!supported(requested)) {
+        std::fprintf(stderr,
+                     "[kernels] MLDIST_KERNEL=%s is not supported on this "
+                     "machine; using %s\n",
+                     env.c_str(), impl_name(active));
+      } else {
+        active = requested;
+      }
+    }
+  }
+
+  static Impl best_supported() {
+    return supported(Impl::kAvx2) ? Impl::kAvx2 : Impl::kBlocked;
+  }
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+}  // namespace
+
+const char* impl_name(Impl impl) {
+  switch (impl) {
+    case Impl::kReference:
+      return "reference";
+    case Impl::kBlocked:
+      return "blocked";
+    case Impl::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool parse_impl(std::string_view name, Impl& out) {
+  if (name == "reference") {
+    out = Impl::kReference;
+    return true;
+  }
+  if (name == "blocked") {
+    out = Impl::kBlocked;
+    return true;
+  }
+  if (name == "avx2") {
+    out = Impl::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+bool supported(Impl impl) {
+  switch (impl) {
+    case Impl::kReference:
+    case Impl::kBlocked:
+      return true;
+    case Impl::kAvx2:
+      return detail_avx2_compiled() && __builtin_cpu_supports("avx2") &&
+             __builtin_cpu_supports("fma");
+  }
+  return false;
+}
+
+std::vector<Impl> available_impls() {
+  std::vector<Impl> impls;
+  for (Impl impl : {Impl::kReference, Impl::kBlocked, Impl::kAvx2}) {
+    if (supported(impl)) impls.push_back(impl);
+  }
+  return impls;
+}
+
+Impl dispatch() { return state().active; }
+
+void set_dispatch(Impl impl) {
+  if (!supported(impl)) {
+    throw std::invalid_argument(std::string("kernel implementation '") +
+                                impl_name(impl) +
+                                "' is not supported on this machine");
+  }
+  state().active = impl;
+}
+
+void set_dispatch(std::string_view name) {
+  Impl impl;
+  if (!parse_impl(name, impl)) {
+    throw std::invalid_argument("unknown kernel '" + std::string(name) +
+                                "' (expected reference|blocked|avx2)");
+  }
+  set_dispatch(impl);
+}
+
+const std::string& env_request() { return state().env; }
+
+}  // namespace mldist::kernels

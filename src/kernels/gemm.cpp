@@ -1,0 +1,200 @@
+#include "kernels/gemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "kernels/gemm_internal.hpp"
+
+namespace mldist::kernels {
+namespace detail {
+namespace {
+
+// Below this many fma steps the packing traffic dominates; fall through to
+// the (bitwise-identical) elementwise chain instead.
+constexpr std::size_t kBlockedBypassFlops = 32u * 32u * 32u;
+
+// Scalar full-tile micro-kernel.  Row lanes of kNR=16 floats autovectorize
+// cleanly (two AVX vectors per row); std::fmaf keeps the chain explicit.
+void micro_scalar(std::size_t kc, const float* ap, const float* bp,
+                  float* acc) {
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const float* arow = ap + kk * kMR;
+    const float* brow = bp + kk * kNR;
+    for (int r = 0; r < kMR; ++r) {
+      const float av = arow[r];
+      float* crow = acc + r * kNR;
+      for (int j = 0; j < kNR; ++j) {
+        crow[j] = std::fmaf(av, brow[j], crow[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_reference(const float* a, std::ptrdiff_t a_rs, std::ptrdiff_t a_cs,
+                    const float* b, std::ptrdiff_t b_rs, std::ptrdiff_t b_cs,
+                    float* c, std::size_t m, std::size_t k, std::size_t n,
+                    const GemmEpilogue& epilogue) {
+  // Textbook i-j-k loop: this is the executable spec every other kernel is
+  // pinned against, so it stays deliberately free of blocking and packing.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a + static_cast<std::ptrdiff_t>(i) * a_rs;
+    float* c_row = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_col = b + static_cast<std::ptrdiff_t>(j) * b_cs;
+      c_row[j] = apply_epilogue(dot_fma(a_row, a_cs, b_col, b_rs, k),
+                                epilogue, j);
+    }
+  }
+}
+
+void gemm_blocked_driver(const float* a, std::ptrdiff_t a_rs,
+                         std::ptrdiff_t a_cs, const float* b,
+                         std::ptrdiff_t b_rs, std::ptrdiff_t b_cs, float* c,
+                         std::size_t m, std::size_t k, std::size_t n,
+                         const GemmEpilogue& epilogue, MicroFn micro) {
+  if (m == 0 || n == 0) return;
+  if (k == 0 || m * n * k < kBlockedBypassFlops) {
+    gemm_reference(a, a_rs, a_cs, b, b_rs, b_cs, c, m, k, n, epilogue);
+    return;
+  }
+
+  const std::size_t a_strips = (kMC + kMR - 1) / kMR;
+  const std::size_t b_strips = (kNC + kNR - 1) / kNR;
+  std::vector<float> apack(a_strips * kKC * kMR);
+  std::vector<float> bpack(b_strips * kKC * kNR);
+  const GemmEpilogue no_epilogue{};
+
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t nc = std::min(kNC, n - jc);
+    const std::size_t njs = (nc + kNR - 1) / kNR;
+    for (std::size_t kc0 = 0; kc0 < k; kc0 += kKC) {
+      const std::size_t kc = std::min(kKC, k - kc0);
+      const bool first = kc0 == 0;
+      const bool last = kc0 + kc == k;
+      const GemmEpilogue& ep = last ? epilogue : no_epilogue;
+
+      // Pack B into kNR-wide strips; edge columns are zero-padded so the
+      // micro-kernel always runs a full tile.
+      for (std::size_t js = 0; js < njs; ++js) {
+        const std::size_t j0 = jc + js * kNR;
+        const std::size_t nr = std::min<std::size_t>(kNR, n - j0);
+        float* dst = bpack.data() + js * kc * kNR;
+        for (std::size_t kk = 0; kk < kc; ++kk) {
+          const float* b_row =
+              b + static_cast<std::ptrdiff_t>(kc0 + kk) * b_rs;
+          for (std::size_t j = 0; j < kNR; ++j) {
+            dst[kk * kNR + j] =
+                j < nr
+                    ? b_row[static_cast<std::ptrdiff_t>(j0 + j) * b_cs]
+                    : 0.0f;
+          }
+        }
+      }
+
+      for (std::size_t ic = 0; ic < m; ic += kMC) {
+        const std::size_t mc = std::min(kMC, m - ic);
+        const std::size_t nis = (mc + kMR - 1) / kMR;
+
+        // Pack A into kMR-tall strips, zero-padding edge rows.
+        for (std::size_t is = 0; is < nis; ++is) {
+          const std::size_t i0 = ic + is * kMR;
+          const std::size_t mr = std::min<std::size_t>(kMR, m - i0);
+          float* dst = apack.data() + is * kc * kMR;
+          for (std::size_t kk = 0; kk < kc; ++kk) {
+            const float* a_col =
+                a + static_cast<std::ptrdiff_t>(kc0 + kk) * a_cs;
+            for (std::size_t r = 0; r < static_cast<std::size_t>(kMR); ++r) {
+              dst[kk * kMR + r] =
+                  r < mr
+                      ? a_col[static_cast<std::ptrdiff_t>(i0 + r) * a_rs]
+                      : 0.0f;
+            }
+          }
+        }
+
+        for (std::size_t js = 0; js < njs; ++js) {
+          const std::size_t j0 = jc + js * kNR;
+          const std::size_t nr = std::min<std::size_t>(kNR, n - j0);
+          const float* bp = bpack.data() + js * kc * kNR;
+          for (std::size_t is = 0; is < nis; ++is) {
+            const std::size_t i0 = ic + is * kMR;
+            const std::size_t mr = std::min<std::size_t>(kMR, m - i0);
+            const float* ap = apack.data() + is * kc * kMR;
+
+            alignas(64) float acc[kMR * kNR];
+            if (first) {
+              std::memset(acc, 0, sizeof(acc));
+            } else {
+              // Resume the fma chain from the partial sums parked in C.
+              for (std::size_t r = 0; r < static_cast<std::size_t>(kMR);
+                   ++r) {
+                const float* c_row = c + (i0 + r) * n + j0;
+                for (std::size_t j = 0; j < static_cast<std::size_t>(kNR);
+                     ++j) {
+                  acc[r * kNR + j] = (r < mr && j < nr) ? c_row[j] : 0.0f;
+                }
+              }
+            }
+
+            micro(kc, ap, bp, acc);
+
+            for (std::size_t r = 0; r < mr; ++r) {
+              float* c_row = c + (i0 + r) * n + j0;
+              for (std::size_t j = 0; j < nr; ++j) {
+                c_row[j] = apply_epilogue(acc[r * kNR + j], ep, j0 + j);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_blocked(const float* a, std::ptrdiff_t a_rs, std::ptrdiff_t a_cs,
+                  const float* b, std::ptrdiff_t b_rs, std::ptrdiff_t b_cs,
+                  float* c, std::size_t m, std::size_t k, std::size_t n,
+                  const GemmEpilogue& epilogue) {
+  gemm_blocked_driver(a, a_rs, a_cs, b, b_rs, b_cs, c, m, k, n, epilogue,
+                      &micro_scalar);
+}
+
+}  // namespace detail
+
+void gemm_impl(Impl impl, const float* a, std::ptrdiff_t a_rs,
+               std::ptrdiff_t a_cs, const float* b, std::ptrdiff_t b_rs,
+               std::ptrdiff_t b_cs, float* c, std::size_t m, std::size_t k,
+               std::size_t n, const GemmEpilogue& epilogue) {
+  if (!supported(impl)) {
+    throw std::invalid_argument(std::string("kernel implementation '") +
+                                impl_name(impl) +
+                                "' is not supported on this machine");
+  }
+  switch (impl) {
+    case Impl::kReference:
+      detail::gemm_reference(a, a_rs, a_cs, b, b_rs, b_cs, c, m, k, n,
+                             epilogue);
+      return;
+    case Impl::kBlocked:
+      detail::gemm_blocked(a, a_rs, a_cs, b, b_rs, b_cs, c, m, k, n,
+                           epilogue);
+      return;
+    case Impl::kAvx2:
+      detail::gemm_avx2(a, a_rs, a_cs, b, b_rs, b_cs, c, m, k, n, epilogue);
+      return;
+  }
+}
+
+void gemm(const float* a, std::ptrdiff_t a_rs, std::ptrdiff_t a_cs,
+          const float* b, std::ptrdiff_t b_rs, std::ptrdiff_t b_cs, float* c,
+          std::size_t m, std::size_t k, std::size_t n,
+          const GemmEpilogue& epilogue) {
+  gemm_impl(dispatch(), a, a_rs, a_cs, b, b_rs, b_cs, c, m, k, n, epilogue);
+}
+
+}  // namespace mldist::kernels

@@ -1,0 +1,75 @@
+// Internals shared by gemm.cpp (reference + blocked scalar micro-kernel) and
+// gemm_avx2.cpp (AVX2 micro-kernel).  Not installed; include only from
+// src/kernels translation units and tests that probe tile edges.
+//
+// The blocked driver implements a BLIS-style structure: pack B into kNR-wide
+// column panels and A into kMR-tall row panels per (kKC x kNC) cache block,
+// then sweep a full kMR x kNR register tile over the packed panels.  Edge
+// tiles are zero-padded in the packed panels, so the micro-kernel always
+// runs full-size; only the valid mr x nr lanes are stored back.
+//
+// Bitwise determinism: the accumulator tile is carried across k blocks
+// through C itself (stored after each non-final k block and reloaded, which
+// is value-preserving for floats), so each output element sees the exact
+// k-ascending fma chain the reference kernel computes.  Zero-padded lanes
+// only ever combine finite packed values, never touch C, and are discarded.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "kernels/gemm.hpp"
+
+namespace mldist::kernels::detail {
+
+inline constexpr int kMR = 6;    // register-tile rows
+inline constexpr int kNR = 16;   // register-tile cols (2 AVX2 vectors)
+inline constexpr std::size_t kKC = 256;  // k cache block
+inline constexpr std::size_t kMC = 126;  // m cache block (multiple of kMR)
+inline constexpr std::size_t kNC = 512;  // n cache block (multiple of kNR)
+
+// Full-tile micro-kernel contract: acc is a row-major kMR x kNR tile
+// (64-byte aligned); advance it by kc fma steps using the packed panels
+// ap (kc x kMR, strip-major) and bp (kc x kNR, strip-major).
+using MicroFn = void (*)(std::size_t kc, const float* ap, const float* bp,
+                         float* acc);
+
+inline float apply_epilogue(float v, const GemmEpilogue& ep, std::size_t j) {
+  if (ep.bias != nullptr) v += ep.bias[j];
+  // Branch shape matches nn::ReLU / nn::LeakyReLU::forward exactly (only
+  // v < 0 is rewritten), so the fused epilogue is bitwise identical to the
+  // separate activation layer for every input, including -0 and NaN.
+  switch (ep.act) {
+    case Activation::kNone:
+      break;
+    case Activation::kRelu:
+      if (v < 0.0f) v = 0.0f;
+      break;
+    case Activation::kLeakyRelu:
+      if (v < 0.0f) v *= ep.alpha;
+      break;
+  }
+  return v;
+}
+
+// Shared by reference and the small-shape bypass: one output element as the
+// canonical k-ascending fma chain.
+inline float dot_fma(const float* a_row, std::ptrdiff_t a_cs,
+                     const float* b_col, std::ptrdiff_t b_rs, std::size_t k) {
+  float acc = 0.0f;
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    acc = std::fmaf(a_row[static_cast<std::ptrdiff_t>(kk) * a_cs],
+                    b_col[static_cast<std::ptrdiff_t>(kk) * b_rs], acc);
+  }
+  return acc;
+}
+
+// Cache-blocked packing driver; `micro` supplies the register-tile inner
+// loop (scalar or AVX2).  Defined in gemm.cpp.
+void gemm_blocked_driver(const float* a, std::ptrdiff_t a_rs,
+                         std::ptrdiff_t a_cs, const float* b,
+                         std::ptrdiff_t b_rs, std::ptrdiff_t b_cs, float* c,
+                         std::size_t m, std::size_t k, std::size_t n,
+                         const GemmEpilogue& epilogue, MicroFn micro);
+
+}  // namespace mldist::kernels::detail

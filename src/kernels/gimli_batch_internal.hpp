@@ -1,0 +1,41 @@
+// Shared internals for the batched Gimli implementations.  The scalar
+// one-state round window doubles as the reference implementation and the
+// remainder-lane handler of the wide implementations.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace mldist::kernels::detail {
+
+inline constexpr std::uint32_t kGimliRcBase = 0x9e377900u;
+
+/// Rounds hi..lo on a single state whose word w lives at words[w * stride]
+/// (stride = n for a state embedded in an SoA block, 1 for a packed state).
+inline void gimli_rounds_one(std::uint32_t* words, std::size_t stride, int hi,
+                             int lo) {
+  std::uint32_t s[12];
+  for (int w = 0; w < 12; ++w) s[w] = words[static_cast<std::size_t>(w) * stride];
+  for (int r = hi; r >= lo; --r) {
+    for (int j = 0; j < 4; ++j) {
+      const std::uint32_t x = std::rotl(s[j], 24);
+      const std::uint32_t y = std::rotl(s[4 + j], 9);
+      const std::uint32_t z = s[8 + j];
+      s[8 + j] = x ^ (z << 1) ^ ((y & z) << 2);
+      s[4 + j] = y ^ x ^ ((x | z) << 1);
+      s[j] = z ^ y ^ ((x & y) << 3);
+    }
+    if (r % 4 == 0) {
+      std::swap(s[0], s[1]);
+      std::swap(s[2], s[3]);
+      s[0] ^= kGimliRcBase ^ static_cast<std::uint32_t>(r);
+    } else if (r % 4 == 2) {
+      std::swap(s[0], s[2]);
+      std::swap(s[1], s[3]);
+    }
+  }
+  for (int w = 0; w < 12; ++w) words[static_cast<std::size_t>(w) * stride] = s[w];
+}
+
+}  // namespace mldist::kernels::detail

@@ -23,6 +23,7 @@ class ReLU : public Layer {
 class LeakyReLU : public Layer {
  public:
   explicit LeakyReLU(float alpha = 0.3f) : alpha_(alpha) {}
+  float alpha() const { return alpha_; }
   Mat forward(const Mat& x, bool training) override;
   Mat backward(const Mat& grad_out) override;
   std::string name() const override { return "leaky_relu"; }

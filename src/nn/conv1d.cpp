@@ -1,8 +1,10 @@
 #include "nn/conv1d.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace mldist::nn {
 
@@ -22,65 +24,79 @@ Conv1D::Conv1D(std::size_t length, std::size_t in_channels,
   }
 }
 
+Mat Conv1D::im2col(const Mat& x) const {
+  const std::size_t batch = x.rows();
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(kernel_ / 2);
+  // Zero-filled rows give "same" padding for free; padded columns feed
+  // fma(0, w, acc) steps that leave the accumulator bit-exact, so the GEMM
+  // matches the window-skipping loop it replaces.
+  Mat patches(batch * length_, kernel_ * cin_);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* xr = x.row(n);
+    for (std::size_t p = 0; p < length_; ++p) {
+      float* pr = patches.row(n * length_ + p);
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        const std::ptrdiff_t q =
+            static_cast<std::ptrdiff_t>(p) + static_cast<std::ptrdiff_t>(k) - half;
+        if (q < 0 || q >= static_cast<std::ptrdiff_t>(length_)) continue;
+        std::memcpy(pr + k * cin_, xr + static_cast<std::size_t>(q) * cin_,
+                    cin_ * sizeof(float));
+      }
+    }
+  }
+  return patches;
+}
+
 Mat Conv1D::forward(const Mat& x, bool training) {
   if (x.cols() != length_ * cin_) {
     throw std::invalid_argument("Conv1D: input width mismatch");
   }
   const std::size_t batch = x.rows();
-  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(kernel_ / 2);
+  Mat patches = im2col(x);
+  // (B*L, kernel*cin) x (kernel*cin, cout) with the bias fused; the result
+  // is row (n*L + p) = output position p of sample n, which is exactly the
+  // position-major sample layout, so the reshape is a straight copy.
+  Mat flat;
+  matmul_bias(patches, w_, b_, flat);
   Mat y(batch, length_ * cout_);
-  for (std::size_t n = 0; n < batch; ++n) {
-    const float* xr = x.row(n);
-    float* yr = y.row(n);
-    for (std::size_t p = 0; p < length_; ++p) {
-      float* yp = yr + p * cout_;
-      for (std::size_t o = 0; o < cout_; ++o) yp[o] = b_[o];
-      for (std::size_t k = 0; k < kernel_; ++k) {
-        const std::ptrdiff_t q =
-            static_cast<std::ptrdiff_t>(p) + static_cast<std::ptrdiff_t>(k) - half;
-        if (q < 0 || q >= static_cast<std::ptrdiff_t>(length_)) continue;
-        const float* xq = xr + static_cast<std::size_t>(q) * cin_;
-        for (std::size_t c = 0; c < cin_; ++c) {
-          const float xv = xq[c];
-          if (xv == 0.0f) continue;
-          const float* wk = w_.row(k * cin_ + c);
-          for (std::size_t o = 0; o < cout_; ++o) yp[o] += xv * wk[o];
-        }
-      }
-    }
-  }
-  if (training) x_cache_ = x;
+  std::memcpy(y.data(), flat.data(), flat.size() * sizeof(float));
+  if (training) patches_ = std::move(patches);
   return y;
 }
 
 Mat Conv1D::backward(const Mat& grad_out) {
   const std::size_t batch = grad_out.rows();
   const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(kernel_ / 2);
-  Mat dx(batch, length_ * cin_);
   for (std::size_t n = 0; n < batch; ++n) {
-    const float* xr = x_cache_.row(n);
     const float* gr = grad_out.row(n);
-    float* dxr = dx.row(n);
     for (std::size_t p = 0; p < length_; ++p) {
       const float* gp = gr + p * cout_;
       for (std::size_t o = 0; o < cout_; ++o) db_[o] += gp[o];
+    }
+  }
+  // grad_out rows are position-major, so its data block is already the
+  // (B*L, cout) matrix the GEMMs need.
+  Mat grad_r(batch * length_, cout_);
+  std::memcpy(grad_r.data(), grad_out.data(), grad_r.size() * sizeof(float));
+  Mat dw_batch;
+  matmul_at_b(patches_, grad_r, dw_batch);
+  for (std::size_t i = 0; i < dw_.size(); ++i) dw_.data()[i] += dw_batch.data()[i];
+  // dpatches = grad_r * W^T, scattered back through the window map
+  // (p-outer, k-inner, matching the original accumulation order into dx).
+  Mat dpatches;
+  matmul_a_bt(grad_r, w_, dpatches);
+  Mat dx(batch, length_ * cin_);
+  for (std::size_t n = 0; n < batch; ++n) {
+    float* dxr = dx.row(n);
+    for (std::size_t p = 0; p < length_; ++p) {
+      const float* dpr = dpatches.row(n * length_ + p);
       for (std::size_t k = 0; k < kernel_; ++k) {
         const std::ptrdiff_t q =
             static_cast<std::ptrdiff_t>(p) + static_cast<std::ptrdiff_t>(k) - half;
         if (q < 0 || q >= static_cast<std::ptrdiff_t>(length_)) continue;
-        const float* xq = xr + static_cast<std::size_t>(q) * cin_;
         float* dxq = dxr + static_cast<std::size_t>(q) * cin_;
-        for (std::size_t c = 0; c < cin_; ++c) {
-          const float* wk = w_.row(k * cin_ + c);
-          float* dwk = dw_.row(k * cin_ + c);
-          float acc = 0.0f;
-          const float xv = xq[c];
-          for (std::size_t o = 0; o < cout_; ++o) {
-            acc += gp[o] * wk[o];
-            dwk[o] += gp[o] * xv;
-          }
-          dxq[c] += acc;
-        }
+        const float* dpk = dpr + k * cin_;
+        for (std::size_t c = 0; c < cin_; ++c) dxq[c] += dpk[c];
       }
     }
   }

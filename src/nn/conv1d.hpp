@@ -23,6 +23,8 @@ class Conv1D : public Layer {
   std::size_t output_size(std::size_t input_size) const override;
 
  private:
+  Mat im2col(const Mat& x) const;
+
   std::size_t length_;
   std::size_t cin_;
   std::size_t cout_;
@@ -31,7 +33,11 @@ class Conv1D : public Layer {
   std::vector<float> b_;   // cout
   Mat dw_;
   std::vector<float> db_;
-  Mat x_cache_;
+  // im2col patch matrix of the last training forward: row (n * L + p) holds
+  // the kernel window around position p of sample n, zero-padded at the
+  // sequence edges; column index = k * cin + c.  Backward consumes it
+  // directly as the GEMM operand for the weight gradient.
+  Mat patches_;
 };
 
 /// Max over positions, per channel: (B, L*C) -> (B, C).

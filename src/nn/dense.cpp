@@ -21,9 +21,17 @@ Mat Dense::forward(const Mat& x, bool training) {
     throw std::invalid_argument("Dense: input width mismatch");
   }
   Mat y;
-  matmul(x, w_, y);
-  add_row_vector(y, b_);
+  matmul_bias(x, w_, b_, y);
   if (training) x_cache_ = x;
+  return y;
+}
+
+Mat Dense::forward_fused(const Mat& x, kernels::Activation act, float alpha) {
+  if (x.cols() != in_) {
+    throw std::invalid_argument("Dense: input width mismatch");
+  }
+  Mat y;
+  matmul_bias(x, w_, b_, y, act, alpha);
   return y;
 }
 

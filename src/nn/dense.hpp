@@ -11,6 +11,10 @@ class Dense : public Layer {
   Dense(std::size_t in, std::size_t out, util::Xoshiro256& rng);
 
   Mat forward(const Mat& x, bool training) override;
+  /// Inference-only fused forward: y = act(x W + b) in one kernel call.
+  /// Sequential::forward uses it to collapse Dense + ReLU/LeakyReLU pairs;
+  /// bitwise identical to forward() followed by the activation layer.
+  Mat forward_fused(const Mat& x, kernels::Activation act, float alpha);
   Mat backward(const Mat& grad_out) override;
   std::vector<ParamView> params() override;
   std::string name() const override;

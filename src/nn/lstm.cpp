@@ -52,12 +52,14 @@ Mat LSTM::forward(const Mat& x, bool training) {
   Mat c_prev(batch, h_);
   for (std::size_t step = 0; step < t_; ++step) {
     const Mat xt = slice_timestep(x, step, f_);
+    // z = xt * wx + b with the bias fused into the GEMM epilogue; the
+    // recurrent term stays a separate product + add so every element keeps
+    // one well-defined summation chain regardless of kernel choice.
     Mat z;
-    matmul(xt, wx_, z);
+    matmul_bias(xt, wx_, b_, z);
     Mat zh;
     matmul(h_prev, wh_, zh);
     for (std::size_t i = 0; i < z.size(); ++i) z.data()[i] += zh.data()[i];
-    add_row_vector(z, b_);
 
     Mat h_new(batch, h_);
     Mat c_new(batch, h_);

@@ -2,13 +2,37 @@
 
 #include <cassert>
 
+#include "kernels/gemm.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mldist::nn {
 
 namespace {
+
 /// Below this many multiply-accumulates the fork/join overhead dominates.
 constexpr std::size_t kParallelThreshold = 1u << 19;
+
+// All products funnel through this: C rows [begin, end) are computed by
+// kernels::gemm on the active dispatch implementation.  Parallelism stays a
+// row partition of C, so each output element sees the same k-ascending fma
+// chain regardless of worker count or kernel choice — matmul results are
+// bitwise deterministic across both.
+void gemm_rows(const float* a, std::ptrdiff_t a_rs, std::ptrdiff_t a_cs,
+               const float* b, std::ptrdiff_t b_rs, std::ptrdiff_t b_cs,
+               Mat& out, std::size_t m, std::size_t k, std::size_t n,
+               const kernels::GemmEpilogue& epilogue) {
+  const auto rows = [&](std::size_t begin, std::size_t end) {
+    if (begin >= end) return;
+    kernels::gemm(a + static_cast<std::ptrdiff_t>(begin) * a_rs, a_rs, a_cs,
+                  b, b_rs, b_cs, out.row(begin), end - begin, k, n, epilogue);
+  };
+  if (m * k * n >= kParallelThreshold && m > 1) {
+    util::ThreadPool::global().parallel_for(m, rows);
+  } else {
+    rows(0, m);
+  }
+}
+
 }  // namespace
 
 void matmul(const Mat& a, const Mat& b, Mat& out) {
@@ -17,24 +41,8 @@ void matmul(const Mat& a, const Mat& b, Mat& out) {
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
   out = Mat(m, n);
-  // i-k-j loop order keeps the inner loop contiguous in both b and out.
-  const auto rows = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      float* __restrict__ oi = out.row(i);
-      const float* __restrict__ ai = a.row(i);
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float av = ai[kk];
-        if (av == 0.0f) continue;  // bit-valued inputs are ~50% zeros
-        const float* __restrict__ bk = b.row(kk);
-        for (std::size_t j = 0; j < n; ++j) oi[j] += av * bk[j];
-      }
-    }
-  };
-  if (m * k * n >= kParallelThreshold && m > 1) {
-    util::ThreadPool::global().parallel_for(m, rows);
-  } else {
-    rows(0, m);
-  }
+  gemm_rows(a.data(), static_cast<std::ptrdiff_t>(k), 1, b.data(),
+            static_cast<std::ptrdiff_t>(n), 1, out, m, k, n, {});
 }
 
 void matmul_at_b(const Mat& a, const Mat& b, Mat& out) {
@@ -43,25 +51,10 @@ void matmul_at_b(const Mat& a, const Mat& b, Mat& out) {
   const std::size_t m = a.cols();
   const std::size_t n = b.cols();
   out = Mat(m, n);
-  // Partition over output rows so chunks write disjoint memory; a is read
-  // with stride m, which the k-major inner loop amortises.
-  const auto rows = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float* __restrict__ ak = a.row(kk);
-      const float* __restrict__ bk = b.row(kk);
-      for (std::size_t i = begin; i < end; ++i) {
-        const float av = ak[i];
-        if (av == 0.0f) continue;
-        float* __restrict__ oi = out.row(i);
-        for (std::size_t j = 0; j < n; ++j) oi[j] += av * bk[j];
-      }
-    }
-  };
-  if (m * k * n >= kParallelThreshold && m > 1) {
-    util::ThreadPool::global().parallel_for(m, rows);
-  } else {
-    rows(0, m);
-  }
+  // a is K x M row-major, so A^T element (i, kk) lives at a[kk * m + i]:
+  // row stride 1, column stride m.
+  gemm_rows(a.data(), 1, static_cast<std::ptrdiff_t>(m), b.data(),
+            static_cast<std::ptrdiff_t>(n), 1, out, m, k, n, {});
 }
 
 void matmul_a_bt(const Mat& a, const Mat& b, Mat& out) {
@@ -70,23 +63,26 @@ void matmul_a_bt(const Mat& a, const Mat& b, Mat& out) {
   const std::size_t k = a.cols();
   const std::size_t n = b.rows();
   out = Mat(m, n);
-  const auto rows = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const float* __restrict__ ai = a.row(i);
-      float* __restrict__ oi = out.row(i);
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* __restrict__ bj = b.row(j);
-        float s = 0.0f;
-        for (std::size_t kk = 0; kk < k; ++kk) s += ai[kk] * bj[kk];
-        oi[j] = s;
-      }
-    }
-  };
-  if (m * k * n >= kParallelThreshold && m > 1) {
-    util::ThreadPool::global().parallel_for(m, rows);
-  } else {
-    rows(0, m);
-  }
+  // b is N x K row-major, so B^T element (kk, j) lives at b[j * k + kk]:
+  // row stride 1, column stride k.
+  gemm_rows(a.data(), static_cast<std::ptrdiff_t>(k), 1, b.data(), 1,
+            static_cast<std::ptrdiff_t>(k), out, m, k, n, {});
+}
+
+void matmul_bias(const Mat& a, const Mat& b, const std::vector<float>& bias,
+                 Mat& out, kernels::Activation act, float alpha) {
+  assert(a.cols() == b.rows());
+  assert(bias.size() == b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  out = Mat(m, n);
+  kernels::GemmEpilogue epilogue;
+  epilogue.bias = bias.data();
+  epilogue.act = act;
+  epilogue.alpha = alpha;
+  gemm_rows(a.data(), static_cast<std::ptrdiff_t>(k), 1, b.data(),
+            static_cast<std::ptrdiff_t>(n), 1, out, m, k, n, epilogue);
 }
 
 void add_row_vector(Mat& m, const std::vector<float>& bias) {

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "kernels/gemm.hpp"
+
 namespace mldist::nn {
 
 class Mat {
@@ -40,6 +42,14 @@ void matmul(const Mat& a, const Mat& b, Mat& out);
 void matmul_at_b(const Mat& a, const Mat& b, Mat& out);
 /// out = a * b^T             (a: M x K, b: N x K) — used for input grads
 void matmul_a_bt(const Mat& a, const Mat& b, Mat& out);
+/// out = act(a * b + bias) in one kernel call — the fused-epilogue path the
+/// Dense/LSTM forward passes use.  Bitwise identical to matmul followed by
+/// add_row_vector and the activation (the epilogue applies the same plain
+/// add and compare per element, just without the intermediate stores).
+void matmul_bias(const Mat& a, const Mat& b, const std::vector<float>& bias,
+                 Mat& out,
+                 kernels::Activation act = kernels::Activation::kNone,
+                 float alpha = 0.3f);
 /// Add the row vector `bias` (1 x N) to every row of `m` (M x N).
 void add_row_vector(Mat& m, const std::vector<float>& bias);
 

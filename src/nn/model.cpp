@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -17,7 +19,30 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
 
 Mat Sequential::forward(const Mat& x, bool training) {
   Mat cur = x;
-  for (auto& l : layers_) cur = l->forward(cur, training);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    // Inference-only fusion: collapse Dense + ReLU/LeakyReLU into one
+    // fused-epilogue kernel call.  The epilogue applies the identical
+    // per-element rewrite as the activation layer, so this is bitwise
+    // equal to the unfused pair; training keeps the separate layers
+    // because backward needs the activation's input cache.
+    if (!training && i + 1 < layers_.size()) {
+      if (auto* dense = dynamic_cast<Dense*>(layers_[i].get())) {
+        Layer* next = layers_[i + 1].get();
+        if (dynamic_cast<ReLU*>(next) != nullptr) {
+          cur = dense->forward_fused(cur, kernels::Activation::kRelu, 0.0f);
+          ++i;
+          continue;
+        }
+        if (auto* leaky = dynamic_cast<LeakyReLU*>(next)) {
+          cur = dense->forward_fused(cur, kernels::Activation::kLeakyRelu,
+                                     leaky->alpha());
+          ++i;
+          continue;
+        }
+      }
+    }
+    cur = layers_[i]->forward(cur, training);
+  }
   return cur;
 }
 

@@ -1,0 +1,431 @@
+// Kernel-equivalence harness (ctest label "kernel"): pins every optimised
+// compute kernel bitwise to its executable specification.
+//
+// Tolerance documentation: the tolerance is EXACT EQUALITY, bit for bit.
+// That is achievable — not just hoped for — because every GEMM
+// implementation computes each output element as the same k-ascending
+// fused-multiply-add chain (c = fma(a_ik, b_kj, c) starting from +0.0f):
+// blocking, packing and SIMD only change which elements are computed
+// together, never the per-element accumulation order, and the kernels
+// library is compiled with -ffp-contract=off so the compiler cannot
+// re-associate the chain.  Batched Gimli is integer-only, so exactness
+// needs no argument.  Comparisons below go through std::bit_cast so that
+// +0/-0 and NaN-payload differences would be caught too.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ciphers/gimli.hpp"
+#include "core/dataset.hpp"
+#include "core/oracle.hpp"
+#include "core/targets.hpp"
+#include "kernels/dispatch.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/gimli_batch.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/mat.hpp"
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mldist;
+using kernels::Impl;
+using mldist::util::Xoshiro256;
+
+const Impl kStartupImpl = kernels::dispatch();
+
+std::uint32_t bits_of(float v) { return std::bit_cast<std::uint32_t>(v); }
+
+void expect_bitwise_equal(const std::vector<float>& got,
+                          const std::vector<float>& want,
+                          const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(bits_of(got[i]), bits_of(want[i]))
+        << what << ": element " << i << " got " << got[i] << " want "
+        << want[i];
+  }
+}
+
+std::vector<float> random_floats(std::size_t n, Xoshiro256& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    // Mixed magnitudes, signs, and exact zeros (bit-packed inputs are ~50%
+    // zeros, and zeros exercise the padded-lane logic).
+    const float g = static_cast<float>(rng.next_gaussian());
+    x = (rng.next_below(4) == 0) ? 0.0f : g;
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch registry
+// ---------------------------------------------------------------------------
+
+TEST(KernelDispatch, NamesRoundTrip) {
+  for (Impl impl : {Impl::kReference, Impl::kBlocked, Impl::kAvx2}) {
+    Impl parsed;
+    ASSERT_TRUE(kernels::parse_impl(kernels::impl_name(impl), parsed));
+    EXPECT_EQ(parsed, impl);
+  }
+  Impl parsed;
+  EXPECT_FALSE(kernels::parse_impl("sse9", parsed));
+  EXPECT_FALSE(kernels::parse_impl("", parsed));
+}
+
+TEST(KernelDispatch, PortableImplsAlwaysAvailable) {
+  EXPECT_TRUE(kernels::supported(Impl::kReference));
+  EXPECT_TRUE(kernels::supported(Impl::kBlocked));
+  const auto impls = kernels::available_impls();
+  ASSERT_GE(impls.size(), 2u);
+}
+
+TEST(KernelDispatch, SetDispatchRejectsUnknownName) {
+  EXPECT_THROW(kernels::set_dispatch("not-a-kernel"), std::invalid_argument);
+}
+
+TEST(KernelDispatch, SetDispatchSelects) {
+  for (Impl impl : kernels::available_impls()) {
+    kernels::set_dispatch(impl);
+    EXPECT_EQ(kernels::dispatch(), impl);
+  }
+  kernels::set_dispatch(kStartupImpl);
+}
+
+// When ctest forces a path via MLDIST_KERNEL, the process must actually be
+// running it (or the host can't honour the request, which is a skip, not a
+// silent fallback passing as coverage).
+TEST(KernelDispatch, EnvRequestHonoured) {
+  const std::string& env = kernels::env_request();
+  if (env.empty()) GTEST_SKIP() << "MLDIST_KERNEL not set";
+  Impl requested;
+  ASSERT_TRUE(kernels::parse_impl(env, requested)) << env;
+  if (!kernels::supported(requested)) {
+    GTEST_SKIP() << env << " not supported on this machine";
+  }
+  EXPECT_EQ(kStartupImpl, requested);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM equivalence
+// ---------------------------------------------------------------------------
+
+struct Shape {
+  std::size_t m, k, n;
+};
+
+// Adversarial shapes: degenerate, tall/skinny, exact register-tile
+// multiples (6x16 micro-tile), off-by-one around tile and cache-block
+// (KC=256, MC=126, NC=512) boundaries.
+const Shape kShapes[] = {
+    {1, 1, 1},    {1, 7, 1},    {7, 1, 3},     {1, 1, 64},   {64, 1, 1},
+    {2, 300, 2},  {300, 2, 2},  {2, 2, 300},   {6, 32, 16},  {12, 64, 32},
+    {5, 33, 17},  {7, 255, 15}, {13, 256, 16}, {19, 257, 33}, {126, 40, 16},
+    {127, 33, 31}, {31, 513, 9}, {64, 100, 520},
+};
+
+void run_gemm_all_impls(std::size_t m, std::size_t k, std::size_t n,
+                        std::ptrdiff_t a_rs, std::ptrdiff_t a_cs,
+                        std::ptrdiff_t b_rs, std::ptrdiff_t b_cs,
+                        const std::vector<float>& a,
+                        const std::vector<float>& b,
+                        const kernels::GemmEpilogue& ep,
+                        const std::string& what) {
+  std::vector<float> want(m * n);
+  kernels::gemm_impl(Impl::kReference, a.data(), a_rs, a_cs, b.data(), b_rs,
+                     b_cs, want.data(), m, k, n, ep);
+  for (Impl impl : kernels::available_impls()) {
+    if (impl == Impl::kReference) continue;
+    std::vector<float> got(m * n, -12345.0f);
+    kernels::gemm_impl(impl, a.data(), a_rs, a_cs, b.data(), b_rs, b_cs,
+                       got.data(), m, k, n, ep);
+    expect_bitwise_equal(got, want,
+                         what + " impl=" + kernels::impl_name(impl));
+  }
+}
+
+TEST(GemmEquivalence, RowMajorShapes) {
+  Xoshiro256 rng(0x11);
+  for (const Shape& s : kShapes) {
+    const auto a = random_floats(s.m * s.k, rng);
+    const auto b = random_floats(s.k * s.n, rng);
+    run_gemm_all_impls(s.m, s.k, s.n, static_cast<std::ptrdiff_t>(s.k), 1,
+                       static_cast<std::ptrdiff_t>(s.n), 1, a, b, {},
+                       "NN m=" + std::to_string(s.m) + " k=" +
+                           std::to_string(s.k) + " n=" + std::to_string(s.n));
+  }
+}
+
+TEST(GemmEquivalence, TransposedAOperand) {
+  Xoshiro256 rng(0x22);
+  for (const Shape& s : kShapes) {
+    // A stored K x M (row-major); addressed as A^T via strides (1, m).
+    const auto a = random_floats(s.k * s.m, rng);
+    const auto b = random_floats(s.k * s.n, rng);
+    run_gemm_all_impls(s.m, s.k, s.n, 1, static_cast<std::ptrdiff_t>(s.m),
+                       static_cast<std::ptrdiff_t>(s.n), 1, a, b, {},
+                       "TN m=" + std::to_string(s.m) + " k=" +
+                           std::to_string(s.k) + " n=" + std::to_string(s.n));
+  }
+}
+
+TEST(GemmEquivalence, TransposedBOperand) {
+  Xoshiro256 rng(0x33);
+  for (const Shape& s : kShapes) {
+    // B stored N x K (row-major); addressed as B^T via strides (1, k).
+    const auto a = random_floats(s.m * s.k, rng);
+    const auto b = random_floats(s.n * s.k, rng);
+    run_gemm_all_impls(s.m, s.k, s.n, static_cast<std::ptrdiff_t>(s.k), 1, 1,
+                       static_cast<std::ptrdiff_t>(s.k), a, b, {},
+                       "NT m=" + std::to_string(s.m) + " k=" +
+                           std::to_string(s.k) + " n=" + std::to_string(s.n));
+  }
+}
+
+TEST(GemmEquivalence, FusedEpilogues) {
+  Xoshiro256 rng(0x44);
+  for (const Shape& s : {Shape{5, 33, 17}, Shape{13, 256, 16},
+                         Shape{127, 33, 31}, Shape{1, 1, 1}}) {
+    const auto a = random_floats(s.m * s.k, rng);
+    const auto b = random_floats(s.k * s.n, rng);
+    const auto bias = random_floats(s.n, rng);
+    for (kernels::Activation act :
+         {kernels::Activation::kNone, kernels::Activation::kRelu,
+          kernels::Activation::kLeakyRelu}) {
+      kernels::GemmEpilogue ep;
+      ep.bias = bias.data();
+      ep.act = act;
+      ep.alpha = 0.3f;
+      run_gemm_all_impls(s.m, s.k, s.n, static_cast<std::ptrdiff_t>(s.k), 1,
+                         static_cast<std::ptrdiff_t>(s.n), 1, a, b, ep,
+                         "epilogue act=" +
+                             std::to_string(static_cast<int>(act)));
+    }
+  }
+}
+
+// The fused epilogue must equal the unfused pipeline (plain GEMM, then bias
+// add, then the activation layer's rewrite) bit for bit — that is what
+// makes Sequential's inference-time Dense+activation fusion safe.
+TEST(GemmEquivalence, FusedMatchesUnfused) {
+  Xoshiro256 rng(0x55);
+  const std::size_t m = 9, k = 70, n = 23;
+  const auto a = random_floats(m * k, rng);
+  const auto b = random_floats(k * n, rng);
+  const auto bias = random_floats(n, rng);
+
+  std::vector<float> unfused(m * n);
+  kernels::gemm_impl(Impl::kReference, a.data(), k, 1, b.data(), n, 1,
+                     unfused.data(), m, k, n, {});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float& v = unfused[i * n + j];
+      v += bias[j];
+      if (v < 0.0f) v *= 0.3f;  // LeakyReLU layer semantics
+    }
+  }
+  kernels::GemmEpilogue ep;
+  ep.bias = bias.data();
+  ep.act = kernels::Activation::kLeakyRelu;
+  ep.alpha = 0.3f;
+  for (Impl impl : kernels::available_impls()) {
+    std::vector<float> fused(m * n);
+    kernels::gemm_impl(impl, a.data(), k, 1, b.data(), n, 1, fused.data(), m,
+                       k, n, ep);
+    expect_bitwise_equal(fused, unfused,
+                         std::string("fused-vs-unfused impl=") +
+                             kernels::impl_name(impl));
+  }
+}
+
+// nn::mat wrappers: identical results under every dispatch selection.
+TEST(GemmEquivalence, MatWrappersKernelInvariant) {
+  Xoshiro256 rng(0x66);
+  nn::Mat a(37, 53);
+  nn::Mat b(53, 29);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.next_gaussian());
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>(rng.next_gaussian());
+  }
+  nn::Mat at(53, 37);  // a^T stored explicitly, for matmul_at_b
+  for (std::size_t r = 0; r < at.rows(); ++r) {
+    for (std::size_t c = 0; c < at.cols(); ++c) at.at(r, c) = a.at(c, r);
+  }
+  nn::Mat bt(29, 53);  // b^T stored explicitly, for matmul_a_bt
+  for (std::size_t r = 0; r < bt.rows(); ++r) {
+    for (std::size_t c = 0; c < bt.cols(); ++c) bt.at(r, c) = b.at(c, r);
+  }
+  const std::vector<float> bias = random_floats(29, rng);
+
+  kernels::set_dispatch(Impl::kReference);
+  nn::Mat mm_want, atb_want, abt_want, bias_want;
+  nn::matmul(a, b, mm_want);
+  nn::matmul_at_b(at, b, atb_want);
+  nn::matmul_a_bt(a, bt, abt_want);
+  nn::matmul_bias(a, b, bias, bias_want, kernels::Activation::kRelu);
+
+  for (Impl impl : kernels::available_impls()) {
+    kernels::set_dispatch(impl);
+    nn::Mat mm, atb, abt, biased;
+    nn::matmul(a, b, mm);
+    nn::matmul_at_b(at, b, atb);
+    nn::matmul_a_bt(a, bt, abt);
+    nn::matmul_bias(a, b, bias, biased, kernels::Activation::kRelu);
+    const std::string tag = std::string("impl=") + kernels::impl_name(impl);
+    for (std::size_t i = 0; i < mm.size(); ++i) {
+      ASSERT_EQ(bits_of(mm.data()[i]), bits_of(mm_want.data()[i])) << tag;
+      ASSERT_EQ(bits_of(biased.data()[i]), bits_of(bias_want.data()[i]))
+          << tag;
+    }
+    for (std::size_t i = 0; i < atb.size(); ++i) {
+      ASSERT_EQ(bits_of(atb.data()[i]), bits_of(atb_want.data()[i])) << tag;
+    }
+    for (std::size_t i = 0; i < abt.size(); ++i) {
+      ASSERT_EQ(bits_of(abt.data()[i]), bits_of(abt_want.data()[i])) << tag;
+    }
+  }
+  kernels::set_dispatch(kStartupImpl);
+}
+
+// Sequential's inference fusion (Dense + ReLU/LeakyReLU collapsed into the
+// epilogue) must return bitwise-identical logits to training-mode forward.
+TEST(GemmEquivalence, SequentialFusionMatchesUnfusedForward) {
+  for (Impl impl : kernels::available_impls()) {
+    kernels::set_dispatch(impl);
+    Xoshiro256 rng(0x77);
+    nn::Sequential model;
+    model.add(std::make_unique<nn::Dense>(24, 40, rng));
+    model.add(std::make_unique<nn::ReLU>());
+    model.add(std::make_unique<nn::Dense>(40, 40, rng));
+    model.add(std::make_unique<nn::LeakyReLU>(0.3f));
+    model.add(std::make_unique<nn::Dense>(40, 2, rng));
+    nn::Mat x(17, 24);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x.data()[i] = static_cast<float>(rng.next_gaussian());
+    }
+    const nn::Mat fused = model.forward(x, /*training=*/false);
+    const nn::Mat unfused = model.forward(x, /*training=*/true);
+    ASSERT_EQ(fused.size(), unfused.size());
+    for (std::size_t i = 0; i < fused.size(); ++i) {
+      ASSERT_EQ(bits_of(fused.data()[i]), bits_of(unfused.data()[i]))
+          << "impl=" << kernels::impl_name(impl);
+    }
+  }
+  kernels::set_dispatch(kStartupImpl);
+}
+
+// ---------------------------------------------------------------------------
+// Batched Gimli equivalence
+// ---------------------------------------------------------------------------
+
+TEST(GimliBatchEquivalence, AllRoundWindowsAllImpls) {
+  Xoshiro256 rng(0x88);
+  const std::size_t n = 13;  // crosses the 8-lane AVX2 chunk + scalar tail
+  for (int hi = 1; hi <= ciphers::kGimliRounds; ++hi) {
+    for (int lo = 1; lo <= hi; ++lo) {
+      std::vector<std::uint32_t> soa(12 * n);
+      for (auto& w : soa) w = rng.next_u32();
+      // Scalar specification: ciphers::gimli_rounds per state.
+      std::vector<ciphers::GimliState> want(n);
+      for (std::size_t s = 0; s < n; ++s) {
+        for (int w = 0; w < 12; ++w) {
+          want[s][static_cast<std::size_t>(w)] =
+              soa[static_cast<std::size_t>(w) * n + s];
+        }
+        ciphers::gimli_rounds(want[s], hi, lo);
+      }
+      for (Impl impl : kernels::available_impls()) {
+        std::vector<std::uint32_t> got = soa;
+        kernels::gimli_rounds_batch_impl(impl, got.data(), n, hi, lo);
+        for (std::size_t s = 0; s < n; ++s) {
+          for (int w = 0; w < 12; ++w) {
+            ASSERT_EQ(got[static_cast<std::size_t>(w) * n + s],
+                      want[s][static_cast<std::size_t>(w)])
+                << "impl=" << kernels::impl_name(impl) << " hi=" << hi
+                << " lo=" << lo << " state=" << s << " word=" << w;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GimliBatchEquivalence, AosOverloadMatchesScalar) {
+  Xoshiro256 rng(0x99);
+  for (std::size_t n : {1u, 3u, 8u, 64u}) {
+    std::vector<ciphers::GimliState> states(n);
+    for (auto& st : states) {
+      for (auto& w : st) w = rng.next_u32();
+    }
+    std::vector<ciphers::GimliState> want = states;
+    for (auto& st : want) ciphers::gimli_rounds(st, 24, 1);
+    ciphers::gimli_rounds_batch(states.data(), n, 24, 1);
+    EXPECT_EQ(states, want) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched data collection
+// ---------------------------------------------------------------------------
+
+// The batched Gimli targets must produce byte-identical differences to the
+// scalar per-sample loop, from the identical RNG stream.
+TEST(BatchedCollection, GimliTargetsBatchMatchesLoop) {
+  const core::GimliHashTarget hash_plain(8);
+  const core::GimliHashTarget hash_prefix(5, {4, 12}, 2);
+  const core::GimliCipherTarget cipher_full(8);
+  const core::GimliCipherTarget cipher_split(9, {4, 12}, true);
+  const core::Target* targets[] = {&hash_plain, &hash_prefix, &cipher_full,
+                                   &cipher_split};
+  for (const core::Target* target : targets) {
+    for (std::size_t count : {1u, 3u, 8u, 33u}) {
+      Xoshiro256 rng_loop(0xabcdef);
+      std::vector<std::vector<std::vector<std::uint8_t>>> want(count);
+      for (std::size_t s = 0; s < count; ++s) {
+        target->sample(rng_loop, want[s]);
+      }
+      Xoshiro256 rng_batch(0xabcdef);
+      core::DiffBatch got;
+      target->sample_batch(rng_batch, count, got);
+      ASSERT_EQ(got.size(), want.size()) << target->name();
+      EXPECT_EQ(got, want) << target->name() << " count=" << count;
+      // Identical randomness consumed: the streams must line up afterwards.
+      EXPECT_EQ(rng_loop.next_u64(), rng_batch.next_u64()) << target->name();
+    }
+  }
+}
+
+// Whole-pipeline check: collect_dataset bytes are invariant to the kernel
+// implementation (the batched permutation runs under each forced path).
+TEST(BatchedCollection, DatasetBytesKernelInvariant) {
+  const core::GimliHashTarget target(6);
+  core::CollectOptions options;
+  options.seed = 0x5eed;
+  options.threads = 1;
+
+  kernels::set_dispatch(Impl::kReference);
+  const nn::Dataset want = core::collect_dataset(target, 50, options);
+  for (Impl impl : kernels::available_impls()) {
+    kernels::set_dispatch(impl);
+    const nn::Dataset got = core::collect_dataset(target, 50, options);
+    ASSERT_EQ(got.x.size(), want.x.size());
+    EXPECT_EQ(got.y, want.y);
+    EXPECT_EQ(std::memcmp(got.x.data(), want.x.data(),
+                          want.x.size() * sizeof(float)),
+              0)
+        << "impl=" << kernels::impl_name(impl);
+  }
+  kernels::set_dispatch(kStartupImpl);
+}
+
+}  // namespace

@@ -1,11 +1,17 @@
 // Numerical gradient checking: every layer's analytic backward pass is
 // compared against central finite differences of the softmax cross-entropy
 // loss.  This is the strongest correctness property the NN substrate has.
+//
+// The suite is parameterised over every registered kernel implementation
+// (reference / blocked / avx2 where supported), so a fused-epilogue or
+// SIMD-path bug in any GEMM variant cannot silently break backprop.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <memory>
+#include <string>
 
+#include "kernels/dispatch.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv1d.hpp"
 #include "nn/dense.hpp"
@@ -18,6 +24,16 @@ namespace {
 
 using namespace mldist::nn;
 using mldist::util::Xoshiro256;
+
+// Dispatch selection active at startup (after MLDIST_KERNEL resolution),
+// restored after each parameterised run.
+const mldist::kernels::Impl kStartupImpl = mldist::kernels::dispatch();
+
+class GradCheck : public ::testing::TestWithParam<mldist::kernels::Impl> {
+ protected:
+  void SetUp() override { mldist::kernels::set_dispatch(GetParam()); }
+  void TearDown() override { mldist::kernels::set_dispatch(kStartupImpl); }
+};
 
 /// Loss of `model` on (x, y) without touching gradients.
 double loss_of(Sequential& model, const Mat& x, const std::vector<int>& y) {
@@ -103,7 +119,7 @@ std::vector<int> random_labels(std::size_t n, std::size_t classes,
   return y;
 }
 
-TEST(GradCheck, DenseOnly) {
+TEST_P(GradCheck, DenseOnly) {
   Xoshiro256 rng(1);
   Sequential model;
   model.add(std::make_unique<Dense>(6, 4, rng));
@@ -113,7 +129,7 @@ TEST(GradCheck, DenseOnly) {
   check_input_grads(model, x, y, 1, 1e-3);
 }
 
-TEST(GradCheck, DenseReluDense) {
+TEST_P(GradCheck, DenseReluDense) {
   Xoshiro256 rng(2);
   Sequential model;
   model.add(std::make_unique<Dense>(8, 10, rng));
@@ -125,7 +141,7 @@ TEST(GradCheck, DenseReluDense) {
   check_input_grads(model, x, y, 1, 1e-3);
 }
 
-TEST(GradCheck, LeakyRelu) {
+TEST_P(GradCheck, LeakyRelu) {
   Xoshiro256 rng(3);
   Sequential model;
   model.add(std::make_unique<Dense>(7, 9, rng));
@@ -136,7 +152,7 @@ TEST(GradCheck, LeakyRelu) {
   check_param_grads(model, x, y, 1, 1e-3);
 }
 
-TEST(GradCheck, TanhAndSigmoid) {
+TEST_P(GradCheck, TanhAndSigmoid) {
   Xoshiro256 rng(4);
   Sequential model;
   model.add(std::make_unique<Dense>(5, 6, rng));
@@ -150,7 +166,7 @@ TEST(GradCheck, TanhAndSigmoid) {
   check_input_grads(model, x, y, 1, 1e-3);
 }
 
-TEST(GradCheck, Conv1DSingleChannel) {
+TEST_P(GradCheck, Conv1DSingleChannel) {
   Xoshiro256 rng(5);
   Sequential model;
   model.add(std::make_unique<Conv1D>(10, 1, 4, 3, rng));
@@ -163,7 +179,7 @@ TEST(GradCheck, Conv1DSingleChannel) {
   check_input_grads(model, x, y, 1, 1e-3);
 }
 
-TEST(GradCheck, Conv1DMultiChannelStack) {
+TEST_P(GradCheck, Conv1DMultiChannelStack) {
   Xoshiro256 rng(6);
   Sequential model;
   model.add(std::make_unique<Conv1D>(6, 2, 3, 3, rng));
@@ -177,7 +193,7 @@ TEST(GradCheck, Conv1DMultiChannelStack) {
   check_input_grads(model, x, y, 1, 1.5e-3);
 }
 
-TEST(GradCheck, LstmSingleLayer) {
+TEST_P(GradCheck, LstmSingleLayer) {
   Xoshiro256 rng(7);
   Sequential model;
   model.add(std::make_unique<LSTM>(4, 3, 5, rng));
@@ -188,7 +204,7 @@ TEST(GradCheck, LstmSingleLayer) {
   check_input_grads(model, x, y, 1, 1.5e-3);
 }
 
-TEST(GradCheck, LstmStacked) {
+TEST_P(GradCheck, LstmStacked) {
   Xoshiro256 rng(8);
   Sequential model;
   model.add(std::make_unique<LSTM>(3, 2, 4, rng));
@@ -199,7 +215,7 @@ TEST(GradCheck, LstmStacked) {
   check_param_grads(model, x, y, 1, 1.5e-3);
 }
 
-TEST(GradCheck, DeepMixedStack) {
+TEST_P(GradCheck, DeepMixedStack) {
   Xoshiro256 rng(9);
   Sequential model;
   model.add(std::make_unique<Dense>(8, 12, rng));
@@ -211,5 +227,12 @@ TEST(GradCheck, DeepMixedStack) {
   const auto y = random_labels(6, 4, rng);
   check_param_grads(model, x, y, 3, 1.5e-3);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, GradCheck,
+    ::testing::ValuesIn(mldist::kernels::available_impls()),
+    [](const ::testing::TestParamInfo<mldist::kernels::Impl>& info) {
+      return std::string(mldist::kernels::impl_name(info.param));
+    });
 
 }  // namespace

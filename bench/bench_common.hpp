@@ -7,6 +7,8 @@
 //   --threads W pipeline worker count (0 = global pool sized to the machine)
 //   --kernel K  force the compute-kernel implementation
 //               (reference | blocked | avx2); default = best supported
+//   --trace F   record a Chrome trace_event JSON of the run into F
+//               (same effect as MLDIST_TRACE=F in the environment)
 #pragma once
 
 #include <cstdint>
@@ -25,6 +27,7 @@
 #include "core/targets.hpp"
 #include "kernels/dispatch.hpp"
 #include "nn/model.hpp"
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 
 namespace mldist::bench {
@@ -69,10 +72,12 @@ inline Options parse_options(int argc, char** argv) {
       opt.base_override = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc) {
       opt.epochs_override = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      obs::Tracer::global().enable(argv[++i]);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--quick|--full] [--seed N] [--threads W] [--base N] "
-          "[--epochs N] [--kernel reference|blocked|avx2]\n",
+          "[--epochs N] [--kernel reference|blocked|avx2] [--trace FILE]\n",
           argv[0]);
       std::exit(0);
     }
@@ -124,8 +129,10 @@ class CsvWriter {
 /// already carry the run options — use `options_json` for the common part.
 inline bool write_bench_json(const std::string& bench_name,
                              const util::JsonBuilder& j) {
-  return util::write_json_file("results/BENCH_" + bench_name + ".json",
-                               j.str());
+  const util::WriteResult written = util::write_json_file(
+      "results/BENCH_" + bench_name + ".json", j.str());
+  if (!written) std::fprintf(stderr, "%s\n", written.error.c_str());
+  return static_cast<bool>(written);
 }
 
 /// The shared CLI options as a JSON object, for embedding into bench

@@ -1,0 +1,137 @@
+// Disabled-mode cost of the observability layer (src/obs).
+//
+// The tentpole contract is that instrumentation stays compiled into every
+// hot path (kernels, nn, core) because the disabled path is negligible.
+// This bench measures that path — Span construction with tracing off, and
+// the sharded counter add — against an uninstrumented baseline loop, prints
+// per-op costs, writes results/BENCH_obs.json, and FAILS (exit 1) when the
+// disabled cost exceeds a generous ceiling.  Runs as ctest "obs"+"bench"
+// label, so a regression that adds a lock or allocation to the disabled
+// path breaks the build's test stage, not a later profiling session.
+#include <cstdint>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace mldist;
+
+constexpr int kIters = 4'000'000;
+
+// A ceiling two orders of magnitude above the expected cost (a relaxed
+// atomic load / fetch_add is single-digit ns): loose enough that a loaded
+// CI machine never flakes, tight enough that an accidental mutex or
+// allocation on the disabled path (typically >1us) is caught.
+constexpr double kMaxDisabledNsPerOp = 250.0;
+
+/// xorshift accumulator loop: the uninstrumented baseline the spans are
+/// added onto.  Volatile sink defeats dead-code elimination.
+std::uint64_t baseline_work(std::uint64_t x, int iters) {
+  for (int i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+volatile std::uint64_t sink;
+
+double measure_baseline() {
+  const util::Timer timer;
+  sink = baseline_work(0x9e3779b97f4a7c15ULL, kIters);
+  return timer.seconds() * 1e9 / kIters;
+}
+
+double measure_disabled_span() {
+  const std::string name = "bench.disabled";
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  const util::Timer timer;
+  for (int i = 0; i < kIters; ++i) {
+    obs::Span span(name, "bench");
+    span.arg("i", i);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  sink = x;
+  return timer.seconds() * 1e9 / kIters;
+}
+
+double measure_counter_add() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  const obs::MetricId id = reg.counter("bench.obs_overhead.adds");
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  const util::Timer timer;
+  for (int i = 0; i < kIters; ++i) {
+    reg.add(id);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  sink = x;
+  return timer.seconds() * 1e9 / kIters;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header("obs overhead: disabled spans and sharded counters",
+                      opt);
+
+  const bool tracing = obs::Tracer::global().enabled();
+  if (tracing) {
+    std::printf("note: tracing is ENABLED (--trace/MLDIST_TRACE); the span "
+                "column measures the enabled path and the assertion is "
+                "skipped\n");
+  }
+
+  // Warm-up pass so the first measured loop doesn't pay the registry/shard
+  // setup or cold caches.
+  (void)measure_baseline();
+  (void)measure_disabled_span();
+  (void)measure_counter_add();
+
+  const double base_ns = measure_baseline();
+  const double span_ns = measure_disabled_span();
+  const double add_ns = measure_counter_add();
+  const double span_over = span_ns - base_ns;
+  const double add_over = add_ns - base_ns;
+
+  std::printf("%-34s %10.2f ns/op\n", "baseline loop", base_ns);
+  std::printf("%-34s %10.2f ns/op  (overhead %+.2f)\n",
+              tracing ? "span (tracing ENABLED)" : "span (tracing disabled)",
+              span_ns, span_over);
+  std::printf("%-34s %10.2f ns/op  (overhead %+.2f)\n", "counter add", add_ns,
+              add_over);
+  bench::print_rule();
+
+  util::JsonBuilder j;
+  j.raw("options", bench::options_json(opt))
+      .field("iters", static_cast<std::uint64_t>(kIters))
+      .field("tracing_enabled", tracing)
+      .field("baseline_ns_per_op", base_ns)
+      .field("span_ns_per_op", span_ns)
+      .field("counter_add_ns_per_op", add_ns)
+      .field("span_overhead_ns", span_over)
+      .field("counter_add_overhead_ns", add_over)
+      .field("ceiling_ns", kMaxDisabledNsPerOp);
+  bench::write_bench_json("obs", j);
+
+  if (!tracing &&
+      (span_over > kMaxDisabledNsPerOp || add_over > kMaxDisabledNsPerOp)) {
+    std::fprintf(stderr,
+                 "FAIL: disabled-mode overhead exceeds %.0f ns/op "
+                 "(span %+.2f, counter %+.2f)\n",
+                 kMaxDisabledNsPerOp, span_over, add_over);
+    return 1;
+  }
+  std::printf("disabled-mode overhead within the %.0f ns/op ceiling\n",
+              kMaxDisabledNsPerOp);
+  return 0;
+}

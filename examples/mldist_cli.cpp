@@ -29,6 +29,8 @@
 #include "core/model_io.hpp"
 #include "core/targets.hpp"
 #include "kernels/dispatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
@@ -100,6 +102,11 @@ bool parse(int argc, char** argv, Args& out) {
       out.config.max_retries = std::atoi(v);
     } else if (flag == "--checkpoint") {
       out.config.checkpoint_path = v;
+    } else if (flag == "--trace") {
+      // Scoped-span tracing (obs/trace.hpp): every phase/layer/kernel span
+      // of this run lands in `v` as Chrome trace_event JSON.  Equivalent to
+      // setting MLDIST_TRACE=v in the environment.
+      obs::Tracer::global().enable(v);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -115,10 +122,12 @@ int usage() {
                "--epochs E --model PATH\n"
                "             [--arch A] [--threads W] [--seed S] "
                "[--kernel reference|blocked|avx2]\n"
-               "             [--retries N] [--checkpoint PATH] [--json]\n"
+               "             [--retries N] [--checkpoint PATH] [--json] "
+               "[--trace FILE]\n"
                "  mldist_cli test  --target T --rounds R --samples N "
                "--model PATH\n"
-               "             [--oracle cipher|random] [--threads W] [--json]\n"
+               "             [--oracle cipher|random] [--threads W] [--json] "
+               "[--trace FILE]\n"
                "  mldist_cli list\n");
   return kExitConfig;
 }
@@ -170,6 +179,7 @@ int cmd_train(const Args& args) {
         .raw("collect", rep.collect.to_json())
         .raw("fit", rep.fit.to_json())
         .raw("robustness", rep.robustness.to_json())
+        .raw("obs", obs::MetricsRegistry::global().snapshot().to_json())
         .field("model_path", args.model_path);
     std::printf("%s\n", j.str().c_str());
   } else {
@@ -260,6 +270,7 @@ int cmd_test(const Args& args) {
         .field("verdict", looks_cipher ? "CIPHER" : "RANDOM")
         .raw("collect", collect_tel.to_json())
         .raw("predict", predict_tel.to_json())
+        .raw("obs", obs::MetricsRegistry::global().snapshot().to_json())
         .field("model_path", args.model_path);
     std::printf("%s\n", j.str().c_str());
   } else {
@@ -293,13 +304,33 @@ int report_error(bool json, const char* kind, const std::string& what,
 
 }  // namespace
 
+namespace {
+
+/// Explicit flush so the trace file exists even when the caller inspects it
+/// while the process is still alive; the atexit flush (installed by
+/// enable()) remains as the crash-path backstop.
+int finish_trace(int code) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!tracer.path().empty()) {
+    std::string error;
+    if (!tracer.flush(&error)) {
+      std::fprintf(stderr, "mldist_cli: trace flush failed: %s\n",
+                   error.c_str());
+      return code == 0 ? kExitRuntime : code;
+    }
+  }
+  return code;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Args args;
   if (!parse(argc, argv, args)) return usage();
   try {
     if (args.command == "list") return cmd_list();
-    if (args.command == "train") return cmd_train(args);
-    if (args.command == "test") return cmd_test(args);
+    if (args.command == "train") return finish_trace(cmd_train(args));
+    if (args.command == "test") return finish_trace(cmd_test(args));
     return usage();
   } catch (const std::invalid_argument& e) {
     // Bad target/arch names, model/target mismatches: caller-fixable.

@@ -4,17 +4,23 @@
 #include <stdexcept>
 
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mldist::core {
 
 bool CheckpointManager::update(nn::Sequential& model, double val_accuracy) {
+  obs::count("core.checkpoint.update_calls");
   if (has_checkpoint() && val_accuracy <= best_) return false;
+  obs::Span span("checkpoint.update", "core");
+  span.arg("val_accuracy", val_accuracy);
   const std::string tmp = path_ + ".tmp";
   nn::save_params(model, tmp);
   // Atomic publish: a crash mid-write leaves the previous checkpoint (or
   // nothing) at `path_`, never a torn file.
   std::filesystem::rename(tmp, path_);
   best_ = val_accuracy;
+  obs::count("core.checkpoint.updates");
   return true;
 }
 
@@ -22,6 +28,8 @@ void CheckpointManager::restore(nn::Sequential& model) const {
   if (!has_checkpoint()) {
     throw std::runtime_error("CheckpointManager: no checkpoint to restore");
   }
+  obs::Span span("checkpoint.restore", "core");
+  obs::count("core.checkpoint.restores");
   try {
     nn::load_params(model, path_);
   } catch (const std::exception& e) {

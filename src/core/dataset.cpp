@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/bits.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -10,12 +12,41 @@ namespace mldist::core {
 
 namespace {
 
+/// Deterministic collection tallies: the query/row counts are functions of
+/// (base_inputs, t) alone, never of chunking or worker count, so they are
+/// bitwise identical for any --threads setting.
+struct CollectMetrics {
+  obs::MetricId queries;
+  obs::MetricId rows;
+  obs::MetricId chunks;
+
+  CollectMetrics() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    queries = reg.counter("core.oracle.queries");
+    rows = reg.counter("core.collect.rows");
+    chunks = reg.counter("core.collect.chunks");
+  }
+};
+
+const CollectMetrics& collect_metrics() {
+  static const CollectMetrics metrics;
+  return metrics;
+}
+
 /// Collect base inputs [s_begin, s_end) into their rows of `ds`, drawing all
 /// randomness from `rng`.  Shared by the serial path (one call spanning
 /// everything) and the parallel engine (one call per chunk).
 void collect_span(const Oracle& oracle, std::size_t s_begin, std::size_t s_end,
                   util::Xoshiro256& rng, nn::Dataset& ds) {
   const std::size_t t = oracle.num_differences();
+  {
+    // Algorithm 2 issues t+1 primitive queries per base input (the base
+    // plus its t partners); each yields t labelled rows.
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    const CollectMetrics& metrics = collect_metrics();
+    reg.add(metrics.queries, (s_end - s_begin) * (t + 1));
+    reg.add(metrics.rows, (s_end - s_begin) * t);
+  }
   // Query in slabs so batched oracles amortise per-call overhead and the
   // Gimli targets run the batched permutation kernel.  The query_batch
   // contract (RNG consumed in per-sample order, byte-identical output)
@@ -67,10 +98,16 @@ nn::Dataset collect_dataset(const Oracle& oracle, std::size_t base_inputs,
 
   const std::size_t chunk = std::max<std::size_t>(1, options.chunk_base_inputs);
   const std::size_t num_chunks = (base_inputs + chunk - 1) / chunk;
+  obs::Span collect_span_trace("collect", "core");
+  collect_span_trace.arg("base_inputs", static_cast<std::uint64_t>(base_inputs))
+      .arg("chunks", static_cast<std::uint64_t>(num_chunks));
   // One derived stream per chunk: the grid is fixed by (seed, chunk size)
   // alone, so the bytes cannot depend on how chunks land on workers.
   const auto chunks = [&](std::size_t begin, std::size_t end) {
     for (std::size_t c = begin; c < end; ++c) {
+      obs::Span chunk_span("collect.chunk", "core");
+      chunk_span.arg("chunk", static_cast<std::uint64_t>(c));
+      obs::MetricsRegistry::global().add(collect_metrics().chunks);
       util::Xoshiro256 rng(util::derive_stream_seed(options.seed, c));
       const std::size_t s_begin = c * chunk;
       const std::size_t s_end = std::min(base_inputs, s_begin + chunk);

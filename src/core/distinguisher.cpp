@@ -9,6 +9,8 @@
 
 #include "core/linear_baseline.hpp"
 #include "core/targets.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -118,6 +120,9 @@ TrainReport MLDistinguisher::train(const Target& target,
                                    std::size_t base_inputs) {
   t_ = target.num_differences();
   baseline_.reset();
+  obs::Span train_span("train", "core");
+  train_span.arg("base_inputs", static_cast<std::uint64_t>(base_inputs))
+      .arg("t", static_cast<std::uint64_t>(t_));
 
   const std::size_t val_base = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(base_inputs) *
@@ -154,6 +159,8 @@ TrainReport MLDistinguisher::train(const Target& target,
   float lr = options_.learning_rate;
   const util::Timer fit_timer;
   for (int attempt = 1; attempt <= max_attempts && !trained; ++attempt) {
+    obs::Span attempt_span("fit.attempt", "core");
+    attempt_span.arg("attempt", attempt);
     rob.attempts = attempt;
     nn::Adam opt(lr);
     nn::HealthMonitor monitor(options_.health);
@@ -234,6 +241,12 @@ TrainReport MLDistinguisher::train(const Target& target,
       val_rows, util::random_guess_accuracy(t_));
   train_report_.usable = z > options_.z_threshold;
   if (auto_ckpt) ckpt.remove_file();
+  // Re-emit the report's telemetry as registry views (DESIGN.md §10): the
+  // JSON built from the structs is unchanged; the metrics snapshot becomes
+  // a superset of it.
+  train_report_.collect.publish("offline_collect");
+  train_report_.fit.publish("fit");
+  train_report_.robustness.publish();
   return train_report_;
 }
 
@@ -249,6 +262,8 @@ OnlineReport MLDistinguisher::test(const Oracle& oracle,
   const std::uint64_t stream =
       seed != 0 ? seed : (options_.seed ^ 0x0417e57ULL);
 
+  obs::Span test_span("test", "core");
+  test_span.arg("base_inputs", static_cast<std::uint64_t>(base_inputs));
   OnlineReport rep;
   const nn::Dataset online = collect_dataset(
       oracle, base_inputs, options_.collect_options(stream), &rep.collect);
@@ -276,6 +291,8 @@ OnlineReport MLDistinguisher::test(const Oracle& oracle,
   rep.z_vs_random = util::binomial_z_score(hits, pred.size(),
                                            util::random_guess_accuracy(t_));
   rep.verdict = decide(rep.accuracy, rep.samples);
+  rep.collect.publish("online_collect");
+  rep.predict.publish("predict");
   return rep;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/targets.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -15,6 +17,10 @@ constexpr std::uint64_t kGameStream = 0x9a3e5ULL;
 GameReport play_games(const MLDistinguisher& dist, const Target& target,
                       std::size_t games, std::size_t online_base_inputs,
                       std::uint64_t seed, std::size_t threads) {
+  obs::Span games_span("games", "core");
+  games_span.arg("games", static_cast<std::uint64_t>(games))
+      .arg("online_base_inputs",
+           static_cast<std::uint64_t>(online_base_inputs));
   const util::Timer timer;
   util::Xoshiro256 referee(seed);
   const CipherOracle cipher(target);
@@ -78,6 +84,13 @@ GameReport play_games(const MLDistinguisher& dist, const Target& target,
   }
   rep.telemetry.seconds = timer.seconds();
   rep.telemetry.threads = workers;
+  {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.add(reg.counter("core.games.played"), rep.games);
+    reg.add(reg.counter("core.games.correct"), rep.correct);
+    reg.add(reg.counter("core.games.inconclusive"), rep.inconclusive);
+  }
+  rep.telemetry.publish("games");
   return rep;
 }
 

@@ -18,9 +18,18 @@ namespace mldist::core {
 
 struct GameReport {
   std::size_t games = 0;
-  std::size_t correct = 0;          ///< oracle named correctly
+  /// Games where the attacker named the oracle correctly.  An inconclusive
+  /// verdict is never correct — a distinguisher that refuses to answer has
+  /// not won the game — so `correct + inconclusive <= games` and the two
+  /// tallies never overlap (a game is counted in at most one of them;
+  /// confidently wrong answers are in neither).
+  std::size_t correct = 0;
+  /// Games whose verdict was Verdict::kInconclusive.  These count AGAINST
+  /// success_rate (the denominator stays `games`); they are tallied
+  /// separately so reports can tell "wrong" from "underpowered".  This
+  /// accounting is pinned by the game_report accounting test.
   std::size_t inconclusive = 0;
-  double success_rate = 0.0;        ///< correct / games
+  double success_rate = 0.0;        ///< correct / games (see above)
   double mean_cipher_accuracy = 0.0;  ///< mean a' when ORACLE = CIPHER
   double mean_random_accuracy = 0.0;  ///< mean a' when ORACLE = RANDOM
   PhaseTelemetry telemetry;  ///< queries/rows across all games, wall time

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
@@ -37,6 +38,21 @@ struct PhaseTelemetry {
         .field("rows_per_sec", rows_per_sec());
     return j.str();
   }
+
+  /// Re-emit this record into the process-wide metrics registry as a view,
+  /// under "core.phase.<phase>.*": queries/rows add to counters (both are
+  /// deterministic quantities), the wall time lands in a "_ns" histogram,
+  /// and the fan-out is a last-write-wins gauge.  Report JSON built from
+  /// the struct stays exactly as before; the registry snapshot becomes a
+  /// superset of it.
+  void publish(std::string_view phase) const {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    const std::string prefix = "core.phase." + std::string(phase);
+    reg.add(reg.counter(prefix + ".queries"), queries);
+    reg.add(reg.counter(prefix + ".rows"), rows);
+    reg.set_gauge(reg.gauge(prefix + ".threads"), threads);
+    obs::observe_seconds(prefix + ".seconds_ns", seconds);
+  }
 };
 
 /// Recovery telemetry for the fault-tolerant offline phase (ISSUE 2): how
@@ -57,6 +73,21 @@ struct RobustnessTelemetry {
         .field("degraded_to_baseline", degraded_to_baseline)
         .field("last_fault", last_fault);
     return j.str();
+  }
+
+  /// View into the registry under "core.robustness.*" (counters; one
+  /// publish per training run — the registry accumulates across runs).
+  void publish() const {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.add(reg.counter("core.robustness.attempts"),
+            static_cast<std::uint64_t>(attempts));
+    reg.add(reg.counter("core.robustness.divergences"),
+            static_cast<std::uint64_t>(divergences));
+    reg.add(reg.counter("core.robustness.rollbacks"),
+            static_cast<std::uint64_t>(rollbacks));
+    if (degraded_to_baseline) {
+      reg.add(reg.counter("core.robustness.degraded_to_baseline"));
+    }
   }
 };
 

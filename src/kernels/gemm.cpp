@@ -7,8 +7,35 @@
 #include <vector>
 
 #include "kernels/gemm_internal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mldist::kernels {
+
+namespace {
+
+/// Per-implementation call and FLOP tallies (2*m*k*n per product), visible
+/// in the obs registry as kernels.gemm.{calls,flops}.<impl>.  Ids resolve
+/// once; recording is a sharded relaxed add, so the dispatch hot path never
+/// takes a lock.  Call counts and FLOPs are deterministic quantities — the
+/// batch grid is fixed by the options, not the worker count — so they are
+/// bitwise identical for any --threads setting.
+struct GemmMetrics {
+  obs::MetricId calls[3];
+  obs::MetricId flops[3];
+
+  GemmMetrics() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    for (Impl impl : {Impl::kReference, Impl::kBlocked, Impl::kAvx2}) {
+      const auto i = static_cast<std::size_t>(impl);
+      const std::string suffix = impl_name(impl);
+      calls[i] = reg.counter("kernels.gemm.calls." + suffix);
+      flops[i] = reg.counter("kernels.gemm.flops." + suffix);
+    }
+  }
+};
+
+}  // namespace
 namespace detail {
 namespace {
 
@@ -175,6 +202,18 @@ void gemm_impl(Impl impl, const float* a, std::ptrdiff_t a_rs,
                                 impl_name(impl) +
                                 "' is not supported on this machine");
   }
+  {
+    static const GemmMetrics metrics;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    const auto i = static_cast<std::size_t>(impl);
+    reg.add(metrics.calls[i]);
+    reg.add(metrics.flops[i], 2ull * m * k * n);
+  }
+  obs::Span span("gemm", "kernels");
+  span.arg("impl", impl_name(impl))
+      .arg("m", static_cast<std::uint64_t>(m))
+      .arg("k", static_cast<std::uint64_t>(k))
+      .arg("n", static_cast<std::uint64_t>(n));
   switch (impl) {
     case Impl::kReference:
       detail::gemm_reference(a, a_rs, a_cs, b, b_rs, b_cs, c, m, k, n,

@@ -5,8 +5,33 @@
 #include <utility>
 
 #include "kernels/gimli_batch_internal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mldist::kernels {
+
+namespace {
+
+/// kernels.gimli.{calls,states,rounds}.<impl> — same shape as the GEMM
+/// tallies: deterministic quantities, sharded lock-free recording.
+struct GimliMetrics {
+  obs::MetricId calls[3];
+  obs::MetricId states[3];
+  obs::MetricId rounds[3];
+
+  GimliMetrics() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    for (Impl impl : {Impl::kReference, Impl::kBlocked, Impl::kAvx2}) {
+      const auto i = static_cast<std::size_t>(impl);
+      const std::string suffix = impl_name(impl);
+      calls[i] = reg.counter("kernels.gimli.calls." + suffix);
+      states[i] = reg.counter("kernels.gimli.states." + suffix);
+      rounds[i] = reg.counter("kernels.gimli.rounds." + suffix);
+    }
+  }
+};
+
+}  // namespace
 namespace detail {
 namespace {
 
@@ -79,6 +104,18 @@ void gimli_rounds_batch_impl(Impl impl, std::uint32_t* soa, std::size_t n,
                                 impl_name(impl) +
                                 "' is not supported on this machine");
   }
+  {
+    static const GimliMetrics metrics;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    const auto i = static_cast<std::size_t>(impl);
+    reg.add(metrics.calls[i]);
+    reg.add(metrics.states[i], n);
+    reg.add(metrics.rounds[i], n * static_cast<std::size_t>(hi - lo + 1));
+  }
+  obs::Span span("gimli", "kernels");
+  span.arg("impl", impl_name(impl))
+      .arg("states", static_cast<std::uint64_t>(n))
+      .arg("rounds", hi - lo + 1);
   switch (impl) {
     case Impl::kReference:
       detail::gimli_batch_reference(soa, n, hi, lo);

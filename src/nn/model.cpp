@@ -3,23 +3,75 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 
 #include "nn/activations.hpp"
 #include "nn/dense.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace mldist::nn {
 
+namespace {
+
+/// Deterministic fit/eval/predict tallies (sample and batch counts are fixed
+/// by the data and options, never by the worker count).
+struct ModelMetrics {
+  obs::MetricId fit_epochs;
+  obs::MetricId fit_batches;
+  obs::MetricId fit_samples;
+  obs::MetricId eval_batches;
+  obs::MetricId eval_rows;
+  obs::MetricId predict_rows;
+
+  ModelMetrics() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    fit_epochs = reg.counter("nn.fit.epochs");
+    fit_batches = reg.counter("nn.fit.batches");
+    fit_samples = reg.counter("nn.fit.samples");
+    eval_batches = reg.counter("nn.evaluate.batches");
+    eval_rows = reg.counter("nn.evaluate.rows");
+    predict_rows = reg.counter("nn.predict.rows");
+  }
+};
+
+const ModelMetrics& model_metrics() {
+  static const ModelMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
 Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   layers_.push_back(std::move(layer));
+  // Shape-free kind ("dense(128->1024)" -> "dense") keeps the registered
+  // name set bounded across every architecture a process ever builds.
+  const std::string full = layers_.back()->name();
+  const std::string kind = full.substr(0, full.find('('));
+  const std::string base =
+      "nn.layer." + std::to_string(layers_.size() - 1) + "." + kind;
+  LayerObs o;
+  o.forward_ns = obs::MetricsRegistry::global().counter(base + ".forward_ns");
+  o.backward_ns =
+      obs::MetricsRegistry::global().counter(base + ".backward_ns");
+  o.span_name = base;
+  layer_obs_.push_back(std::move(o));
   return *this;
 }
 
 Mat Sequential::forward(const Mat& x, bool training) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   Mat cur = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
+    // The span and the forward_ns counter are attributed to layer i, even
+    // when the inference-only fusion below also consumes layer i+1.
+    obs::Span span(layer_obs_[i].span_name, "nn");
+    const util::Timer layer_timer;
+    const std::size_t attributed = i;
+    bool fused = false;
     // Inference-only fusion: collapse Dense + ReLU/LeakyReLU into one
     // fused-epilogue kernel call.  The epilogue applies the identical
     // per-element rewrite as the activation layer, so this is bitwise
@@ -30,18 +82,23 @@ Mat Sequential::forward(const Mat& x, bool training) {
         Layer* next = layers_[i + 1].get();
         if (dynamic_cast<ReLU*>(next) != nullptr) {
           cur = dense->forward_fused(cur, kernels::Activation::kRelu, 0.0f);
-          ++i;
-          continue;
-        }
-        if (auto* leaky = dynamic_cast<LeakyReLU*>(next)) {
+          fused = true;
+        } else if (auto* leaky = dynamic_cast<LeakyReLU*>(next)) {
           cur = dense->forward_fused(cur, kernels::Activation::kLeakyRelu,
                                      leaky->alpha());
-          ++i;
-          continue;
+          fused = true;
         }
       }
     }
-    cur = layers_[i]->forward(cur, training);
+    if (fused) {
+      span.arg("fused", 1);
+      ++i;  // the activation layer was consumed by the fused kernel
+    } else {
+      cur = layers_[i]->forward(cur, training);
+    }
+    reg.add(layer_obs_[attributed].forward_ns,
+            static_cast<std::uint64_t>(
+                std::max(0.0, layer_timer.seconds() * 1e9)));
   }
   return cur;
 }
@@ -64,6 +121,9 @@ util::ThreadPool& pool_or_global(util::ThreadPool* pool) {
 std::vector<int> Sequential::predict(const Mat& x, std::size_t batch_size,
                                      util::ThreadPool* pool) {
   const std::size_t n = x.rows();
+  obs::Span span("predict", "nn");
+  span.arg("rows", static_cast<std::uint64_t>(n));
+  obs::MetricsRegistry::global().add(model_metrics().predict_rows, n);
   const std::size_t bs = std::max<std::size_t>(1, batch_size);
   const std::size_t batches = (n + bs - 1) / bs;
   if (batches <= 1) return argmax_rows(forward(x));
@@ -134,6 +194,12 @@ double grad_l2_norm(const std::vector<ParamView>& params) {
 EpochStats Sequential::fit(const Dataset& train, Optimizer& opt,
                            const FitOptions& options) {
   assert(train.x.rows() == train.y.size());
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  const ModelMetrics& metrics = model_metrics();
+  obs::Span fit_span("fit", "nn");
+  fit_span.arg("epochs", options.epochs)
+      .arg("batch_size", static_cast<std::uint64_t>(options.batch_size))
+      .arg("samples", static_cast<std::uint64_t>(train.size()));
   const std::vector<ParamView> param_views = params();
   opt.attach(param_views);
 
@@ -143,6 +209,9 @@ EpochStats Sequential::fit(const Dataset& train, Optimizer& opt,
 
   EpochStats last;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    obs::Span epoch_span("fit.epoch", "nn");
+    epoch_span.arg("epoch", epoch + 1);
+    reg.add(metrics.fit_epochs);
     const util::Timer epoch_timer;
     if (options.shuffle) std::shuffle(order.begin(), order.end(), rng);
     double loss_sum = 0.0;
@@ -156,11 +225,17 @@ EpochStats Sequential::fit(const Dataset& train, Optimizer& opt,
       std::vector<int> yb(end - begin);
       for (std::size_t i = begin; i < end; ++i) yb[i - begin] = train.y[order[i]];
 
+      reg.add(metrics.fit_batches);
+      reg.add(metrics.fit_samples, end - begin);
       const Mat logits = forward(xb, /*training=*/true);
       LossResult lr = softmax_cross_entropy(logits, yb);
       Mat grad = std::move(lr.dlogits);
       for (std::size_t li = layers_.size(); li-- > 0;) {
+        const util::Timer bwd_timer;
         grad = layers_[li]->backward(grad);
+        reg.add(layer_obs_[li].backward_ns,
+                static_cast<std::uint64_t>(
+                    std::max(0.0, bwd_timer.seconds() * 1e9)));
       }
       if (options.health != nullptr) {
         // Guard before the step so a poisoned update never reaches the
@@ -192,6 +267,8 @@ EpochStats Sequential::fit(const Dataset& train, Optimizer& opt,
       options.health->check_epoch(epoch + 1, last.train_loss, param_views);
     }
     last.seconds = epoch_timer.seconds();
+    epoch_span.arg("train_loss", last.train_loss)
+        .arg("train_accuracy", last.train_accuracy);
     if (options.on_epoch) options.on_epoch(last);
   }
   return last;
@@ -203,6 +280,10 @@ EvalResult Sequential::evaluate(const Dataset& data, std::size_t batch_size,
   const std::size_t n = data.size();
   const std::size_t bs = std::max<std::size_t>(1, batch_size);
   const std::size_t batches = (n + bs - 1) / bs;
+  obs::Span span("evaluate", "nn");
+  span.arg("rows", static_cast<std::uint64_t>(n));
+  obs::MetricsRegistry::global().add(model_metrics().eval_rows, n);
+  obs::MetricsRegistry::global().add(model_metrics().eval_batches, batches);
   // Per-batch partials are reduced in batch order below, so the result is
   // bitwise identical to a serial pass regardless of the worker count.
   std::vector<double> batch_loss(batches, 0.0);

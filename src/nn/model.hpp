@@ -106,7 +106,19 @@ class Sequential {
   std::string summary();
 
  private:
+  /// Per-layer observability handles, filled in add() (the cold path) so
+  /// the forward/backward hot paths never do a metric-name lookup.  Metric
+  /// names are "nn.layer.<i>.<kind>.{forward,backward}_ns" where <kind> is
+  /// the layer name truncated at '(' — shape-free so the registered set
+  /// stays bounded no matter how many architectures a process builds.
+  struct LayerObs {
+    std::size_t forward_ns = 0;   ///< obs::MetricId of the forward counter
+    std::size_t backward_ns = 0;  ///< obs::MetricId of the backward counter
+    std::string span_name;        ///< precomputed trace span name
+  };
+
   std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<LayerObs> layer_obs_;  ///< parallel to layers_
 };
 
 }  // namespace mldist::nn

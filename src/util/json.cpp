@@ -1,5 +1,6 @@
 #include "util/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -89,14 +90,220 @@ std::string JsonBuilder::quote(const std::string& s) {
   return out + "\"";
 }
 
-bool write_json_file(const std::string& path, const std::string& json) {
+WriteResult write_json_file(const std::string& path, const std::string& json) {
   const std::filesystem::path p(path);
   std::error_code ec;
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path(), ec);
-  std::ofstream out(path);
-  if (!out) return false;
-  out << json << "\n";
-  return static_cast<bool>(out);
+  // Atomic publish (the CheckpointManager pattern): write the payload to a
+  // sibling tmp file, then rename over the destination.  Readers and a
+  // crashed writer both see either the old artifact or the new one — never
+  // a truncated-in-place file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return {"write_json_file: cannot open " + tmp + " for writing"};
+    }
+    out << json << "\n";
+    out.flush();
+    if (!out) {
+      std::filesystem::remove(tmp, ec);
+      return {"write_json_file: write to " + tmp + " failed"};
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return {"write_json_file: rename " + tmp + " -> " + path +
+            " failed: " + ec.message()};
+  }
+  return {};
+}
+
+namespace {
+
+/// Recursive-descent well-formedness check over `s` starting at `i`.
+/// Grammar per RFC 8259; no value materialisation.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool run(std::string* error) {
+    skip_ws();
+    if (!value(0)) {
+      if (error != nullptr) *error = fail_;
+      return false;
+    }
+    skip_ws();
+    if (i_ != s_.size()) {
+      if (error != nullptr) {
+        *error = "trailing data at offset " + std::to_string(i_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  bool err(const std::string& what) {
+    if (fail_.empty()) {
+      fail_ = what + " at offset " + std::to_string(i_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  bool eat(char c) {
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return err(std::string("expected '") + c + "'");
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(i_, word.size()) == word) {
+      i_ += word.size();
+      return true;
+    }
+    return err("invalid literal");
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (i_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[i_]);
+      if (c == '"') {
+        ++i_;
+        return true;
+      }
+      if (c < 0x20) return err("unescaped control character in string");
+      if (c == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return err("truncated escape");
+        const char e = s_[i_];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (i_ + k >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[i_ + k]))) {
+              return err("bad \\u escape");
+            }
+          }
+          i_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return err("bad escape");
+        }
+      }
+      ++i_;
+    }
+    return err("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && s_[i_] == '-') ++i_;
+    if (i_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[i_]))) {
+      return err("bad number");
+    }
+    if (s_[i_] == '0') {
+      ++i_;
+    } else {
+      while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_])))
+        ++i_;
+    }
+    if (i_ < s_.size() && s_[i_] == '.') {
+      ++i_;
+      if (i_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[i_])))
+        return err("bad fraction");
+      while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_])))
+        ++i_;
+    }
+    if (i_ < s_.size() && (s_[i_] == 'e' || s_[i_] == 'E')) {
+      ++i_;
+      if (i_ < s_.size() && (s_[i_] == '+' || s_[i_] == '-')) ++i_;
+      if (i_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[i_])))
+        return err("bad exponent");
+      while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_])))
+        ++i_;
+    }
+    return i_ > start;
+  }
+
+  bool value(int depth) {
+    if (depth > kMaxDepth) return err("nesting too deep");
+    if (i_ >= s_.size()) return err("unexpected end of input");
+    switch (s_[i_]) {
+      case '{': {
+        ++i_;
+        skip_ws();
+        if (i_ < s_.size() && s_[i_] == '}') {
+          ++i_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          if (!string()) return false;
+          skip_ws();
+          if (!eat(':')) return false;
+          skip_ws();
+          if (!value(depth + 1)) return false;
+          skip_ws();
+          if (i_ < s_.size() && s_[i_] == ',') {
+            ++i_;
+            continue;
+          }
+          return eat('}');
+        }
+      }
+      case '[': {
+        ++i_;
+        skip_ws();
+        if (i_ < s_.size() && s_[i_] == ']') {
+          ++i_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          if (!value(depth + 1)) return false;
+          skip_ws();
+          if (i_ < s_.size() && s_[i_] == ',') {
+            ++i_;
+            continue;
+          }
+          return eat(']');
+        }
+      }
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+  std::string fail_;
+};
+
+}  // namespace
+
+bool json_validate(std::string_view text, std::string* error) {
+  return JsonChecker(text).run(error);
 }
 
 }  // namespace mldist::util

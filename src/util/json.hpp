@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mldist::util {
@@ -37,8 +38,25 @@ class JsonBuilder {
   std::string body_;
 };
 
+/// Outcome of write_json_file: converts to true on success, otherwise
+/// `error` describes what failed (paths included) for logs and reports.
+struct WriteResult {
+  std::string error;
+  explicit operator bool() const { return error.empty(); }
+};
+
 /// Write `json` to `path` (one line, trailing newline), creating parent
-/// directories.  Returns false on I/O failure.
-bool write_json_file(const std::string& path, const std::string& json);
+/// directories.  Crash-safe: the payload goes to "<path>.tmp" and is
+/// atomically renamed over `path` (the tmp+rename pattern of
+/// core::CheckpointManager), so a crash mid-write leaves the previous
+/// artifact — never a torn results/BENCH_*.json.
+WriteResult write_json_file(const std::string& path, const std::string& json);
+
+/// Minimal well-formedness validator for the JSON this repo emits (bench
+/// artifacts, telemetry records, trace files): objects, arrays, strings
+/// with escapes, numbers, true/false/null, nesting depth <= 256.  Returns
+/// false and fills `error` (with a byte offset) on the first violation.
+/// This is a checker, not a parser — the repo still never builds a DOM.
+bool json_validate(std::string_view text, std::string* error = nullptr);
 
 }  // namespace mldist::util

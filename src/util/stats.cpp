@@ -1,5 +1,6 @@
 #include "util/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -24,11 +25,24 @@ double stddev(const std::vector<double>& xs) {
 BinomialSummary binomial_summary(std::size_t successes, std::size_t trials) {
   BinomialSummary out;
   if (trials == 0) return out;
-  out.p_hat = static_cast<double>(successes) / static_cast<double>(trials);
-  out.std_error =
-      std::sqrt(out.p_hat * (1.0 - out.p_hat) / static_cast<double>(trials));
-  out.ci_low = out.p_hat - 1.96 * out.std_error;
-  out.ci_high = out.p_hat + 1.96 * out.std_error;
+  const double n = static_cast<double>(trials);
+  out.p_hat = static_cast<double>(successes) / n;
+  out.std_error = std::sqrt(out.p_hat * (1.0 - out.p_hat) / n);
+  // Wilson score interval.  The Wald interval p_hat +/- 1.96*se degenerates
+  // exactly where the online game needs it most: at p_hat in {0, 1} it
+  // collapses to width zero (a 20/20 game reported CI [1, 1]) and near the
+  // edges it runs below 0 / above 1.  Wilson inverts the score test
+  // instead, so the interval is always inside [0, 1] and keeps nonzero
+  // width at the extremes; the clamp only absorbs floating-point roundoff.
+  const double z = 1.96;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (out.p_hat + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) *
+      std::sqrt(out.p_hat * (1.0 - out.p_hat) / n + z2 / (4.0 * n * n));
+  out.ci_low = std::clamp(center - half, 0.0, 1.0);
+  out.ci_high = std::clamp(center + half, 0.0, 1.0);
   return out;
 }
 

@@ -21,12 +21,15 @@ double stddev(const std::vector<double>& xs);
 
 struct BinomialSummary {
   double p_hat = 0.0;        ///< observed success rate
-  double std_error = 0.0;    ///< sqrt(p(1-p)/n)
-  double ci_low = 0.0;       ///< 95% normal-approximation interval
+  double std_error = 0.0;    ///< Wald standard error sqrt(p_hat(1-p_hat)/n)
+  double ci_low = 0.0;       ///< 95% Wilson score interval, clamped to [0,1]
   double ci_high = 0.0;
 };
 
-/// Summary for `successes` out of `trials` Bernoulli outcomes.
+/// Summary for `successes` out of `trials` Bernoulli outcomes.  The
+/// confidence interval is the 95% Wilson score interval, which stays inside
+/// [0, 1] and keeps nonzero width at p_hat in {0, 1} — the Wald interval
+/// previously reported degenerate CIs like [1, 1] for a 20/20 online game.
 BinomialSummary binomial_summary(std::size_t successes, std::size_t trials);
 
 /// Expected accuracy of a t-class predictor against uniformly random labels.

@@ -50,12 +50,21 @@ void ThreadPool::worker_loop(std::size_t index) {
       seen = generation_;
       task = tasks_[index];
     }
+    std::exception_ptr error;
     if (task.body != nullptr && task.begin < task.end) {
       RegionGuard guard;
-      (*task.body)(task.begin, task.end);
+      try {
+        (*task.body)(task.begin, task.end);
+      } catch (...) {
+        // An exception escaping a worker thread would std::terminate the
+        // process; capture it here and let parallel_for rethrow it on the
+        // calling thread once the generation has drained.
+        error = std::current_exception();
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error != nullptr && error_ == nullptr) error_ = error;
       --pending_;
     }
     done_.notify_one();
@@ -89,12 +98,25 @@ void ThreadPool::parallel_for(
     ++generation_;
   }
   wake_.notify_all();
+  // The calling thread's own chunk may throw too; either way the workers
+  // must finish the generation first — they still hold a pointer to `body`.
+  std::exception_ptr caller_error;
   {
     RegionGuard guard;
-    body(0, std::min(n, per));
+    try {
+      body(0, std::min(n, per));
+    } catch (...) {
+      caller_error = std::current_exception();
+    }
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [&] { return pending_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return pending_ == 0; });
+    error = caller_error != nullptr ? caller_error : error_;
+    error_ = nullptr;  // the pool stays usable for the next parallel_for
+  }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::global() {

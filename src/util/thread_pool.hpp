@@ -16,6 +16,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -36,6 +37,12 @@ class ThreadPool {
 
   /// Run body(begin, end) over a partition of [0, n); blocks until all
   /// chunks finish.  The calling thread executes one chunk itself.
+  ///
+  /// Exception safety: a throw from any chunk no longer escapes its worker
+  /// thread (which would std::terminate the process).  The generation is
+  /// drained, then the exception — the calling thread's own, else the first
+  /// one a worker captured — is rethrown here.  Other chunks are NOT
+  /// cancelled (they run to completion), and the pool remains usable.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& body);
 
@@ -63,6 +70,7 @@ class ThreadPool {
   std::size_t pending_ = 0;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+  std::exception_ptr error_;      // first task-body exception this generation
 };
 
 /// Run body over [0, n) with the fan-out implied by `threads`: 0 = the

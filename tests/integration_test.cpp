@@ -77,6 +77,39 @@ TEST(Integration, OracleGameMostlyWonOnEasyTarget) {
   EXPECT_GE(rep.success_rate, 0.9);
   EXPECT_GT(rep.mean_cipher_accuracy, 0.9);
   EXPECT_NEAR(rep.mean_random_accuracy, 0.5, 0.1);
+  // Accounting invariants (see GameReport docs): a game lands in at most
+  // one of correct / inconclusive, and success_rate's denominator is games.
+  EXPECT_LE(rep.correct + rep.inconclusive, rep.games);
+  EXPECT_DOUBLE_EQ(
+      rep.success_rate,
+      static_cast<double>(rep.correct) / static_cast<double>(rep.games));
+}
+
+TEST(Integration, GameReportCountsInconclusiveAgainstSuccessRate) {
+  // Pin the GameReport accounting: an inconclusive game increments
+  // `inconclusive` AND counts against `success_rate` (denominator stays
+  // `games`, numerator only counts correct calls).
+  //
+  // With online_base_inputs = 1 each game scores t = 2 rows.  decide() is
+  // then always underpowered (3*se ~ 1.06 exceeds the largest possible
+  // training advantage 0.5) and the z-vs-random escape hatch cannot fire
+  // either (2 hits out of 2 gives z ~ 1.41 < 3), so every game is
+  // deterministically inconclusive regardless of the referee's coins.
+  Xoshiro256 rng(5);
+  auto model = build_default_mlp(128, 2, rng);
+  DistinguisherOptions opt;
+  opt.epochs = 1;
+  MLDistinguisher dist(std::move(model), opt);
+  const GimliHashTarget target(2);
+  (void)dist.train(target, 200);
+
+  const GameReport rep =
+      play_games(dist, target, 6, /*online_base_inputs=*/1, /*seed=*/0xabcd);
+  EXPECT_EQ(rep.games, 6u);
+  EXPECT_EQ(rep.inconclusive, 6u);
+  EXPECT_EQ(rep.correct, 0u);
+  EXPECT_DOUBLE_EQ(rep.success_rate, 0.0);
+  EXPECT_LE(rep.correct + rep.inconclusive, rep.games);
 }
 
 TEST(Integration, SvmBaselineWorksOnVeryLowRounds) {

@@ -1,0 +1,266 @@
+// Observability layer (src/obs): registry semantics, the shard-merge
+// determinism contract (bitwise-identical counters for any worker count),
+// trace round-trip through the Chrome trace_event writer, and the
+// disabled-mode cost ceiling.  Runs under the "obs" and "tsan" ctest labels.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/arch_zoo.hpp"
+#include "core/dataset.hpp"
+#include "core/targets.hpp"
+#include "nn/model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace mldist;
+using obs::MetricsRegistry;
+
+// ---------------------------------------------------------------------------
+// registry semantics
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterFindOrCreateIsStable) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const obs::MetricId a = reg.counter("obs_test.stable");
+  const obs::MetricId b = reg.counter("obs_test.stable");
+  EXPECT_EQ(a, b);
+  reg.add(a, 3);
+  reg.add(b, 4);
+  EXPECT_EQ(reg.counter_value("obs_test.stable"), 7u);
+  EXPECT_EQ(reg.counter_value("obs_test.never_registered"), 0u);
+}
+
+TEST(Metrics, KindClashThrows) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("obs_test.kind_clash");
+  EXPECT_THROW(reg.gauge("obs_test.kind_clash"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("obs_test.kind_clash"), std::invalid_argument);
+}
+
+TEST(Metrics, HistogramTracksCountSumMinMaxBuckets) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const obs::MetricId h = reg.histogram("obs_test.hist");
+  reg.observe(h, 0);
+  reg.observe(h, 1);
+  reg.observe(h, 5);    // bit_width 3
+  reg.observe(h, 1000); // bit_width 10
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const auto it = std::find_if(
+      snap.histograms.begin(), snap.histograms.end(),
+      [](const auto& p) { return p.first == "obs_test.hist"; });
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_EQ(it->second.count, 4u);
+  EXPECT_EQ(it->second.sum, 1006u);
+  EXPECT_EQ(it->second.min, 0u);
+  EXPECT_EQ(it->second.max, 1000u);
+  EXPECT_EQ(it->second.buckets[0], 1u);   // the exact zero
+  EXPECT_EQ(it->second.buckets[1], 1u);   // 1
+  EXPECT_EQ(it->second.buckets[3], 1u);   // 5
+  EXPECT_EQ(it->second.buckets[10], 1u);  // 1000
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const obs::MetricId g = reg.gauge("obs_test.gauge");
+  reg.set_gauge(g, 7);
+  reg.set_gauge(g, 3);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const auto it =
+      std::find_if(snap.gauges.begin(), snap.gauges.end(),
+                   [](const auto& p) { return p.first == "obs_test.gauge"; });
+  ASSERT_NE(it, snap.gauges.end());
+  EXPECT_EQ(it->second, 3u);
+}
+
+TEST(Metrics, ShardsOfExitedThreadsAreRetained) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const obs::MetricId id = reg.counter("obs_test.retired");
+  const std::uint64_t before = reg.counter_value("obs_test.retired");
+  {
+    std::thread t([&] { reg.add(id, 11); });
+    t.join();
+  }
+  // The thread is gone but its shard merged into the retained accumulator.
+  EXPECT_EQ(reg.counter_value("obs_test.retired"), before + 11);
+}
+
+TEST(Metrics, SnapshotJsonIsWellFormed) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.add(reg.counter("obs_test.json_counter"), 2);
+  reg.set_gauge(reg.gauge("obs_test.json_gauge"), 9);
+  reg.observe(reg.histogram("obs_test.json_hist"), 123);
+  const std::string json = reg.snapshot().to_json();
+  std::string error;
+  EXPECT_TRUE(util::json_validate(json, &error)) << error << "\n" << json;
+}
+
+// ---------------------------------------------------------------------------
+// shard-merge determinism: the tentpole contract
+// ---------------------------------------------------------------------------
+
+/// Counters whose names carry the wall-clock suffix are measurements, not
+/// deterministic tallies; the contract (DESIGN.md §10) excludes exactly them.
+bool is_wallclock(const std::string& name) {
+  return name.size() >= 3 && (name.rfind("_ns") == name.size() - 3 ||
+                              name.rfind("_us") == name.size() - 3);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> deterministic_counters() {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, value] : MetricsRegistry::global().snapshot().counters) {
+    if (!is_wallclock(name)) out.emplace_back(name, value);
+  }
+  return out;
+}
+
+/// One representative pipeline slice — parallel dataset collection plus a
+/// batched model evaluate — run with a given fan-out.
+void run_pipeline(std::size_t threads) {
+  const core::GimliHashTarget target(4);
+  core::CollectOptions copt;
+  copt.seed = 0x0b5eed;
+  copt.threads = threads;
+  copt.chunk_base_inputs = 16;
+  const nn::Dataset data = core::collect_dataset(target, 96, copt);
+
+  util::Xoshiro256 rng(7);
+  auto model = core::build_default_mlp(data.x.cols(), 2, rng);
+  util::ThreadPool pool(threads);
+  (void)model->evaluate(data, /*batch_size=*/16, &pool);
+  (void)model->predict(data.x, /*batch_size=*/16, &pool);
+}
+
+TEST(Metrics, CountersBitwiseIdenticalAcrossThreadCounts) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.reset();
+  run_pipeline(1);
+  const auto serial = deterministic_counters();
+
+  for (std::size_t threads : {2u, 4u}) {
+    reg.reset();
+    run_pipeline(threads);
+    const auto parallel = deterministic_counters();
+    ASSERT_EQ(serial.size(), parallel.size()) << threads << " threads";
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].first, parallel[i].first);
+      EXPECT_EQ(serial[i].second, parallel[i].second)
+          << serial[i].first << " with " << threads << " threads";
+    }
+  }
+  // The slice actually exercised the instrumented seams.
+  EXPECT_GT(reg.counter_value("core.oracle.queries"), 0u);
+  EXPECT_GT(reg.counter_value("core.collect.chunks"), 0u);
+  EXPECT_GT(reg.counter_value("nn.evaluate.rows"), 0u);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsNames) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const obs::MetricId id = reg.counter("obs_test.reset_me");
+  reg.add(id, 5);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("obs_test.reset_me"), 0u);
+  // Same id after reset: the directory survives.
+  EXPECT_EQ(reg.counter("obs_test.reset_me"), id);
+}
+
+// ---------------------------------------------------------------------------
+// tracer round-trip
+// ---------------------------------------------------------------------------
+
+TEST(Trace, RoundTripThroughChromeTraceJson) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "mldist_obs_test_trace.json";
+  std::filesystem::remove(path);
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable(path.string());
+  ASSERT_TRUE(tracer.enabled());
+  {
+    obs::Span outer("obs_test.outer", "test");
+    outer.arg("answer", 42).arg("label", "x\"y\\z").arg("ratio", 0.5);
+    obs::Span inner("obs_test.inner", "test");
+  }
+  std::thread worker([] { MLDIST_SPAN("obs_test.worker", "test"); });
+  worker.join();
+  std::string error;
+  ASSERT_TRUE(tracer.flush(&error)) << error;
+  tracer.disable();
+
+  std::ifstream in(path);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_TRUE(util::json_validate(text, &error)) << error;
+  // The spans and their args survived, including the worker thread's.
+  EXPECT_NE(text.find("\"obs_test.outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"obs_test.inner\""), std::string::npos);
+  EXPECT_NE(text.find("\"obs_test.worker\""), std::string::npos);
+  EXPECT_NE(text.find("\"answer\":42"), std::string::npos);
+  EXPECT_NE(text.find("x\\\"y\\\\z"), std::string::npos);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"dropped_events\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, FlushIsIdempotent) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "mldist_obs_test_trace2.json";
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable(path.string());
+  { MLDIST_SPAN("obs_test.twice", "test"); }
+  std::string error;
+  ASSERT_TRUE(tracer.flush(&error)) << error;
+  const auto first_size = std::filesystem::file_size(path);
+  ASSERT_TRUE(tracer.flush(&error)) << error;
+  EXPECT_EQ(std::filesystem::file_size(path), first_size);
+  tracer.disable();
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// disabled-mode cost ceiling
+// ---------------------------------------------------------------------------
+
+TEST(Trace, DisabledSpansAreCheap) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  ASSERT_FALSE(tracer.enabled())
+      << "unset MLDIST_TRACE when running the obs tests";
+  const std::string name = "obs_test.disabled";
+  constexpr int kIters = 1'000'000;
+  const util::Timer timer;
+  for (int i = 0; i < kIters; ++i) {
+    obs::Span span(name, "test");
+    span.arg("i", i);
+  }
+  const double per_op_ns = timer.seconds() * 1e9 / kIters;
+  // One relaxed load plus an inactive-arg branch.  The ceiling is two
+  // orders of magnitude above the expected cost so the assertion never
+  // flakes on a loaded CI box while still catching an accidental
+  // always-on allocation or lock.
+  EXPECT_LT(per_op_ns, 500.0);
+}
+
+TEST(Metrics, HotPathCounterIsCheap) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const obs::MetricId id = reg.counter("obs_test.hot");
+  constexpr int kIters = 1'000'000;
+  const util::Timer timer;
+  for (int i = 0; i < kIters; ++i) reg.add(id);
+  const double per_op_ns = timer.seconds() * 1e9 / kIters;
+  EXPECT_LT(per_op_ns, 500.0);
+  EXPECT_GE(reg.counter_value("obs_test.hot"), 1'000'000u);
+}
+
+}  // namespace

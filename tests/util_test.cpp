@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 
 #include <atomic>
 
 #include "util/bits.hpp"
 #include "util/hex.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -230,6 +234,53 @@ TEST(Stats, BinomialSummary) {
   EXPECT_DOUBLE_EQ(empty.p_hat, 0.0);
 }
 
+// Wilson score KATs, computed by hand from the closed form with z = 1.96:
+//   center = (p_hat + z^2/2n) / (1 + z^2/n)
+//   half   = z/(1 + z^2/n) * sqrt(p_hat(1-p_hat)/n + z^2/(4n^2))
+TEST(Stats, BinomialSummaryWilsonKnownAnswers) {
+  // 8/10: the textbook Wilson example.
+  const auto s = binomial_summary(8, 10);
+  EXPECT_NEAR(s.ci_low, 0.4901568, 1e-6);
+  EXPECT_NEAR(s.ci_high, 0.9433191, 1e-6);
+  // 15/50.
+  const auto t = binomial_summary(15, 50);
+  EXPECT_NEAR(t.ci_low, 0.1910339, 1e-6);
+  EXPECT_NEAR(t.ci_high, 0.4375061, 1e-6);
+}
+
+TEST(Stats, BinomialSummaryAllSuccessesKeepsWidth) {
+  // 20/20: the Wald interval degenerates to [1, 1]; Wilson keeps nonzero
+  // width.  At p_hat = 1, center + half = 1 exactly and the lower bound is
+  // 1/(1 + z^2/n).
+  const auto s = binomial_summary(20, 20);
+  EXPECT_DOUBLE_EQ(s.p_hat, 1.0);
+  EXPECT_NEAR(s.ci_low, 1.0 / (1.0 + 1.96 * 1.96 / 20.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.ci_high, 1.0);
+  EXPECT_LT(s.ci_low, 1.0);
+}
+
+TEST(Stats, BinomialSummaryZeroSuccessesKeepsWidth) {
+  // 0/20 mirrors 20/20: [0, z^2/n / (1 + z^2/n)].
+  const auto s = binomial_summary(0, 20);
+  EXPECT_DOUBLE_EQ(s.p_hat, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci_low, 0.0);
+  const double z2n = 1.96 * 1.96 / 20.0;
+  EXPECT_NEAR(s.ci_high, z2n / (1.0 + z2n), 1e-12);
+  EXPECT_GT(s.ci_high, 0.0);
+}
+
+TEST(Stats, BinomialSummaryAlwaysInsideUnitInterval) {
+  for (std::size_t n : {1u, 2u, 5u, 30u, 1000u}) {
+    for (std::size_t k = 0; k <= n; k += std::max<std::size_t>(1, n / 7)) {
+      const auto s = binomial_summary(k, n);
+      EXPECT_GE(s.ci_low, 0.0) << k << "/" << n;
+      EXPECT_LE(s.ci_high, 1.0) << k << "/" << n;
+      EXPECT_LE(s.ci_low, s.p_hat) << k << "/" << n;
+      EXPECT_GE(s.ci_high, s.p_hat) << k << "/" << n;
+    }
+  }
+}
+
 TEST(Stats, RandomGuessAccuracyMatchesPaperExamples) {
   // §3.1: accuracy 0.5 for t = 2 and 0.03125 for t = 32.
   EXPECT_DOUBLE_EQ(random_guess_accuracy(2), 0.5);
@@ -257,6 +308,80 @@ TEST(Stats, BinomialZScore) {
   EXPECT_DOUBLE_EQ(binomial_z_score(0, 0, 0.5), 0.0);
 }
 
+
+// ---------------------------------------------------------------------------
+// JSON artifacts
+// ---------------------------------------------------------------------------
+
+TEST(Json, WriteJsonFilePublishesAtomically) {
+  const auto dir = std::filesystem::temp_directory_path() / "mldist_json_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "deep" / "out.json").string();
+  // Parent directories are created on demand.
+  ASSERT_TRUE(write_json_file(path, "{\"a\":1}"));
+  // The temp staging file must not be left behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, "{\"a\":1}\n");
+  // Overwrite: the old content is fully replaced, never torn.
+  ASSERT_TRUE(write_json_file(path, "{\"b\":2}"));
+  std::ifstream in2(path);
+  std::string text2((std::istreambuf_iterator<char>(in2)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_EQ(text2, "{\"b\":2}\n");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Json, WriteJsonFileReportsDescriptiveError) {
+  // A directory at the destination path makes the final rename fail; the
+  // error must name the paths involved so callers can print it as-is.
+  const auto target = std::filesystem::temp_directory_path() /
+                      "mldist_json_test_target.json";
+  std::filesystem::create_directories(target);
+  const WriteResult r = write_json_file(target.string(), "{}");
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("mldist_json_test_target.json"), std::string::npos)
+      << r.error;
+  // The staging file is cleaned up on failure.
+  EXPECT_FALSE(std::filesystem::exists(target.string() + ".tmp"));
+  std::filesystem::remove_all(target);
+}
+
+TEST(Json, ValidatorAcceptsWellFormedDocuments) {
+  for (const char* doc : {
+           "{}", "[]", "null", "true", "-1.5e-3", "\"str\"",
+           "{\"a\":[1,2,{\"b\":null}],\"c\":\"\\u00e9\\n\"}",
+           "[0.5, 1e10, -0]",
+       }) {
+    std::string error;
+    EXPECT_TRUE(json_validate(doc, &error)) << doc << ": " << error;
+  }
+}
+
+TEST(Json, ValidatorRejectsMalformedDocuments) {
+  for (const char* doc : {
+           "", "{", "}", "[1,]", "{\"a\":}", "{\"a\" 1}", "nul",
+           "\"unterminated", "01", "1.", "+1", "[1] extra",
+           "\"bad \\x escape\"", "{\"a\":1,}",
+       }) {
+    std::string error;
+    EXPECT_FALSE(json_validate(doc, &error)) << doc;
+    EXPECT_FALSE(error.empty()) << doc;
+  }
+}
+
+TEST(Json, BuilderOutputValidates) {
+  JsonBuilder j;
+  j.field("name", "quote\"backslash\\and\nnewline")
+      .field("count", std::size_t{42})
+      .field("ratio", 0.25)
+      .field("flag", true)
+      .raw("nested", "{\"x\":[1,2,3]}");
+  std::string error;
+  EXPECT_TRUE(json_validate(j.str(), &error)) << j.str() << ": " << error;
+}
 
 // ---------------------------------------------------------------------------
 // thread pool
@@ -308,6 +433,66 @@ TEST(ThreadPool, ReusableAcrossManyInvocations) {
 
 TEST(ThreadPool, GlobalPoolExists) {
   EXPECT_GE(ThreadPool::global().thread_count(), 1u);
+}
+
+// Regression for the exception-escape bug: a throw from a chunk running on
+// a worker thread used to escape worker_loop and std::terminate the whole
+// process.  It must instead surface on the calling thread.
+TEST(ThreadPool, WorkerExceptionRethrownOnCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t b, std::size_t) {
+                          // Chunk 0 runs on the calling thread; make sure a
+                          // *worker* chunk is the one that throws.
+                          if (b > 0) throw std::runtime_error("worker boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, CallerExceptionTakesPrecedence) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(100, [&](std::size_t b, std::size_t) {
+      if (b == 0) throw std::logic_error("caller boom");
+      throw std::runtime_error("worker boom");
+    });
+    FAIL() << "parallel_for did not rethrow";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "caller boom");
+  }
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_THROW(pool.parallel_for(
+                     64, [&](std::size_t, std::size_t) {
+                       throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+    // The error slot must be cleared: the next generation succeeds and
+    // covers the whole range exactly once.
+    std::atomic<int> total{0};
+    pool.parallel_for(64, [&](std::size_t b, std::size_t e) {
+      total += static_cast<int>(e - b);
+    });
+    EXPECT_EQ(total.load(), 64);
+  }
+}
+
+TEST(ThreadPool, OtherChunksStillRunWhenOneThrows) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(256);
+  try {
+    pool.parallel_for(256, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      if (b > 0 && b < 128) throw std::runtime_error("boom");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  // No cancellation: every chunk ran to completion exactly once.
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 }  // namespace

@@ -9,6 +9,15 @@
 //               (reference | blocked | avx2); default = best supported
 //   --trace F   record a Chrome trace_event JSON of the run into F
 //               (same effect as MLDIST_TRACE=F in the environment)
+//   --serve-metrics P  expose /metrics, /healthz and /runz on port P while
+//               the bench runs (0 = ephemeral; off by default)
+//   --log-level L      debug|info|warn|error|off (MLDIST_LOG_LEVEL)
+//   --log-file F       JSONL log sink instead of stderr (MLDIST_LOG_FILE)
+//
+// Every artifact written through write_bench_json carries the run's
+// obs::RunManifest and is also appended (bench name + manifest + payload)
+// as one line to results/history.jsonl, the append-only record
+// tools/bench_compare gates regressions on.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +36,9 @@
 #include "core/targets.hpp"
 #include "kernels/dispatch.hpp"
 #include "nn/model.hpp"
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
+#include "obs/server.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
 
@@ -49,6 +61,13 @@ struct Options {
     return full ? full_scale : quick;
   }
 };
+
+/// The bench-wide metrics server, started by --serve-metrics and alive for
+/// the rest of the process (stopped by its destructor at exit).
+inline obs::MetricsServer& metrics_server() {
+  static obs::MetricsServer server;
+  return server;
+}
 
 inline Options parse_options(int argc, char** argv) {
   Options opt;
@@ -74,13 +93,50 @@ inline Options parse_options(int argc, char** argv) {
       opt.epochs_override = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       obs::Tracer::global().enable(argv[++i]);
+    } else if (std::strcmp(argv[i], "--serve-metrics") == 0 && i + 1 < argc) {
+      const int port = std::atoi(argv[++i]);
+      std::string error;
+      if (!metrics_server().start(static_cast<std::uint16_t>(port), &error)) {
+        std::fprintf(stderr, "--serve-metrics: %s\n", error.c_str());
+        std::exit(2);
+      }
+      std::printf("metrics server on http://localhost:%u/metrics\n",
+                  metrics_server().port());
+    } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
+      obs::LogLevel lvl;
+      if (!obs::parse_level(argv[++i], lvl)) {
+        std::fprintf(stderr, "--log-level: unknown level '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      obs::Logger::global().set_level(lvl);
+    } else if (std::strcmp(argv[i], "--log-file") == 0 && i + 1 < argc) {
+      std::string error;
+      if (!obs::Logger::global().set_file(argv[++i], &error)) {
+        std::fprintf(stderr, "--log-file: %s\n", error.c_str());
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--quick|--full] [--seed N] [--threads W] [--base N] "
-          "[--epochs N] [--kernel reference|blocked|avx2] [--trace FILE]\n",
+          "[--epochs N] [--kernel reference|blocked|avx2] [--trace FILE] "
+          "[--serve-metrics PORT] [--log-level L] [--log-file FILE]\n",
           argv[0]);
       std::exit(0);
     }
+  }
+  // Stamp the run manifest: the resolved kernel and the hash of the shared
+  // options, so every artifact this bench writes is attributable.
+  obs::RunManifest& manifest = obs::RunManifest::current();
+  manifest.kernel = kernels::impl_name(kernels::dispatch());
+  {
+    util::JsonBuilder cfg;
+    cfg.field("mode", opt.full ? "full" : "quick")
+        .field("seed", static_cast<std::uint64_t>(opt.seed))
+        .field("threads", static_cast<std::uint64_t>(opt.threads))
+        .field("base_override", static_cast<std::uint64_t>(opt.base_override))
+        .field("epochs_override", opt.epochs_override)
+        .field("kernel", manifest.kernel);
+    manifest.set_config(cfg.str(), opt.seed);
   }
   return opt;
 }
@@ -125,14 +181,32 @@ class CsvWriter {
 };
 
 /// Write the bench's telemetry object to results/BENCH_<name>.json (one
-/// artifact per bench run, overwritten each time).  The builder should
-/// already carry the run options — use `options_json` for the common part.
+/// artifact per bench run, overwritten each time) with the run manifest
+/// spliced in as the leading "manifest" block, and append the same payload
+/// as one {"bench":...,"manifest":...,<fields>} line to
+/// results/history.jsonl — the append-only trajectory tools/bench_compare
+/// reads.  The builder should already carry the run options — use
+/// `options_json` for the common part.
 inline bool write_bench_json(const std::string& bench_name,
                              const util::JsonBuilder& j) {
+  util::JsonBuilder doc;
+  doc.field("bench", bench_name)
+      .raw("manifest", obs::RunManifest::current().to_json())
+      .merge(j);
   const util::WriteResult written = util::write_json_file(
-      "results/BENCH_" + bench_name + ".json", j.str());
-  if (!written) std::fprintf(stderr, "%s\n", written.error.c_str());
-  return static_cast<bool>(written);
+      "results/BENCH_" + bench_name + ".json", doc.str());
+  if (!written) {
+    obs::log_error("bench", written.error);
+    return false;
+  }
+  util::JsonBuilder line;
+  line.field("bench", bench_name)
+      .raw("manifest", obs::RunManifest::current().to_json())
+      .merge(j);
+  const util::WriteResult appended =
+      util::append_jsonl("results/history.jsonl", line.str());
+  if (!appended) obs::log_warn("bench", appended.error);
+  return true;
 }
 
 /// The shared CLI options as a JSON object, for embedding into bench

@@ -220,8 +220,7 @@ int main(int argc, char** argv) {
       .field("collect_best_speedup", collect_best_speedup)
       .field("collect_ok", collect_ok);
   util::JsonBuilder artifact;
-  artifact.field("bench", "kernels")
-      .raw("options", bench::options_json(opt))
+  artifact.raw("options", bench::options_json(opt))
       .field("gemm_shape", std::to_string(m) + "x" + std::to_string(k) + "x" +
                                std::to_string(n))
       .raw("gemm", util::JsonBuilder::array(gemm_json))

@@ -89,8 +89,7 @@ int main(int argc, char** argv) {
               timer.seconds());
 
   util::JsonBuilder artifact;
-  artifact.field("bench", "online_game")
-      .raw("options", bench::options_json(opt))
+  artifact.raw("options", bench::options_json(opt))
       .raw("config", config.to_json())
       .field("train_accuracy", train.train_accuracy)
       .field("val_accuracy", train.val_accuracy)

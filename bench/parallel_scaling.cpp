@@ -173,8 +173,7 @@ int main(int argc, char** argv) {
     eval_json.push_back(j.str());
   }
   util::JsonBuilder artifact;
-  artifact.field("bench", "parallel_scaling")
-      .raw("options", bench::options_json(opt))
+  artifact.raw("options", bench::options_json(opt))
       .field("target", "gimli-hash/7")
       .field("base_inputs", static_cast<std::uint64_t>(base_inputs))
       .field("rows", static_cast<std::uint64_t>(serial_ds.size()))

@@ -177,8 +177,7 @@ int main(int argc, char** argv) {
       .field("latency_spikes", counters.latency_spikes);
 
   util::JsonBuilder artifact;
-  artifact.field("bench", "robustness")
-      .raw("options", bench::options_json(opt))
+  artifact.raw("options", bench::options_json(opt))
       .raw("config", config.to_json())
       .raw("scenarios",
            util::JsonBuilder::array({scenario_json(clean),

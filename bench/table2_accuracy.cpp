@@ -104,8 +104,7 @@ int main(int argc, char** argv) {
               "strong, 7r moderate, 8r slight.\n");
 
   mldist::util::JsonBuilder artifact;
-  artifact.field("bench", "table2_accuracy")
-      .raw("options", mldist::bench::options_json(opt))
+  artifact.raw("options", mldist::bench::options_json(opt))
       .raw("runs", mldist::util::JsonBuilder::array(runs));
   mldist::bench::write_bench_json("table2_accuracy", artifact);
   return 0;

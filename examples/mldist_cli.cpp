@@ -29,7 +29,10 @@
 #include "core/model_io.hpp"
 #include "core/targets.hpp"
 #include "kernels/dispatch.hpp"
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/server.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
@@ -49,6 +52,7 @@ struct Args {
   std::string model_path = "dist.nnb";
   std::string oracle = "cipher";
   bool json = false;
+  int serve_port = -1;  ///< -1 = metrics server off (0 = ephemeral port)
   core::ExperimentConfig config;
 };
 
@@ -107,11 +111,31 @@ bool parse(int argc, char** argv, Args& out) {
       // of this run lands in `v` as Chrome trace_event JSON.  Equivalent to
       // setting MLDIST_TRACE=v in the environment.
       obs::Tracer::global().enable(v);
+    } else if (flag == "--serve-metrics") {
+      out.serve_port = std::atoi(v);
+    } else if (flag == "--log-level") {
+      obs::LogLevel lvl;
+      if (!obs::parse_level(v, lvl)) {
+        std::fprintf(stderr, "--log-level: unknown level '%s'\n", v);
+        return false;
+      }
+      obs::Logger::global().set_level(lvl);
+    } else if (flag == "--log-file") {
+      std::string error;
+      if (!obs::Logger::global().set_file(v, &error)) {
+        std::fprintf(stderr, "--log-file: %s\n", error.c_str());
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }
+  // Stamp provenance once flags are resolved: the active kernel and the
+  // CRC of the config every artifact of this run will carry.
+  obs::RunManifest& manifest = obs::RunManifest::current();
+  manifest.kernel = kernels::impl_name(kernels::dispatch());
+  manifest.set_config(out.config.to_json(), out.config.seed);
   return true;
 }
 
@@ -124,10 +148,14 @@ int usage() {
                "[--kernel reference|blocked|avx2]\n"
                "             [--retries N] [--checkpoint PATH] [--json] "
                "[--trace FILE]\n"
+               "             [--serve-metrics PORT] [--log-level L] "
+               "[--log-file FILE]\n"
                "  mldist_cli test  --target T --rounds R --samples N "
                "--model PATH\n"
                "             [--oracle cipher|random] [--threads W] [--json] "
                "[--trace FILE]\n"
+               "             [--serve-metrics PORT] [--log-level L] "
+               "[--log-file FILE]\n"
                "  mldist_cli list\n");
   return kExitConfig;
 }
@@ -167,6 +195,7 @@ int cmd_train(const Args& args) {
   if (args.json) {
     util::JsonBuilder j;
     j.field("command", "train")
+        .raw("manifest", obs::RunManifest::current().to_json())
         .raw("config", config.to_json())
         .field("target_name", target->name())
         .field("train_accuracy", rep.train_accuracy)
@@ -260,6 +289,7 @@ int cmd_test(const Args& args) {
   if (args.json) {
     util::JsonBuilder j;
     j.field("command", "test")
+        .raw("manifest", obs::RunManifest::current().to_json())
         .raw("config", config.to_json())
         .field("target_name", target->name())
         .field("oracle", args.oracle)
@@ -327,6 +357,21 @@ int finish_trace(int code) {
 int main(int argc, char** argv) {
   Args args;
   if (!parse(argc, argv, args)) return usage();
+  // Live observability (off by default): /metrics, /healthz and /runz for
+  // the duration of the run.  The server thread only ever reads snapshots,
+  // so it cannot perturb the pipeline's determinism.
+  obs::MetricsServer server;
+  if (args.serve_port >= 0) {
+    std::string error;
+    if (!server.start(static_cast<std::uint16_t>(args.serve_port), &error)) {
+      return report_error(args.json, "config", "--serve-metrics: " + error,
+                          kExitConfig);
+    }
+    if (!args.json) {
+      std::printf("metrics server on http://localhost:%u/metrics\n",
+                  server.port());
+    }
+  }
   try {
     if (args.command == "list") return cmd_list();
     if (args.command == "train") return finish_trace(cmd_train(args));

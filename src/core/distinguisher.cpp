@@ -9,6 +9,7 @@
 
 #include "core/linear_baseline.hpp"
 #include "core/targets.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/stats.hpp"
@@ -130,6 +131,12 @@ TrainReport MLDistinguisher::train(const Target& target,
   const std::size_t train_base =
       base_inputs > val_base ? base_inputs - val_base : 1;
 
+  // Live status for /runz: which phase the pipeline is in, which epoch the
+  // fit has reached.  Purely observational — never read back by the run.
+  obs::RunStatus& status = obs::RunStatus::global();
+  status.set_phase("offline_collect");
+  status.set_epoch(0);
+
   PhaseTelemetry collect_tel;
   PhaseTelemetry val_tel;
   const nn::Dataset train_set = collect_dataset(
@@ -157,6 +164,7 @@ TrainReport MLDistinguisher::train(const Target& target,
   nn::EpochStats stats;
   bool trained = false;
   float lr = options_.learning_rate;
+  status.set_phase("fit");
   const util::Timer fit_timer;
   for (int attempt = 1; attempt <= max_attempts && !trained; ++attempt) {
     obs::Span attempt_span("fit.attempt", "core");
@@ -175,6 +183,7 @@ TrainReport MLDistinguisher::train(const Target& target,
     if (options_.health_checks) fit.health = &monitor;
     const auto forward_cb = fit.on_epoch;
     fit.on_epoch = [&, attempt](const nn::EpochStats& s) {
+      obs::RunStatus::global().set_epoch(s.epoch);
       if (forward_cb) forward_cb(s);
       if (s.val_accuracy) ckpt.update(*model_, *s.val_accuracy);
       // Injected training fault (tests / soak bench): poison a weight
@@ -247,6 +256,7 @@ TrainReport MLDistinguisher::train(const Target& target,
   train_report_.collect.publish("offline_collect");
   train_report_.fit.publish("fit");
   train_report_.robustness.publish();
+  status.set_phase("idle");
   return train_report_;
 }
 
@@ -264,10 +274,12 @@ OnlineReport MLDistinguisher::test(const Oracle& oracle,
 
   obs::Span test_span("test", "core");
   test_span.arg("base_inputs", static_cast<std::uint64_t>(base_inputs));
+  obs::RunStatus::global().set_phase("online_collect");
   OnlineReport rep;
   const nn::Dataset online = collect_dataset(
       oracle, base_inputs, options_.collect_options(stream), &rep.collect);
 
+  obs::RunStatus::global().set_phase("predict");
   const util::Timer predict_timer;
   // Degraded mode: the neural fit never converged, so score with the
   // linear-baseline fallback instead of the (unusable) network.
@@ -293,6 +305,7 @@ OnlineReport MLDistinguisher::test(const Oracle& oracle,
   rep.verdict = decide(rep.accuracy, rep.samples);
   rep.collect.publish("online_collect");
   rep.predict.publish("predict");
+  obs::RunStatus::global().set_phase("idle");
   return rep;
 }
 

@@ -1,8 +1,9 @@
 #include "kernels/dispatch.hpp"
 
-#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+
+#include "obs/log.hpp"
 
 namespace mldist::kernels {
 
@@ -23,15 +24,14 @@ struct State {
     if (!env.empty()) {
       Impl requested;
       if (!parse_impl(env, requested)) {
-        std::fprintf(stderr,
-                     "[kernels] MLDIST_KERNEL=%s is not a known kernel "
-                     "(reference|blocked|avx2); using %s\n",
-                     env.c_str(), impl_name(active));
+        obs::log_warn("kernels",
+                      "MLDIST_KERNEL=" + env +
+                          " is not a known kernel (reference|blocked|avx2)")
+            .field("using", impl_name(active));
       } else if (!supported(requested)) {
-        std::fprintf(stderr,
-                     "[kernels] MLDIST_KERNEL=%s is not supported on this "
-                     "machine; using %s\n",
-                     env.c_str(), impl_name(active));
+        obs::log_warn("kernels", "MLDIST_KERNEL=" + env +
+                                     " is not supported on this machine")
+            .field("using", impl_name(active));
       } else {
         active = requested;
       }

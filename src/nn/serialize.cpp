@@ -1,13 +1,13 @@
 #include "nn/serialize.hpp"
 
 #include <cstdint>
-#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/log.hpp"
 #include "util/crc32.hpp"
 
 namespace mldist::nn {
@@ -74,9 +74,9 @@ void load_params(Sequential& model, std::istream& in) {
   char footer[4];
   in.read(footer, sizeof(footer));
   if (in.gcount() == 0) {
-    std::fprintf(stderr,
-                 "load_params: warning: no CRC32 footer (legacy model file); "
-                 "integrity not verified\n");
+    obs::log_warn("nn.serialize",
+                  "load_params: warning: no CRC32 footer (legacy model "
+                  "file); integrity not verified");
     return;
   }
   if (in.gcount() != sizeof(footer) ||

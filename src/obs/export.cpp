@@ -1,0 +1,108 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "obs/manifest.hpp"
+
+namespace mldist::obs {
+
+namespace {
+
+bool name_char_ok(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string label_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+void append_help_type(std::string& out, const std::string& name,
+                      const char* type, const std::string& raw) {
+  out += "# HELP " + name + " mldist registry metric " + raw + "\n";
+  out += "# TYPE " + name + " " + type + "\n";
+}
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+/// Upper edge of bit-width bucket b as a decimal integer: b == 0 holds the
+/// exact zeros (le = 0); b >= 1 holds [2^(b-1), 2^b - 1].
+std::uint64_t bucket_upper(std::size_t b) {
+  if (b == 0) return 0;
+  if (b >= 64) return ~0ULL;
+  return (1ULL << b) - 1;
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view raw, bool counter) {
+  std::string out = "mldist_";
+  for (char c : raw) out += name_char_ok(c) ? c : '_';
+  constexpr std::string_view kTotal = "_total";
+  if (counter && (out.size() < kTotal.size() ||
+                  out.compare(out.size() - kTotal.size(), kTotal.size(),
+                              kTotal) != 0)) {
+    out += kTotal;
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+
+  {
+    const RunManifest& m = RunManifest::current();
+    const std::string name = "mldist_build_info";
+    append_help_type(out, name, "gauge", "build/run provenance");
+    out += name + "{run_id=\"" + label_escape(m.run_id) + "\",git=\"" +
+           label_escape(m.git_describe) + "\",kernel=\"" +
+           label_escape(m.kernel) + "\",build=\"" +
+           label_escape(m.build_flags) + "\"} 1\n";
+  }
+
+  for (const auto& [raw, value] : snapshot.counters) {
+    const std::string name = prometheus_name(raw, /*counter=*/true);
+    append_help_type(out, name, "counter", raw);
+    out += name + " " + u64(value) + "\n";
+  }
+
+  for (const auto& [raw, value] : snapshot.gauges) {
+    const std::string name = prometheus_name(raw, /*counter=*/false);
+    append_help_type(out, name, "gauge", raw);
+    out += name + " " + u64(value) + "\n";
+  }
+
+  for (const auto& [raw, hist] : snapshot.histograms) {
+    const std::string name = prometheus_name(raw, /*counter=*/false);
+    append_help_type(out, name, "histogram", raw);
+    // Cumulative buckets over the bit-width bins, up to the highest
+    // non-empty bin; +Inf is mandatory and always equals count.
+    std::size_t top = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (hist.buckets[b] != 0) top = b;
+    }
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b <= top && hist.count > 0; ++b) {
+      cum += hist.buckets[b];
+      out += name + "_bucket{le=\"" + u64(bucket_upper(b)) + "\"} " +
+             u64(cum) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + u64(hist.count) + "\n";
+    out += name + "_sum " + u64(hist.sum) + "\n";
+    out += name + "_count " + u64(hist.count) + "\n";
+  }
+
+  return out;
+}
+
+}  // namespace mldist::obs

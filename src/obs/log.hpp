@@ -1,0 +1,153 @@
+// Leveled, structured JSONL logging: the single sink for all diagnostic
+// output (the four ad-hoc fprintf(stderr) sites of PR 4 and everything
+// after them).
+//
+// Each record is one JSON line — {"ts_ns":..., "level":"warn", "tid":3,
+// "component":"nn.serialize", "msg":"...", <fields...>} — so the run log is
+// machine-readable with the same tooling that consumes the bench artifacts,
+// and greppable for the human wording that used to go to raw stderr.
+//
+// Hot-path contract (same shape as the tracer): a suppressed record costs
+// one relaxed load of the level, nothing else — no rendering, no
+// allocation.  An emitted record is rendered on the calling thread and
+// published into a lock-free bounded MPMC ring (Vyukov-style: per-slot
+// sequence counters, claim by fetch_add), so concurrent emitters never
+// serialise against each other or against the sink I/O.  When the ring is
+// full the record is counted as dropped, never blocked on.
+//
+// Draining: info/debug records are drained opportunistically (try-lock; the
+// thread already writing the sink picks up everyone's records) and at exit;
+// warn/error records force a blocking drain so diagnostics are on the sink
+// before anything else happens — a crash right after an error record still
+// leaves the line visible.
+//
+// Control surface:
+//   MLDIST_LOG_LEVEL = debug|info|warn|error|off   (default: info)
+//   MLDIST_LOG_FILE  = path                        (default: stderr)
+// mirrored by --log-level / --log-file on mldist_cli and every bench.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace mldist::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  ///< threshold only; records cannot be emitted at kOff
+};
+
+const char* level_name(LogLevel level);
+/// "debug"|"info"|"warn"|"error"|"off" -> level.  False on unknown names.
+bool parse_level(std::string_view name, LogLevel& out);
+
+class Logger {
+ public:
+  static Logger& global();
+
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  /// The one check a suppressed call site pays.
+  bool enabled(LogLevel level) const { return level >= this->level(); }
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+  /// Redirect the sink to `path` (append mode, JSONL).  An empty path
+  /// returns to stderr.  On open failure the sink is unchanged and `error`
+  /// (when non-null) says why.
+  bool set_file(const std::string& path, std::string* error = nullptr);
+  std::string file_path() const;
+
+  /// Publish one pre-rendered JSON line.  Lock-free; `urgent` forces a
+  /// blocking drain after the push (used by warn/error).
+  void publish(std::string&& line, bool urgent);
+
+  /// Drain every published record to the sink.  Safe from any thread;
+  /// contending callers fall through (the holder drains their records).
+  void flush();
+
+  /// Records discarded because the ring was full.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Monotonic ns since the logger singleton was constructed; the "ts_ns"
+  /// of every record.
+  std::uint64_t now_ns() const;
+
+  /// Small sequential id of the calling thread, assigned on first log.
+  static std::uint32_t thread_id();
+
+  static constexpr std::size_t kRingSize = 1024;  ///< power of two
+
+ private:
+  Logger();
+  ~Logger();
+
+  void drain_locked();
+
+  struct Slot {
+    std::atomic<std::size_t> seq{0};
+    std::string line;
+  };
+
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::array<Slot, kRingSize> ring_;
+  std::atomic<std::size_t> head_{0};  ///< next enqueue position
+  std::size_t tail_ = 0;              ///< next dequeue position (sink_mutex_)
+  mutable std::mutex sink_mutex_;     ///< guards tail_, sink_, path_
+  std::FILE* sink_ = nullptr;         ///< nullptr = stderr
+  std::string path_;
+  std::uint64_t epoch_ns_ = 0;
+};
+
+/// Builder for one record: renders and publishes on destruction.  When the
+/// level is suppressed, construction sets one flag and every field() call
+/// is a no-op — call sites need no enabled() checks.
+class LogRecord {
+ public:
+  LogRecord(LogLevel level, const char* component, std::string_view message);
+  ~LogRecord();
+
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+  LogRecord(LogRecord&& other) noexcept;
+
+  LogRecord& field(const char* key, std::uint64_t value);
+  LogRecord& field(const char* key, std::int64_t value);
+  LogRecord& field(const char* key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  LogRecord& field(const char* key, double value);
+  LogRecord& field(const char* key, std::string_view value);
+  LogRecord& field(const char* key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  bool urgent_ = false;
+  std::string body_;
+};
+
+// One-liners for the common case:
+//   obs::log_warn("nn.serialize", "no CRC32 footer").field("path", p);
+LogRecord log_debug(const char* component, std::string_view message);
+LogRecord log_info(const char* component, std::string_view message);
+LogRecord log_warn(const char* component, std::string_view message);
+LogRecord log_error(const char* component, std::string_view message);
+
+}  // namespace mldist::obs

@@ -245,6 +245,32 @@ void MetricsRegistry::reset() {
   for (auto& g : gauges_) g = GaugeCell{};
 }
 
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0.0) return min;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based; ceil without FP edge cases on
+  // exact products (q * count can land exactly on an integer).
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    cum += buckets[b];
+    if (cum >= rank) {
+      // Upper edge of bucket b: 0 for the zero bucket, 2^b - 1 otherwise.
+      std::uint64_t upper = 0;
+      if (b >= 64) upper = ~0ULL;
+      else if (b >= 1) upper = (1ULL << b) - 1;
+      if (upper > max) upper = max;
+      if (upper < min) upper = min;
+      return upper;
+    }
+  }
+  return max;  // unreachable when bucket counts sum to `count`
+}
+
 std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
   for (const auto& [n, v] : counters) {
     if (n == name) return v;
@@ -264,7 +290,10 @@ std::string MetricsSnapshot::to_json() const {
         .field("sum", hist.sum)
         .field("min", hist.min)
         .field("max", hist.max)
-        .field("mean", hist.mean());
+        .field("mean", hist.mean())
+        .field("p50", hist.p50())
+        .field("p90", hist.p90())
+        .field("p99", hist.p99());
     // Sparse bucket rendering: [[bit_width, count], ...] for non-empty
     // buckets only, so idle histograms cost a few bytes, not 65 zeros.
     std::vector<std::string> buckets;

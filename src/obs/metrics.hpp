@@ -57,6 +57,18 @@ struct HistogramSnapshot {
     return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
                      : 0.0;
   }
+
+  /// Upper bound on the q-quantile (0 < q <= 1) derived from the bit-width
+  /// buckets: the upper edge of the first bucket whose cumulative count
+  /// reaches ceil(q * count), clamped into [min, max].  Bucket b covers
+  /// [2^(b-1), 2^b - 1], so the bound is tight to within one power of two;
+  /// when every observation landed in one bucket the clamp against max
+  /// makes it exact for the top of the distribution (and exact everywhere
+  /// when min == max).  Returns 0 for an empty histogram.
+  std::uint64_t quantile(double q) const;
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p90() const { return quantile(0.90); }
+  std::uint64_t p99() const { return quantile(0.99); }
 };
 
 /// One merged, immutable view of the registry.  Entries are sorted by name,

@@ -1,0 +1,165 @@
+#include "obs/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/export.hpp"
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace mldist::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to salvage
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(int status, const char* status_text,
+                          const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + status_text +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// First request line up to the first CRLF: "GET /path HTTP/1.1".  Returns
+/// the path ("" on anything unparseable — answered with 400).
+std::string parse_path(const std::string& request) {
+  const std::size_t sp1 = request.find(' ');
+  if (sp1 == std::string::npos || request.compare(0, sp1, "GET") != 0) {
+    return "";
+  }
+  const std::size_t sp2 = request.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return "";
+  std::string path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);  // ignore query strings
+  return path;
+}
+
+}  // namespace
+
+bool MetricsServer::start(std::uint16_t port, std::string* error) {
+  if (running()) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = "socket(): " + std::string(strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    if (error != nullptr) {
+      *error = "bind/listen on port " + std::to_string(port) + ": " +
+               strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  start_ns_ = steady_ns();
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  log_info("obs.server", "metrics server listening")
+      .field("port", static_cast<std::uint64_t>(port_));
+  return true;
+}
+
+void MetricsServer::stop() {
+  if (!running()) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+  port_ = 0;
+}
+
+void MetricsServer::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    // Short poll timeout bounds how stale the stop flag can get; the
+    // accept below never blocks because POLLIN fired.
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void MetricsServer::handle_connection(int fd) {
+  // One read is enough for any GET our clients issue; a pathological
+  // trickle just gets a 400.
+  char buf[2048];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  const std::string path = parse_path(buf);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  count("obs.server.requests");
+
+  if (path == "/metrics") {
+    const std::string body =
+        render_prometheus(MetricsRegistry::global().snapshot());
+    send_all(fd, http_response(200, "OK",
+                               "text/plain; version=0.0.4; charset=utf-8",
+                               body));
+  } else if (path == "/healthz") {
+    util::JsonBuilder j;
+    j.field("status", "ok").field("uptime_ns", steady_ns() - start_ns_);
+    send_all(fd, http_response(200, "OK", "application/json",
+                               j.str() + "\n"));
+  } else if (path == "/runz") {
+    send_all(fd, http_response(200, "OK", "application/json",
+                               RunStatus::global().to_json() + "\n"));
+  } else if (path.empty()) {
+    send_all(fd, http_response(400, "Bad Request", "text/plain",
+                               "bad request\n"));
+  } else {
+    send_all(fd, http_response(404, "Not Found", "text/plain",
+                               "unknown path; try /metrics /healthz /runz\n"));
+  }
+}
+
+}  // namespace mldist::obs

@@ -1,0 +1,64 @@
+// Minimal embedded HTTP server for live observability — deliberately tiny
+// and OFF by default (DESIGN.md §11).
+//
+// One dedicated thread, poll(2) on the listening socket with a short
+// timeout so stop() is honoured promptly, then a blocking accept and one
+// request/response per connection (Connection: close).  No third-party
+// deps, no TLS, no keep-alive, no request body handling: the only clients
+// are `curl` and a Prometheus scraper, both of which speak exactly this
+// much HTTP.  Anything fancier belongs in a real reverse proxy in front.
+//
+// Endpoints:
+//   /metrics  Prometheus text exposition of MetricsRegistry::snapshot()
+//   /healthz  {"status":"ok","uptime_ns":...}
+//   /runz     current phase + epoch + run manifest (obs::RunStatus)
+//
+// Enabled by --serve-metrics <port> on mldist_cli and every bench (port 0
+// binds an ephemeral port; port() reports the real one — used by tests).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace mldist::obs {
+
+class MetricsServer {
+ public:
+  MetricsServer() = default;
+  ~MetricsServer() { stop(); }
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// Bind, listen and start the serving thread.  Returns false (with
+  /// `error` filled) on socket failures; true when already running.
+  bool start(std::uint16_t port, std::string* error = nullptr);
+
+  /// Close the socket and join the serving thread.  Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves ephemeral port 0); 0 when not running.
+  std::uint16_t port() const { return port_; }
+
+  /// Requests served so far (also counted as obs.server.requests).
+  std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace mldist::obs

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
 #include "util/json.hpp"
 
 namespace mldist::obs {
@@ -79,7 +81,7 @@ void Tracer::enable(std::string path) {
       std::string error;
       Tracer& tracer = Tracer::global();
       if (!tracer.path().empty() && !tracer.flush(&error)) {
-        std::fprintf(stderr, "[obs] trace flush failed: %s\n", error.c_str());
+        log_error("obs.trace", "trace flush failed: " + error);
       }
     });
   }
@@ -166,7 +168,8 @@ bool Tracer::flush(std::string* error) {
   }
 
   util::JsonBuilder other;
-  other.field("dropped_events", dropped());
+  other.field("dropped_events", dropped())
+      .raw("manifest", RunManifest::current().to_json());
   util::JsonBuilder doc;
   doc.raw("traceEvents", util::JsonBuilder::array(rows))
       .field("displayTimeUnit", "ms")

@@ -28,7 +28,9 @@
 //       "ts":12.345,"dur":6789.0,"args":{"epoch":1}},
 //      ...],
 //    "displayTimeUnit":"ms",
-//    "otherData":{"dropped_events":0}}
+//    "otherData":{"dropped_events":0,"manifest":{...}}}
+// (otherData.manifest is the obs::RunManifest provenance block every
+// artifact carries.)
 // "X" (complete) events carry ts/dur in microseconds; tid is a small
 // sequential id assigned per recording thread.
 #pragma once

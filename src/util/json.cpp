@@ -59,6 +59,13 @@ JsonBuilder& JsonBuilder::raw(const std::string& k, const std::string& json) {
   return *this;
 }
 
+JsonBuilder& JsonBuilder::merge(const JsonBuilder& other) {
+  if (other.body_.empty()) return *this;
+  if (!body_.empty()) body_ += ",";
+  body_ += other.body_;
+  return *this;
+}
+
 std::string JsonBuilder::array(const std::vector<std::string>& items) {
   std::string out = "[";
   for (std::size_t i = 0; i < items.size(); ++i) {
@@ -117,6 +124,22 @@ WriteResult write_json_file(const std::string& path, const std::string& json) {
     return {"write_json_file: rename " + tmp + " -> " + path +
             " failed: " + ec.message()};
   }
+  return {};
+}
+
+WriteResult append_jsonl(const std::string& path, const std::string& line) {
+  const std::filesystem::path p(path);
+  std::error_code ec;
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return {"append_jsonl: cannot open " + path + " for append"};
+  }
+  out << line << "\n";
+  out.flush();
+  if (!out) return {"append_jsonl: write to " + path + " failed"};
   return {};
 }
 

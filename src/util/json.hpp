@@ -23,6 +23,10 @@ class JsonBuilder {
   JsonBuilder& field(const std::string& key, const char* value);
   /// Attach pre-rendered JSON (an object or array) under `key`.
   JsonBuilder& raw(const std::string& key, const std::string& json);
+  /// Splice another builder's fields into this object, preserving order.
+  /// The caller guarantees key uniqueness across the two (duplicate keys
+  /// are legal JSON but ambiguous to consumers).
+  JsonBuilder& merge(const JsonBuilder& other);
 
   /// The finished object, e.g. {"a":1,"b":"x"}.
   std::string str() const { return "{" + body_ + "}"; }
@@ -51,6 +55,12 @@ struct WriteResult {
 /// core::CheckpointManager), so a crash mid-write leaves the previous
 /// artifact — never a torn results/BENCH_*.json.
 WriteResult write_json_file(const std::string& path, const std::string& json);
+
+/// Append one line to a JSONL file (results/history.jsonl), creating parent
+/// directories.  Append is atomic enough for single-writer run logs (one
+/// fwrite + flush per line); the tmp+rename dance would clobber earlier
+/// lines, which is exactly wrong for an append-only history.
+WriteResult append_jsonl(const std::string& path, const std::string& line);
 
 /// Minimal well-formedness validator for the JSON this repo emits (bench
 /// artifacts, telemetry records, trace files): objects, arrays, strings

@@ -11,6 +11,7 @@
 
 #include "core/online_game.hpp"
 #include "core/telemetry.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
@@ -75,6 +76,27 @@ TEST(Artifacts, TraceFileIsWellFormed) {
   std::filesystem::remove(path);
 }
 
+TEST(Artifacts, TraceFileEmbedsRunManifest) {
+  // Every trace file must be attributable to the run that produced it:
+  // otherData carries the full RunManifest (run id, config hash, git,
+  // kernel, build), same block that heads every results/ JSON.
+  const auto path = std::filesystem::temp_directory_path() /
+                    "mldist_artifact_trace_manifest.json";
+  std::filesystem::remove(path);
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable(path.string());
+  { obs::Span span("artifact.manifest_span", "test"); }
+  std::string error;
+  ASSERT_TRUE(tracer.flush(&error)) << error;
+  tracer.disable();
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("\"manifest\":{"), std::string::npos);
+  EXPECT_NE(text.find("\"run_id\""), std::string::npos);
+  EXPECT_NE(text.find("\"config_hash\""), std::string::npos);
+  EXPECT_NE(text.find("\"git\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
 TEST(Artifacts, ExistingResultsDirectoryValidates) {
   // Bench artifacts accumulated in this build tree (results/*.json written
   // through util::write_json_file).  An empty or absent directory passes
@@ -89,8 +111,16 @@ TEST(Artifacts, ExistingResultsDirectoryValidates) {
       continue;
     }
     std::string error;
-    EXPECT_TRUE(util::json_validate(read_file(entry.path()), &error))
+    const std::string text = read_file(entry.path());
+    EXPECT_TRUE(util::json_validate(text, &error))
         << entry.path() << ": " << error;
+    // Bench artifacts written through write_bench_json must carry the run
+    // manifest so they are attributable (ISSUE: every results/ JSON embeds
+    // a manifest block).
+    if (entry.path().filename().string().rfind("BENCH_", 0) == 0) {
+      EXPECT_NE(text.find("\"manifest\":{"), std::string::npos)
+          << entry.path() << " lacks a manifest block";
+    }
     ++checked;
   }
   std::printf("validated %d results/*.json artifact(s)\n", checked);

@@ -6,18 +6,31 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "core/arch_zoo.hpp"
 #include "core/dataset.hpp"
 #include "core/targets.hpp"
 #include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+#include "obs/export.hpp"
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/server.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -250,6 +263,639 @@ TEST(Trace, DisabledSpansAreCheap) {
   // flakes on a loaded CI box while still catching an accidental
   // always-on allocation or lock.
   EXPECT_LT(per_op_ns, 500.0);
+}
+
+// ---------------------------------------------------------------------------
+// quantile estimation over the bit-width buckets
+// ---------------------------------------------------------------------------
+
+const obs::HistogramSnapshot* find_hist(const obs::MetricsSnapshot& snap,
+                                        const std::string& name) {
+  for (const auto& [n, h] : snap.histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(Quantiles, EmptyHistogramIsZero) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  (void)reg.histogram("obs_test.q_empty");
+  const auto snap = reg.snapshot();
+  const auto* h = find_hist(snap, "obs_test.q_empty");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->p50(), 0u);
+  EXPECT_EQ(h->p90(), 0u);
+  EXPECT_EQ(h->p99(), 0u);
+}
+
+TEST(Quantiles, SingleValueAllQuantilesClampToIt) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const obs::MetricId id = reg.histogram("obs_test.q_single");
+  reg.observe(id, 7);  // bit_width 3, bucket upper edge 7
+  const auto snap = reg.snapshot();
+  const auto* h = find_hist(snap, "obs_test.q_single");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->p50(), 7u);
+  EXPECT_EQ(h->p90(), 7u);
+  EXPECT_EQ(h->p99(), 7u);
+  EXPECT_EQ(h->quantile(0.0), 7u);   // rank clamps to 1
+  EXPECT_EQ(h->quantile(1.0), 7u);
+}
+
+TEST(Quantiles, MultiBucketUpperBoundsAndClamping) {
+  // Observations {1, 2, 4, 1000} land in buckets 1, 2, 3 and 10.  A
+  // quantile answers with the upper edge of the bucket holding that rank,
+  // clamped into [min, max]:
+  //   p50 -> rank 2 -> bucket 2 (values 2..3)   -> upper edge 3
+  //   p90 -> rank 4 -> bucket 10 (512..1023)    -> 1023, clamped to max 1000
+  //   p99 -> rank 4 -> same                     -> 1000
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const obs::MetricId id = reg.histogram("obs_test.q_multi");
+  for (std::uint64_t v : {1ull, 2ull, 4ull, 1000ull}) reg.observe(id, v);
+  const auto snap = reg.snapshot();
+  const auto* h = find_hist(snap, "obs_test.q_multi");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->p50(), 3u);
+  EXPECT_EQ(h->p90(), 1000u);
+  EXPECT_EQ(h->p99(), 1000u);
+  EXPECT_EQ(h->quantile(0.25), 1u);  // rank 1 -> bucket 1 upper edge 1
+}
+
+TEST(Quantiles, ZeroObservationsStayInBucketZero) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const obs::MetricId id = reg.histogram("obs_test.q_zeros");
+  for (int i = 0; i < 10; ++i) reg.observe(id, 0);
+  reg.observe(id, 100);  // bucket 7 (64..127)
+  const auto snap = reg.snapshot();
+  const auto* h = find_hist(snap, "obs_test.q_zeros");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->p50(), 0u);    // rank 6 of 11 is still in the zero bucket
+  EXPECT_EQ(h->p99(), 100u);  // bucket upper 127 clamped to max
+}
+
+TEST(Quantiles, SnapshotJsonCarriesQuantiles) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.observe(reg.histogram("obs_test.q_json"), 42);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// structured logger
+// ---------------------------------------------------------------------------
+
+std::string read_file_text(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::vector<std::string> file_lines(const std::filesystem::path& p) {
+  std::vector<std::string> out;
+  std::ifstream in(p);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+/// Redirect the global logger to a fresh temp file for one test, restoring
+/// the stderr sink (and the info level) afterwards.
+class ScopedLogFile {
+ public:
+  explicit ScopedLogFile(const char* tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            (std::string("mldist_log_test_") + tag + ".jsonl");
+    std::filesystem::remove(path_);
+    std::string error;
+    ok_ = obs::Logger::global().set_file(path_.string(), &error);
+    EXPECT_TRUE(ok_) << error;
+  }
+  ~ScopedLogFile() {
+    obs::Logger::global().flush();
+    obs::Logger::global().set_file("");
+    obs::Logger::global().set_level(obs::LogLevel::kInfo);
+    std::filesystem::remove(path_);
+  }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  bool ok_ = false;
+};
+
+TEST(Log, ParseLevelRoundTrip) {
+  obs::LogLevel lvl;
+  for (const char* name : {"debug", "info", "warn", "error", "off"}) {
+    ASSERT_TRUE(obs::parse_level(name, lvl)) << name;
+    EXPECT_STREQ(obs::level_name(lvl), name);
+  }
+  EXPECT_FALSE(obs::parse_level("verbose", lvl));
+  EXPECT_FALSE(obs::parse_level("", lvl));
+}
+
+TEST(Log, RecordsAreWellFormedJsonlWithFields) {
+  ScopedLogFile file("fields");
+  obs::log_info("obs_test", "hello \"quoted\" \\ world")
+      .field("answer", 42)
+      .field("ratio", 0.5)
+      .field("name", "x\ny");
+  obs::Logger::global().flush();
+
+  const auto lines = file_lines(file.path());
+  ASSERT_EQ(lines.size(), 1u);
+  std::string error;
+  EXPECT_TRUE(util::json_validate(lines[0], &error)) << error << "\n"
+                                                     << lines[0];
+  EXPECT_NE(lines[0].find("\"ts_ns\":"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"tid\":"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"component\":\"obs_test\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"answer\":42"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ratio\":"), std::string::npos);
+}
+
+TEST(Log, LevelThresholdSuppresses) {
+  ScopedLogFile file("levels");
+  obs::Logger::global().set_level(obs::LogLevel::kWarn);
+  EXPECT_FALSE(obs::Logger::global().enabled(obs::LogLevel::kInfo));
+  obs::log_info("obs_test", "suppressed info");
+  obs::log_debug("obs_test", "suppressed debug");
+  obs::log_warn("obs_test", "visible warn");
+  obs::log_error("obs_test", "visible error");
+  obs::Logger::global().flush();
+
+  const std::string text = read_file_text(file.path());
+  EXPECT_EQ(text.find("suppressed"), std::string::npos);
+  EXPECT_NE(text.find("visible warn"), std::string::npos);
+  EXPECT_NE(text.find("visible error"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+  ScopedLogFile file("off");
+  obs::Logger::global().set_level(obs::LogLevel::kOff);
+  obs::log_error("obs_test", "not even errors");
+  obs::Logger::global().flush();
+  EXPECT_TRUE(read_file_text(file.path()).empty());
+}
+
+TEST(Log, ConcurrentUrgentProducersLoseNothing) {
+  // warn/error records force a blocking drain, so even ring-size bursts
+  // from many threads all land on the sink; every line stays one valid
+  // JSON object (no interleaving).  This is the test the "tsan" label
+  // exists for: emitters race the draining thread on the ring.
+  ScopedLogFile file("mt");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 400;  // kThreads * kPerThread > ring size
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::log_warn("obs_test.mt", "burst").field("t", t).field("i", i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  obs::Logger::global().flush();
+
+  const auto lines = file_lines(file.path());
+  EXPECT_EQ(lines.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  std::string error;
+  for (const std::string& line : lines) {
+    ASSERT_TRUE(util::json_validate(line, &error)) << error << "\n" << line;
+  }
+}
+
+TEST(Log, SetFileFailureLeavesSinkUsable) {
+  std::string error;
+  EXPECT_FALSE(obs::Logger::global().set_file(
+      "/nonexistent_dir_zzz/log.jsonl", &error));
+  EXPECT_FALSE(error.empty());
+  // Still able to log (to stderr) afterwards without crashing.
+  obs::log_info("obs_test", "sink survived a bad set_file");
+  obs::Logger::global().flush();
+}
+
+// ---------------------------------------------------------------------------
+// run manifest / run status
+// ---------------------------------------------------------------------------
+
+TEST(Manifest, ToJsonValidatesAndCarriesProvenance) {
+  obs::RunManifest& m = obs::RunManifest::current();
+  const std::string json = m.to_json();
+  std::string error;
+  EXPECT_TRUE(util::json_validate(json, &error)) << error << "\n" << json;
+  EXPECT_FALSE(m.run_id.empty());
+  EXPECT_FALSE(m.git_describe.empty());
+  EXPECT_FALSE(m.hostname.empty());
+  EXPECT_FALSE(m.build_flags.empty());
+  for (const char* key :
+       {"\"run_id\"", "\"config_hash\"", "\"seed\"", "\"kernel\"", "\"git\"",
+        "\"hostname\"", "\"build\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Manifest, ConfigHashIsDeterministic) {
+  obs::RunManifest& m = obs::RunManifest::current();
+  const std::string saved_hash = m.config_hash;
+  const std::uint64_t saved_seed = m.seed;
+
+  m.set_config("{\"a\":1}", 7);
+  const std::string first = m.config_hash;
+  m.set_config("{\"a\":1}", 7);
+  EXPECT_EQ(m.config_hash, first);
+  m.set_config("{\"a\":2}", 7);
+  EXPECT_NE(m.config_hash, first);
+
+  m.config_hash = saved_hash;
+  m.seed = saved_seed;
+}
+
+TEST(Manifest, RunStatusReflectsPhaseAndEpoch) {
+  obs::RunStatus& status = obs::RunStatus::global();
+  status.set_phase("obs_test_phase");
+  status.set_epoch(17);
+  const std::string json = status.to_json();
+  std::string error;
+  EXPECT_TRUE(util::json_validate(json, &error)) << error;
+  EXPECT_NE(json.find("\"phase\":\"obs_test_phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch\":17"), std::string::npos);
+  EXPECT_NE(json.find("\"manifest\":{"), std::string::npos);
+  status.set_phase("idle");
+  status.set_epoch(0);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition grammar
+// ---------------------------------------------------------------------------
+
+bool prom_name_ok(const std::string& name) {
+  if (name.empty()) return false;
+  auto first_ok = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  };
+  auto rest_ok = [&](char c) {
+    return first_ok(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!first_ok(name[0])) return false;
+  for (char c : name) {
+    if (!rest_ok(c)) return false;
+  }
+  return true;
+}
+
+/// Validate Prometheus text exposition format 0.0.4 as this repo emits it.
+/// Returns "" when the text conforms, otherwise a description of the first
+/// violation.  Checked: HELP/TYPE precede their samples, metric-name
+/// charset, counters end in _total, histogram `le` edges strictly increase
+/// with cumulative non-decreasing counts ending at +Inf == _count, and unit
+/// suffix conventions (`_ns` is a unit, so it never follows `_total`).
+std::string check_prometheus(const std::string& text) {
+  std::map<std::string, std::string> type_of;   // metric -> TYPE
+  std::map<std::string, bool> help_of;          // metric -> HELP seen
+  std::string cur_hist;                         // histogram being walked
+  double last_le = -1.0;
+  std::uint64_t last_bucket_count = 0;
+  bool saw_inf = false;
+  std::uint64_t inf_count = 0;
+
+  auto fail = [](std::size_t lineno, const std::string& why) {
+    return "line " + std::to_string(lineno + 1) + ": " + why;
+  };
+
+  std::vector<std::string> lines;
+  {
+    std::size_t start = 0;
+    while (start < text.size()) {
+      std::size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      lines.push_back(text.substr(start, end - start));
+      start = end + 1;
+    }
+  }
+
+  auto end_histogram = [&](std::size_t i) -> std::string {
+    if (cur_hist.empty()) return "";
+    if (!saw_inf) return fail(i, cur_hist + ": no +Inf bucket");
+    cur_hist.clear();
+    return "";
+  };
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // "# HELP name text" or "# TYPE name type"
+      if (line.rfind("# HELP ", 0) == 0) {
+        const std::size_t sp = line.find(' ', 7);
+        if (sp == std::string::npos) return fail(i, "HELP without text");
+        help_of[line.substr(7, sp - 7)] = true;
+      } else if (line.rfind("# TYPE ", 0) == 0) {
+        const std::size_t sp = line.find(' ', 7);
+        if (sp == std::string::npos) return fail(i, "TYPE without kind");
+        const std::string name = line.substr(7, sp - 7);
+        const std::string kind = line.substr(sp + 1);
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "summary" && kind != "untyped") {
+          return fail(i, "unknown TYPE '" + kind + "'");
+        }
+        if (type_of.count(name) != 0) {
+          return fail(i, "duplicate TYPE for " + name);
+        }
+        type_of[name] = kind;
+      } else {
+        return fail(i, "comment is neither HELP nor TYPE");
+      }
+      continue;
+    }
+
+    // Sample: name[{labels}] value
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) return fail(i, "sample without value");
+    const std::string name =
+        line.substr(0, std::min(brace, space));
+    if (!prom_name_ok(name)) {
+      return fail(i, "bad metric name '" + name + "'");
+    }
+    if (name.find("_total_ns") != std::string::npos ||
+        name.find("_total_us") != std::string::npos) {
+      return fail(i, name + ": unit suffix after _total");
+    }
+
+    // Resolve the base metric for histogram series suffixes.
+    std::string base = name;
+    bool is_bucket = false;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::size_t n = std::strlen(suffix);
+      if (base.size() > n &&
+          base.compare(base.size() - n, n, suffix) == 0) {
+        const std::string stripped = base.substr(0, base.size() - n);
+        if (type_of.count(stripped) != 0 &&
+            type_of[stripped] == "histogram") {
+          is_bucket = std::strcmp(suffix, "_bucket") == 0;
+          base = stripped;
+          break;
+        }
+      }
+    }
+    if (type_of.count(base) == 0) {
+      return fail(i, base + ": sample before TYPE");
+    }
+    if (!help_of[base]) return fail(i, base + ": sample before HELP");
+    if (type_of[base] == "counter" &&
+        (base.size() < 6 ||
+         base.compare(base.size() - 6, 6, "_total") != 0)) {
+      return fail(i, base + ": counter without _total suffix");
+    }
+
+    // Value must parse as a number.
+    const std::string value_text = line.substr(line.rfind(' ') + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0') {
+      return fail(i, "unparseable value '" + value_text + "'");
+    }
+
+    if (is_bucket) {
+      const std::size_t le_pos = line.find("le=\"");
+      if (le_pos == std::string::npos) {
+        return fail(i, base + ": bucket without le label");
+      }
+      const std::size_t le_end = line.find('"', le_pos + 4);
+      const std::string le_text = line.substr(le_pos + 4, le_end - le_pos - 4);
+      if (base != cur_hist) {
+        const std::string err = end_histogram(i);
+        if (!err.empty()) return err;
+        cur_hist = base;
+        last_le = -1.0;
+        last_bucket_count = 0;
+        saw_inf = false;
+      }
+      const std::uint64_t count = static_cast<std::uint64_t>(value);
+      if (count < last_bucket_count) {
+        return fail(i, base + ": cumulative bucket count decreased");
+      }
+      last_bucket_count = count;
+      if (le_text == "+Inf") {
+        saw_inf = true;
+        inf_count = count;
+      } else {
+        if (saw_inf) return fail(i, base + ": bucket after +Inf");
+        char* le_end_p = nullptr;
+        const double le = std::strtod(le_text.c_str(), &le_end_p);
+        if (le_end_p == le_text.c_str()) {
+          return fail(i, base + ": unparseable le '" + le_text + "'");
+        }
+        if (le <= last_le) {
+          return fail(i, base + ": le edges not strictly increasing");
+        }
+        last_le = le;
+      }
+    } else if (base == cur_hist && name == base + "_count") {
+      if (static_cast<std::uint64_t>(value) != inf_count) {
+        return fail(i, base + ": _count != +Inf bucket");
+      }
+    }
+  }
+  const std::string err = end_histogram(lines.size() - 1);
+  if (!err.empty()) return err;
+  return "";
+}
+
+TEST(Export, PrometheusNamesAreSanitized) {
+  EXPECT_EQ(obs::prometheus_name("core.oracle.queries", true),
+            "mldist_core_oracle_queries_total");
+  EXPECT_EQ(obs::prometheus_name("nn.fit.epoch_ns", false),
+            "mldist_nn_fit_epoch_ns");
+  // Already-suffixed counters are not double-suffixed.
+  EXPECT_EQ(obs::prometheus_name("x.y_total", true), "mldist_x_y_total");
+  EXPECT_TRUE(prom_name_ok(obs::prometheus_name("weird-name!{}", true)));
+}
+
+TEST(Export, GrammarCheckerCatchesViolations) {
+  // The checker itself must reject malformed exposition, otherwise the
+  // live test below proves nothing.
+  EXPECT_NE(check_prometheus("mldist_x 1\n"), "");  // sample before TYPE
+  EXPECT_NE(check_prometheus("# HELP mldist_x h\n"
+                             "# TYPE mldist_x counter\n"
+                             "mldist_x 1\n"),
+            "");  // counter without _total
+  EXPECT_NE(check_prometheus("# HELP mldist_h h\n"
+                             "# TYPE mldist_h histogram\n"
+                             "mldist_h_bucket{le=\"4\"} 2\n"
+                             "mldist_h_bucket{le=\"2\"} 3\n"
+                             "mldist_h_bucket{le=\"+Inf\"} 3\n"
+                             "mldist_h_sum 5\n"
+                             "mldist_h_count 3\n"),
+            "");  // le edges decrease
+  EXPECT_NE(check_prometheus("# HELP mldist_h h\n"
+                             "# TYPE mldist_h histogram\n"
+                             "mldist_h_bucket{le=\"2\"} 3\n"
+                             "mldist_h_bucket{le=\"4\"} 2\n"
+                             "mldist_h_bucket{le=\"+Inf\"} 2\n"
+                             "mldist_h_sum 5\n"
+                             "mldist_h_count 2\n"),
+            "");  // cumulative count decreases
+  EXPECT_NE(check_prometheus("# HELP mldist_h h\n"
+                             "# TYPE mldist_h histogram\n"
+                             "mldist_h_bucket{le=\"2\"} 3\n"
+                             "mldist_h_sum 5\n"
+                             "mldist_h_count 3\n"),
+            "");  // no +Inf bucket
+  EXPECT_NE(check_prometheus("# HELP mldist_x_total_ns h\n"
+                             "# TYPE mldist_x_total_ns counter\n"
+                             "mldist_x_total_ns 1\n"),
+            "");  // unit suffix after _total
+  EXPECT_EQ(check_prometheus("# HELP mldist_ok_total h\n"
+                             "# TYPE mldist_ok_total counter\n"
+                             "mldist_ok_total 1\n"),
+            "");
+}
+
+TEST(Export, RenderedSnapshotPassesGrammar) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.add(reg.counter("obs_test.export.counter"), 5);
+  reg.set_gauge(reg.gauge("obs_test.export.gauge"), 3);
+  const obs::MetricId h = reg.histogram("obs_test.export.hist_ns");
+  for (std::uint64_t v : {0ull, 1ull, 9ull, 100000ull}) reg.observe(h, v);
+  const std::string text = obs::render_prometheus(reg.snapshot());
+  EXPECT_EQ(check_prometheus(text), "") << text;
+  EXPECT_NE(text.find("mldist_obs_test_export_counter_total 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("mldist_build_info{run_id=\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// embedded HTTP server — raw-socket client, same protocol as curl
+// ---------------------------------------------------------------------------
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+HttpResponse http_get(std::uint16_t port, const std::string& path) {
+  HttpResponse res;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return res;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return res;
+  }
+  const std::string req = "GET " + path +
+                          " HTTP/1.1\r\nHost: localhost\r\n"
+                          "Connection: close\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), 0);
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (raw.rfind("HTTP/1.1 ", 0) == 0) {
+    res.status = std::atoi(raw.c_str() + 9);
+  }
+  const std::size_t sep = raw.find("\r\n\r\n");
+  if (sep != std::string::npos) res.body = raw.substr(sep + 4);
+  return res;
+}
+
+TEST(Server, ServesMetricsHealthzRunzAnd404) {
+  obs::MetricsServer server;
+  std::string error;
+  ASSERT_TRUE(server.start(0, &error)) << error;  // ephemeral port
+  ASSERT_NE(server.port(), 0);
+
+  const HttpResponse health = http_get(server.port(), "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"uptime_ns\""), std::string::npos);
+
+  obs::RunStatus::global().set_phase("obs_test_server");
+  const HttpResponse runz = http_get(server.port(), "/runz");
+  EXPECT_EQ(runz.status, 200);
+  std::string json_error;
+  EXPECT_TRUE(util::json_validate(runz.body, &json_error)) << json_error;
+  EXPECT_NE(runz.body.find("\"phase\":\"obs_test_server\""),
+            std::string::npos);
+  EXPECT_NE(runz.body.find("\"manifest\":{"), std::string::npos);
+  obs::RunStatus::global().set_phase("idle");
+
+  const HttpResponse metrics = http_get(server.port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(check_prometheus(metrics.body), "") << metrics.body;
+
+  EXPECT_EQ(http_get(server.port(), "/nope").status, 404);
+  EXPECT_GE(server.requests(), 4u);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(Server, DoubleStartIsHarmlessAndPortIsStable) {
+  obs::MetricsServer server;
+  ASSERT_TRUE(server.start(0));
+  const std::uint16_t port = server.port();
+  EXPECT_TRUE(server.start(0));  // already running -> true, same port
+  EXPECT_EQ(server.port(), port);
+  server.stop();
+}
+
+// The acceptance check of the tentpole: scrape /metrics WHILE a real
+// training loop runs, validate every snapshot against the exposition
+// grammar, and require the fit-progress counter to be monotonically
+// increasing across epochs — live observability, not post-hoc.
+TEST(Server, LiveMetricsDuringTrainingAreGrammaticalAndMonotone) {
+  obs::MetricsServer server;
+  std::string error;
+  ASSERT_TRUE(server.start(0, &error)) << error;
+
+  const core::GimliHashTarget target(4);
+  core::CollectOptions copt;
+  copt.seed = 0xfeed;
+  const nn::Dataset data = core::collect_dataset(target, 128, copt);
+  util::Xoshiro256 rng(3);
+  auto model = core::build_default_mlp(data.x.cols(), 2, rng);
+
+  std::vector<std::string> scrapes;
+  std::vector<std::uint64_t> epoch_counts;
+  nn::FitOptions fopt;
+  fopt.epochs = 3;
+  fopt.batch_size = 32;
+  fopt.on_epoch = [&](const nn::EpochStats&) {
+    const HttpResponse res = http_get(server.port(), "/metrics");
+    ASSERT_EQ(res.status, 200);
+    scrapes.push_back(res.body);
+    // Pull the sample line (not the HELP line) out of the exposition.
+    const std::string key = "\nmldist_nn_fit_epochs_total ";
+    const std::size_t pos = res.body.find(key);
+    ASSERT_NE(pos, std::string::npos);
+    epoch_counts.push_back(
+        std::strtoull(res.body.c_str() + pos + key.size(), nullptr, 10));
+  };
+  nn::Adam opt(0.01f);
+  (void)model->fit(data, opt, fopt);
+  server.stop();
+
+  ASSERT_EQ(scrapes.size(), 3u);
+  for (const std::string& text : scrapes) {
+    EXPECT_EQ(check_prometheus(text), "") << text;
+  }
+  EXPECT_LT(epoch_counts[0], epoch_counts[1]);
+  EXPECT_LT(epoch_counts[1], epoch_counts[2]);
 }
 
 TEST(Metrics, HotPathCounterIsCheap) {

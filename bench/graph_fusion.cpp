@@ -1,0 +1,219 @@
+// Graph-IR fusion: inference forward throughput of the optimised pass
+// pipeline against the unoptimised graph, for the two distinguisher model
+// families the IR accelerates.
+//
+//   unfused  set_pipeline({}) — the lowered graph executed node by node:
+//            materialised im2col convolutions, standalone BatchNorm and
+//            activation sweeps (the pre-IR Sequential forward, executed
+//            through the same arena so only graph rewrites differ).
+//   fused    the default pipeline — BatchNorm/activations folded into the
+//            GEMM epilogues, im2col-free direct convolution plans, and the
+//            liveness-planned scratch arena.
+//
+// Both paths are bitwise identical by construction (the determinism
+// contract, enforced by tests/kernel_equiv_test.cpp and tests/ir_test.cpp);
+// the bench re-asserts that on its own outputs before trusting the timing.
+//
+// The artifact results/BENCH_graph_fusion.json records per model the
+// per-forward wall time of each path and the fused-vs-unfused speedup.
+// Acceptance threshold, checked by the exit status: the Conv1D
+// distinguisher (CNN I) fused forward must be >= 1.3x the unfused one.
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/arch_zoo.hpp"
+#include "nn/ir/pass.hpp"
+#include "nn/mat.hpp"
+#include "nn/model.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+// Under ASan/TSan the instrumentation overhead lands mostly on the copy /
+// scatter paths and dilutes the GEMM savings, so the speedup floor is not
+// meaningful there — the bitwise assertion still is, and still gates.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MLDIST_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MLDIST_BENCH_SANITIZED 1
+#endif
+#endif
+
+namespace {
+
+using namespace mldist;
+
+constexpr double kMinConvSpeedup = 1.3;
+#ifdef MLDIST_BENCH_SANITIZED
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+
+/// One timed call of `fn` (seconds).
+template <typename Fn>
+double timed_once(Fn&& fn) {
+  const util::Timer timer;
+  fn();
+  return timer.seconds();
+}
+
+bool bitwise_equal(const nn::Mat& a, const nn::Mat& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint32_t>(a.data()[i]) !=
+        std::bit_cast<std::uint32_t>(b.data()[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct PathTimes {
+  double unfused_ms = 0.0;
+  double fused_ms = 0.0;
+  double speedup = 0.0;
+  bool bitwise_ok = false;
+};
+
+/// Time one model family's inference forward under the empty and the
+/// default pipeline on a (batch x input_bits) 0/1 matrix.  `make(rng)`
+/// builds the model; it is called twice with identically-seeded rngs so
+/// the unfused and fused instances carry the same weights, each compiled
+/// once (no mid-measurement recompiles or arena re-allocations).
+template <typename MakeModel>
+PathTimes bench_model(MakeModel make, std::size_t input_bits,
+                      std::size_t batch, int repeats, std::uint64_t seed) {
+  util::Xoshiro256 rng_unfused(seed), rng_fused(seed);
+  auto unfused = make(rng_unfused);
+  auto fused = make(rng_fused);
+  unfused->set_pipeline({});
+
+  util::Xoshiro256 data_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  nn::Mat x(batch, input_bits);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(data_rng.next_below(2));
+  }
+  // Give any BatchNorm layers non-trivial running statistics so the fused
+  // epilogues do real normalisation work (same x + same weights keeps the
+  // two instances' statistics identical).
+  (void)unfused->forward(x, /*training=*/true);
+  (void)fused->forward(x, /*training=*/true);
+  const nn::Mat unfused_out = unfused->forward(x, false);  // compile + warm
+  const nn::Mat fused_out = fused->forward(x, false);
+
+  // Interleave the two paths and keep the best repeat of each: a transient
+  // load spike hits both sides instead of biasing whichever path it
+  // happened to land on, so the ratio stays stable on shared hosts.
+  double best_unfused = 1e300, best_fused = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    best_unfused = std::min(
+        best_unfused, timed_once([&] { (void)unfused->forward(x, false); }));
+    best_fused = std::min(
+        best_fused, timed_once([&] { (void)fused->forward(x, false); }));
+  }
+  PathTimes t;
+  t.unfused_ms = best_unfused * 1e3;
+  t.fused_ms = best_fused * 1e3;
+  t.speedup = t.unfused_ms / t.fused_ms;
+  t.bitwise_ok = bitwise_equal(unfused_out, fused_out) &&
+                 bitwise_equal(fused_out, fused->forward_reference(x));
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header("Graph-IR fusion: inference forward, fused vs unfused",
+                      opt);
+
+  const std::size_t input_bits = 64;
+  const std::size_t batch = opt.base(256, 1024);
+  const int repeats = opt.full ? 15 : 7;
+
+  std::printf("batch %zu x %zu bits, median of %d forwards per path\n\n",
+              batch, input_bits, repeats);
+  std::printf("%-12s %12s %12s %9s  %s\n", "model", "unfused ms", "fused ms",
+              "speedup", "bitwise");
+
+  util::JsonBuilder j;
+  j.raw("options", bench::options_json(opt))
+      .field("input_bits", static_cast<std::uint64_t>(input_bits))
+      .field("batch", static_cast<std::uint64_t>(batch))
+      .field("repeats", static_cast<std::uint64_t>(repeats))
+      .field("min_conv_speedup", kMinConvSpeedup);
+
+  bool all_bitwise = true;
+
+  const PathTimes mlp_t = bench_model(
+      [&](util::Xoshiro256& rng) {
+        return core::build_default_mlp(input_bits, 2, rng);
+      },
+      input_bits, batch, repeats, opt.seed);
+  std::printf("%-12s %12.3f %12.3f %8.2fx  %s\n", "default-mlp",
+              mlp_t.unfused_ms, mlp_t.fused_ms, mlp_t.speedup,
+              mlp_t.bitwise_ok ? "ok" : "MISMATCH");
+  all_bitwise = all_bitwise && mlp_t.bitwise_ok;
+  j.field("mlp_unfused_ms", mlp_t.unfused_ms)
+      .field("mlp_fused_ms", mlp_t.fused_ms)
+      .field("mlp_speedup", mlp_t.speedup);
+
+  const PathTimes cnn_t = bench_model(
+      [&](util::Xoshiro256& rng) {
+        return core::build_architecture("CNN I", input_bits, 2, rng);
+      },
+      input_bits, batch, repeats, opt.seed + 1);
+  std::printf("%-12s %12.3f %12.3f %8.2fx  %s\n", "CNN I", cnn_t.unfused_ms,
+              cnn_t.fused_ms, cnn_t.speedup,
+              cnn_t.bitwise_ok ? "ok" : "MISMATCH");
+  all_bitwise = all_bitwise && cnn_t.bitwise_ok;
+  j.field("cnn_unfused_ms", cnn_t.unfused_ms)
+      .field("cnn_fused_ms", cnn_t.fused_ms)
+      .field("cnn_speedup", cnn_t.speedup);
+
+  const PathTimes gohr_t = bench_model(
+      [&](util::Xoshiro256& rng) {
+        return core::build_gohr_net(input_bits, 2, /*depth=*/2, rng);
+      },
+      input_bits, batch, repeats, opt.seed + 2);
+  std::printf("%-12s %12.3f %12.3f %8.2fx  %s\n", "gohr-net/2",
+              gohr_t.unfused_ms, gohr_t.fused_ms, gohr_t.speedup,
+              gohr_t.bitwise_ok ? "ok" : "MISMATCH");
+  all_bitwise = all_bitwise && gohr_t.bitwise_ok;
+  j.field("gohr_unfused_ms", gohr_t.unfused_ms)
+      .field("gohr_fused_ms", gohr_t.fused_ms)
+      .field("gohr_speedup", gohr_t.speedup);
+
+  bench::print_rule();
+  bench::write_bench_json("graph_fusion", j);
+
+  if (!all_bitwise) {
+    std::fprintf(stderr,
+                 "FAIL: fused and unfused forwards are not bitwise equal\n");
+    return 1;
+  }
+  if (kSanitized) {
+    std::printf("sanitizer build: outputs bitwise identical on every path; "
+                "the %.2fx speedup floor is not asserted\n",
+                kMinConvSpeedup);
+    return 0;
+  }
+  if (cnn_t.speedup < kMinConvSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: CNN I fused speedup %.2fx below the %.2fx floor\n",
+                 cnn_t.speedup, kMinConvSpeedup);
+    return 1;
+  }
+  std::printf("conv fused speedup %.2fx (floor %.2fx); outputs bitwise "
+              "identical on every path\n",
+              cnn_t.speedup, kMinConvSpeedup);
+  return 0;
+}

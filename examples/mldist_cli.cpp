@@ -29,6 +29,7 @@
 #include "core/model_io.hpp"
 #include "core/targets.hpp"
 #include "kernels/dispatch.hpp"
+#include "nn/ir/pass.hpp"
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -53,6 +54,8 @@ struct Args {
   std::string oracle = "cipher";
   bool json = false;
   int serve_port = -1;  ///< -1 = metrics server off (0 = ephemeral port)
+  bool passes_set = false;         ///< --passes was given
+  std::vector<std::string> passes; ///< IR pipeline override when passes_set
   core::ExperimentConfig config;
 };
 
@@ -88,10 +91,18 @@ bool parse(int argc, char** argv, Args& out) {
     } else if (flag == "--threads") {
       out.config.threads = std::strtoull(v, nullptr, 10);
     } else if (flag == "--kernel") {
+      // Same resolver as the MLDIST_KERNEL environment variable; unknown or
+      // unsupported names emit a structured obs::Logger warning (source
+      // "--kernel") and fail the parse.
+      kernels::Impl impl;
+      if (!kernels::backend_from_string(v, impl, "--kernel")) return false;
+      kernels::set_dispatch(impl);
+    } else if (flag == "--passes") {
       try {
-        mldist::kernels::set_dispatch(v);
+        out.passes = nn::ir::PassManager::parse_pipeline(v);
+        out.passes_set = true;
       } catch (const std::invalid_argument& e) {
-        std::fprintf(stderr, "--kernel: %s\n", e.what());
+        std::fprintf(stderr, "--passes: %s\n", e.what());
         return false;
       }
     } else if (flag == "--arch") {
@@ -156,7 +167,11 @@ int usage() {
                "[--trace FILE]\n"
                "             [--serve-metrics PORT] [--log-level L] "
                "[--log-file FILE]\n"
-               "  mldist_cli list\n");
+               "  mldist_cli dump-ir [--arch A] [--target T] "
+               "[--passes default|none|p1,p2,...]\n"
+               "  mldist_cli list\n"
+               "train/test also accept --passes to override the IR "
+               "optimisation pipeline.\n");
   return kExitConfig;
 }
 
@@ -175,6 +190,17 @@ int cmd_list() {
   return 0;
 }
 
+// Print the optimised inference IR of the configured architecture (after
+// lowering and the active pass pipeline) without training anything.  The
+// output format is golden-tested in tests/ir_test.cpp.
+int cmd_dump_ir(const Args& args) {
+  const std::unique_ptr<core::Target> target = args.config.make_target();
+  std::unique_ptr<nn::Sequential> model = args.config.make_model(*target);
+  if (args.passes_set) model->set_pipeline(args.passes);
+  std::printf("%s", model->dump_ir().c_str());
+  return 0;
+}
+
 int cmd_train(const Args& args) {
   std::unique_ptr<core::Target> target = args.config.make_target();
   core::ExperimentConfig config = args.config;
@@ -185,6 +211,7 @@ int cmd_train(const Args& args) {
     };
   }
   core::MLDistinguisher dist(*target, config);
+  if (args.passes_set) dist.model().set_pipeline(args.passes);
   const core::TrainReport rep =
       dist.train(*target, config.offline_base_inputs);
   // Self-describing, CRC-checksummed format (core/model_io) so `test` can
@@ -243,6 +270,7 @@ int cmd_test(const Args& args) {
         ") does not match target " + target->name());
   }
   std::unique_ptr<nn::Sequential> model = std::move(loaded.model);
+  if (args.passes_set) model->set_pipeline(args.passes);
 
   // Rebind the distinguisher to the loaded weights: we must not re-train
   // over them, so calibrate a on fresh cipher data with the weights frozen.
@@ -374,6 +402,7 @@ int main(int argc, char** argv) {
   }
   try {
     if (args.command == "list") return cmd_list();
+    if (args.command == "dump-ir") return cmd_dump_ir(args);
     if (args.command == "train") return finish_trace(cmd_train(args));
     if (args.command == "test") return finish_trace(cmd_test(args));
     return usage();

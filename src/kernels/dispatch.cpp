@@ -23,17 +23,11 @@ struct State {
     active = best_supported();
     if (!env.empty()) {
       Impl requested;
-      if (!parse_impl(env, requested)) {
-        obs::log_warn("kernels",
-                      "MLDIST_KERNEL=" + env +
-                          " is not a known kernel (reference|blocked|avx2)")
-            .field("using", impl_name(active));
-      } else if (!supported(requested)) {
-        obs::log_warn("kernels", "MLDIST_KERNEL=" + env +
-                                     " is not supported on this machine")
-            .field("using", impl_name(active));
-      } else {
+      if (backend_from_string(env, requested, "MLDIST_KERNEL")) {
         active = requested;
+      } else {
+        obs::log_warn("kernels", "falling back to best supported kernel")
+            .field("using", impl_name(active));
       }
     }
   }
@@ -76,6 +70,25 @@ bool parse_impl(std::string_view name, Impl& out) {
     return true;
   }
   return false;
+}
+
+bool backend_from_string(std::string_view name, Impl& out,
+                         std::string_view source) {
+  Impl impl;
+  if (!parse_impl(name, impl)) {
+    obs::log_warn("kernels", "unknown kernel backend '" + std::string(name) +
+                                 "' (expected reference|blocked|avx2)")
+        .field("source", source);
+    return false;
+  }
+  if (!supported(impl)) {
+    obs::log_warn("kernels", "kernel backend '" + std::string(name) +
+                                 "' is not supported on this machine")
+        .field("source", source);
+    return false;
+  }
+  out = impl;
+  return true;
 }
 
 bool supported(Impl impl) {

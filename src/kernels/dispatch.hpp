@@ -43,6 +43,14 @@ const char* impl_name(Impl impl);
 /// Parse a canonical name; returns false on unknown names.
 bool parse_impl(std::string_view name, Impl& out);
 
+/// The one name→backend resolver shared by MLDIST_KERNEL env parsing and
+/// the --kernel CLI flag.  On an unknown or unsupported name it emits a
+/// structured warning through obs::Logger (component "kernels", with a
+/// `source` field saying where the name came from) and returns false
+/// leaving `out` untouched.
+bool backend_from_string(std::string_view name, Impl& out,
+                         std::string_view source = "kernel");
+
 /// True when `impl` can run on this machine (reference/blocked always;
 /// avx2 requires the CPU feature and an AVX2-capable build).
 bool supported(Impl impl);

@@ -30,10 +30,21 @@ enum class Activation {
   kLeakyRelu = 2,  // x < 0 rewritten to alpha * x (matches nn::LeakyReLU)
 };
 
-/// Optional fused epilogue.  `bias` (length n) is added per output column
-/// before the activation; nullptr skips it.
+/// Optional fused epilogue, applied per output element in this order:
+///   1. bias       v += bias[j]                     (nullptr skips)
+///   2. batchnorm  v = gamma[j] * ((v - mean[j]) / std[j]) + beta[j]
+///                 (norm_mean == nullptr skips; std[j] is the caller's
+///                 precomputed sqrt(var[j] + eps) — sqrt is exactly rounded,
+///                 so hoisting it out of the element loop is bitwise
+///                 identical to nn::BatchNorm's inference forward)
+///   3. activation (kNone skips)
+/// `bias` and the four norm arrays are indexed by output column (length n).
 struct GemmEpilogue {
   const float* bias = nullptr;
+  const float* norm_mean = nullptr;
+  const float* norm_std = nullptr;    ///< sqrt(running_var + eps), per column
+  const float* norm_gamma = nullptr;
+  const float* norm_beta = nullptr;
   Activation act = Activation::kNone;
   float alpha = 0.3f;
 };

@@ -36,6 +36,13 @@ using MicroFn = void (*)(std::size_t kc, const float* ap, const float* bp,
 
 inline float apply_epilogue(float v, const GemmEpilogue& ep, std::size_t j) {
   if (ep.bias != nullptr) v += ep.bias[j];
+  if (ep.norm_mean != nullptr) {
+    // Exactly nn::BatchNorm's inference rewrite: xhat = (v - mean) / std,
+    // v = gamma * xhat + beta, with std = sqrt(var + eps) precomputed by
+    // the caller (value-identical; sqrt and / are exactly rounded).
+    v = ep.norm_gamma[j] * ((v - ep.norm_mean[j]) / ep.norm_std[j]) +
+        ep.norm_beta[j];
+  }
   // Branch shape matches nn::ReLU / nn::LeakyReLU::forward exactly (only
   // v < 0 is rewritten), so the fused epilogue is bitwise identical to the
   // separate activation layer for every input, including -0 and NaN.

@@ -21,6 +21,11 @@ class BatchNorm : public Layer {
 
   const std::vector<float>& running_mean() const { return run_mean_; }
   const std::vector<float>& running_var() const { return run_var_; }
+  const std::vector<float>& gamma() const { return gamma_; }
+  const std::vector<float>& beta() const { return beta_; }
+  float eps() const { return eps_; }
+  std::size_t features() const { return features_; }
+  std::size_t input_size() const override { return features_; }
 
  private:
   std::size_t features_;

@@ -21,6 +21,14 @@ class Conv1D : public Layer {
   std::vector<ParamView> params() override;
   std::string name() const override;
   std::size_t output_size(std::size_t input_size) const override;
+  std::size_t input_size() const override { return length_ * cin_; }
+
+  std::size_t length() const { return length_; }
+  std::size_t in_channels() const { return cin_; }
+  std::size_t out_channels() const { return cout_; }
+  std::size_t kernel_size() const { return kernel_; }
+  const Mat& weights() const { return w_; }
+  const std::vector<float>& bias() const { return b_; }
 
  private:
   Mat im2col(const Mat& x) const;
@@ -50,6 +58,10 @@ class GlobalMaxPool1D : public Layer {
   Mat backward(const Mat& grad_out) override;
   std::string name() const override { return "global_max_pool1d"; }
   std::size_t output_size(std::size_t input_size) const override;
+  std::size_t input_size() const override { return length_ * channels_; }
+
+  std::size_t length() const { return length_; }
+  std::size_t channels() const { return channels_; }
 
  private:
   std::size_t length_;

@@ -26,15 +26,6 @@ Mat Dense::forward(const Mat& x, bool training) {
   return y;
 }
 
-Mat Dense::forward_fused(const Mat& x, kernels::Activation act, float alpha) {
-  if (x.cols() != in_) {
-    throw std::invalid_argument("Dense: input width mismatch");
-  }
-  Mat y;
-  matmul_bias(x, w_, b_, y, act, alpha);
-  return y;
-}
-
 Mat Dense::backward(const Mat& grad_out) {
   Mat dw_batch;
   matmul_at_b(x_cache_, grad_out, dw_batch);

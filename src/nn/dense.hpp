@@ -11,10 +11,6 @@ class Dense : public Layer {
   Dense(std::size_t in, std::size_t out, util::Xoshiro256& rng);
 
   Mat forward(const Mat& x, bool training) override;
-  /// Inference-only fused forward: y = act(x W + b) in one kernel call.
-  /// Sequential::forward uses it to collapse Dense + ReLU/LeakyReLU pairs;
-  /// bitwise identical to forward() followed by the activation layer.
-  Mat forward_fused(const Mat& x, kernels::Activation act, float alpha);
   Mat backward(const Mat& grad_out) override;
   std::vector<ParamView> params() override;
   std::string name() const override;
@@ -22,6 +18,7 @@ class Dense : public Layer {
 
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }
+  std::size_t input_size() const override { return in_; }
 
   Mat& weights() { return w_; }
   std::vector<float>& bias() { return b_; }

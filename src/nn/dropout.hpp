@@ -18,6 +18,8 @@ class Dropout : public Layer {
     return input_size;
   }
 
+  float rate() const { return p_; }
+
  private:
   float p_;
   util::Xoshiro256 rng_;

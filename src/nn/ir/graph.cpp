@@ -1,0 +1,245 @@
+#include "nn/ir/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/model.hpp"
+#include "nn/residual.hpp"
+#include "util/crc32.hpp"
+
+namespace mldist::nn::ir {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:
+      return "input";
+    case OpKind::kDense:
+      return "dense";
+    case OpKind::kConv1D:
+      return "conv1d";
+    case OpKind::kBatchNorm:
+      return "batchnorm";
+    case OpKind::kActivation:
+      return "activation";
+    case OpKind::kGlobalMaxPool:
+      return "global_max_pool";
+    case OpKind::kAdd:
+      return "add";
+    case OpKind::kIdentity:
+      return "identity";
+    case OpKind::kOpaque:
+      return "opaque";
+  }
+  return "unknown";
+}
+
+int Graph::add_node(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+std::size_t Graph::consumer_count(int id) const {
+  std::size_t n = output_ == id ? 1 : 0;
+  for (const Node& node : nodes_) {
+    if (node.dead) continue;
+    for (int in : node.inputs) {
+      if (in == id) ++n;
+    }
+  }
+  return n;
+}
+
+void Graph::replace_uses(int from, int to) {
+  for (Node& node : nodes_) {
+    for (int& in : node.inputs) {
+      if (in == from) in = to;
+    }
+  }
+  if (output_ == from) output_ = to;
+}
+
+void Graph::compact() {
+  std::vector<int> remap(nodes_.size(), -1);
+  std::vector<Node> live;
+  live.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].dead) continue;
+    remap[i] = static_cast<int>(live.size());
+    live.push_back(std::move(nodes_[i]));
+  }
+  for (Node& node : live) {
+    for (int& in : node.inputs) in = remap[static_cast<std::size_t>(in)];
+  }
+  if (output_ >= 0) output_ = remap[static_cast<std::size_t>(output_)];
+  nodes_ = std::move(live);
+}
+
+namespace {
+
+/// Lower one layer into the graph; returns the id of its output node.
+/// `width` tracks the per-sample feature width through the chain (0 =
+/// unresolved until a batch arrives).
+int lower_layer(Graph& g, Layer& layer, int input, std::size_t& width) {
+  Node n;
+  n.label = layer.name();
+  n.inputs = {input};
+  n.in_width = width;
+  const std::size_t out = width != 0 ? layer.output_size(width) : 0;
+
+  if (auto* dense = dynamic_cast<Dense*>(&layer)) {
+    n.kind = OpKind::kDense;
+    n.weights = &dense->weights();
+    n.bias = &dense->bias();
+    n.in_width = dense->in_features();
+    n.out_width = dense->out_features();
+  } else if (auto* conv = dynamic_cast<Conv1D*>(&layer)) {
+    n.kind = OpKind::kConv1D;
+    n.weights = &conv->weights();
+    n.bias = &conv->bias();
+    n.length = conv->length();
+    n.cin = conv->in_channels();
+    n.cout = conv->out_channels();
+    n.kernel = conv->kernel_size();
+    n.in_width = n.length * n.cin;
+    n.out_width = n.length * n.cout;
+  } else if (auto* bn = dynamic_cast<BatchNorm*>(&layer)) {
+    n.kind = OpKind::kBatchNorm;
+    n.norm = {&bn->gamma(), &bn->beta(), &bn->running_mean(),
+              &bn->running_var(), bn->eps()};
+    n.in_width = bn->features();
+    n.out_width = bn->features();
+  } else if (dynamic_cast<ReLU*>(&layer) != nullptr) {
+    n.kind = OpKind::kActivation;
+    n.act = kernels::Activation::kRelu;
+    n.out_width = out;
+  } else if (auto* leaky = dynamic_cast<LeakyReLU*>(&layer)) {
+    n.kind = OpKind::kActivation;
+    n.act = kernels::Activation::kLeakyRelu;
+    n.alpha = leaky->alpha();
+    n.out_width = out;
+  } else if (auto* pool = dynamic_cast<GlobalMaxPool1D*>(&layer)) {
+    n.kind = OpKind::kGlobalMaxPool;
+    n.length = pool->length();
+    n.cin = pool->channels();
+    n.in_width = n.length * n.cin;
+    n.out_width = n.cin;
+  } else if (auto* res = dynamic_cast<Residual*>(&layer)) {
+    // Inner chain, then an explicit add with the skip edge — the wrapper's
+    // control flow becomes real graph structure.
+    int cur = input;
+    std::size_t w = width;
+    for (std::size_t i = 0; i < res->inner_count(); ++i) {
+      cur = lower_layer(g, res->inner(i), cur, w);
+    }
+    Node add;
+    add.kind = OpKind::kAdd;
+    add.label = "add";
+    add.inputs = {cur, input};  // out = F(x) + x, matching Residual::forward
+    add.in_width = w;
+    add.out_width = w;
+    width = w;
+    return g.add_node(std::move(add));
+  } else if (dynamic_cast<Dropout*>(&layer) != nullptr) {
+    // Inference-mode dropout is the identity; the elide-identity pass
+    // removes the node entirely.
+    n.kind = OpKind::kIdentity;
+    n.out_width = out;
+  } else {
+    // LSTM, tanh, sigmoid, and any future layer: delegate to the layer's
+    // own inference forward.  Running the exact same code keeps the node
+    // trivially bitwise-equal to the legacy path.
+    n.kind = OpKind::kOpaque;
+    n.opaque = &layer;
+    n.out_width = out;
+  }
+
+  if (n.out_width == 0 && width != 0) n.out_width = layer.output_size(width);
+  width = n.out_width;
+  return g.add_node(std::move(n));
+}
+
+std::size_t infer_input_width(Sequential& model) {
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    const std::size_t w = model.layer(i).input_size();
+    // Layers before the first declaring one are width-polymorphic
+    // pass-throughs, so the declared width is the model's input width.
+    if (w != 0) return w;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Graph Graph::lower(Sequential& model, std::size_t input_width) {
+  Graph g;
+  std::size_t width = input_width != 0 ? input_width : infer_input_width(model);
+  Node in;
+  in.kind = OpKind::kInput;
+  in.label = "input";
+  in.in_width = width;
+  in.out_width = width;
+  int cur = g.add_node(std::move(in));
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    cur = lower_layer(g, model.layer(i), cur, width);
+  }
+  g.set_output(cur);
+  return g;
+}
+
+std::string Graph::to_text() const {
+  std::string s = "ir {\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.dead) continue;
+    s += "  %" + std::to_string(i) + " = " + n.label;
+    if (!n.inputs.empty()) {
+      s += " (";
+      for (std::size_t j = 0; j < n.inputs.size(); ++j) {
+        if (j > 0) s += ", ";
+        s += "%" + std::to_string(n.inputs[j]);
+      }
+      s += ")";
+    }
+    s += " out=" + std::to_string(n.out_width);
+    if (n.kind == OpKind::kConv1D) {
+      s += " algo=";
+      s += kernels::conv1d_algo_name(n.conv_algo);
+    }
+    if (n.fused_bn || n.fused_act) {
+      s += " fused=[";
+      if (n.fused_bn) s += "bn";
+      if (n.fused_act) {
+        if (n.fused_bn) s += " ";
+        s += n.act == kernels::Activation::kRelu ? "relu" : "leaky_relu";
+      }
+      s += "]";
+    }
+    s += "\n";
+  }
+  s += "  output %" + std::to_string(output_) + "\n}\n";
+  return s;
+}
+
+std::uint32_t Graph::topology_hash() const {
+  util::Crc32 crc;
+  const auto put_u32 = [&](std::uint32_t v) { crc.update(&v, sizeof(v)); };
+  put_u32(static_cast<std::uint32_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    put_u32(static_cast<std::uint32_t>(n.kind));
+    put_u32(static_cast<std::uint32_t>(n.inputs.size()));
+    for (int in : n.inputs) put_u32(static_cast<std::uint32_t>(in));
+    for (std::size_t v : {n.in_width, n.out_width, n.length, n.cin, n.cout,
+                          n.kernel}) {
+      put_u32(static_cast<std::uint32_t>(v));
+    }
+  }
+  put_u32(static_cast<std::uint32_t>(output_));
+  return crc.value();
+}
+
+}  // namespace mldist::nn::ir

@@ -1,0 +1,219 @@
+#include "nn/ir/pass.hpp"
+
+#include <stdexcept>
+
+#include "kernels/dispatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mldist::nn::ir {
+
+namespace {
+
+class ElideIdentityPass : public Pass {
+ public:
+  const char* name() const override { return "elide-identity"; }
+
+  bool run(Graph& g) override {
+    bool changed = false;
+    auto& nodes = g.nodes();
+    // Ascending id order resolves identity chains in one sweep: a later
+    // identity's input was already redirected to the real producer.
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      Node& n = nodes[i];
+      if (n.dead || n.kind != OpKind::kIdentity || n.inputs.empty()) continue;
+      g.replace_uses(static_cast<int>(i), n.inputs[0]);
+      n.dead = true;
+      changed = true;
+    }
+    if (changed) g.compact();
+    return changed;
+  }
+};
+
+class FuseBatchNormPass : public Pass {
+ public:
+  const char* name() const override { return "fuse-batchnorm"; }
+
+  bool run(Graph& g) override {
+    bool changed = false;
+    auto& nodes = g.nodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      Node& n = nodes[i];
+      if (n.dead || n.kind != OpKind::kBatchNorm || n.fused_act) continue;
+      const int pid = n.inputs[0];
+      Node& p = nodes[static_cast<std::size_t>(pid)];
+      if (p.dead || p.fused_bn || p.fused_act) continue;
+      if (p.kind != OpKind::kDense && p.kind != OpKind::kConv1D) continue;
+      // A second consumer (e.g. a residual skip) reads the pre-BN value;
+      // folding would change what it sees.
+      if (g.consumer_count(pid) != 1) continue;
+      p.norm = n.norm;
+      p.fused_bn = true;
+      g.replace_uses(static_cast<int>(i), pid);
+      n.dead = true;
+      changed = true;
+    }
+    if (changed) g.compact();
+    return changed;
+  }
+};
+
+class FuseActivationPass : public Pass {
+ public:
+  const char* name() const override { return "fuse-activation"; }
+
+  bool run(Graph& g) override {
+    bool changed = false;
+    auto& nodes = g.nodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      Node& n = nodes[i];
+      if (n.dead || n.kind != OpKind::kActivation) continue;
+      if (n.act != kernels::Activation::kRelu &&
+          n.act != kernels::Activation::kLeakyRelu) {
+        continue;
+      }
+      const int pid = n.inputs[0];
+      Node& p = nodes[static_cast<std::size_t>(pid)];
+      if (p.dead || p.fused_act) continue;
+      if (p.kind != OpKind::kDense && p.kind != OpKind::kConv1D &&
+          p.kind != OpKind::kBatchNorm && p.kind != OpKind::kAdd) {
+        continue;
+      }
+      if (g.consumer_count(pid) != 1) continue;
+      p.act = n.act;
+      p.alpha = n.alpha;
+      p.fused_act = true;
+      g.replace_uses(static_cast<int>(i), pid);
+      n.dead = true;
+      changed = true;
+    }
+    if (changed) g.compact();
+    return changed;
+  }
+};
+
+class LowerConvPass : public Pass {
+ public:
+  const char* name() const override { return "lower-conv"; }
+
+  bool run(Graph& g) override {
+    // Per-backend layout plan: the packing backends amortise per-sample
+    // strided-GEMM calls well, so they skip the im2col materialisation;
+    // the reference backend has no packing to feed, so one whole-batch
+    // im2col GEMM minimises call overhead.  Both layouts are bitwise
+    // identical, so the choice is pure performance policy.
+    const kernels::Conv1DAlgo algo =
+        kernels::dispatch() == kernels::Impl::kReference
+            ? kernels::Conv1DAlgo::kIm2col
+            : kernels::Conv1DAlgo::kDirect;
+    bool changed = false;
+    for (Node& n : g.nodes()) {
+      if (n.dead || n.kind != OpKind::kConv1D) continue;
+      if (n.conv_algo != algo) {
+        n.conv_algo = algo;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+class PlanExecPass : public Pass {
+ public:
+  const char* name() const override { return "plan-exec"; }
+
+  bool run(Graph& g) override {
+    auto& nodes = g.nodes();
+    // Greedy liveness scan over the (topological) node order: a producer's
+    // slot is released once its last consumer has run, but only after the
+    // consumer claimed its own slot, so an op never writes the buffer it is
+    // reading.
+    std::vector<std::size_t> refs(nodes.size(), 0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      refs[i] = g.consumer_count(static_cast<int>(i));
+    }
+    std::vector<int> free;
+    std::size_t slot_count = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      Node& n = nodes[i];
+      if (n.dead) continue;
+      if (n.kind == OpKind::kInput) {
+        n.slot = -1;  // reads the caller's batch directly
+        continue;
+      }
+      if (!free.empty()) {
+        n.slot = free.back();
+        free.pop_back();
+      } else {
+        n.slot = static_cast<int>(slot_count++);
+      }
+      for (int in : n.inputs) {
+        const Node& p = nodes[static_cast<std::size_t>(in)];
+        if (p.slot < 0) continue;
+        if (--refs[static_cast<std::size_t>(in)] == 0) free.push_back(p.slot);
+      }
+    }
+    g.set_slot_count(slot_count);
+    return true;
+  }
+};
+
+std::unique_ptr<Pass> make_pass(const std::string& name) {
+  if (name == "elide-identity") return std::make_unique<ElideIdentityPass>();
+  if (name == "fuse-batchnorm") return std::make_unique<FuseBatchNormPass>();
+  if (name == "fuse-activation") return std::make_unique<FuseActivationPass>();
+  if (name == "lower-conv") return std::make_unique<LowerConvPass>();
+  if (name == "plan-exec") return std::make_unique<PlanExecPass>();
+  throw std::invalid_argument("unknown IR pass '" + name + "'");
+}
+
+}  // namespace
+
+const std::vector<std::string>& PassManager::default_pipeline() {
+  static const std::vector<std::string> pipeline = {
+      "elide-identity", "fuse-batchnorm", "fuse-activation", "lower-conv",
+      "plan-exec"};
+  return pipeline;
+}
+
+const std::vector<std::string>& PassManager::known_passes() {
+  return default_pipeline();  // every known pass is in the default pipeline
+}
+
+std::vector<std::string> PassManager::parse_pipeline(std::string_view csv) {
+  if (csv.empty() || csv == "none") return {};
+  if (csv == "default") return default_pipeline();
+  std::vector<std::string> names;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::size_t end = comma == std::string_view::npos ? csv.size() : comma;
+    if (end > begin) names.emplace_back(csv.substr(begin, end - begin));
+    if (comma == std::string_view::npos) break;
+    begin = comma + 1;
+  }
+  for (const std::string& name : names) (void)make_pass(name);  // validate
+  return names;
+}
+
+PassManager::PassManager(const std::vector<std::string>& names)
+    : names_(names) {
+  passes_.reserve(names.size());
+  for (const std::string& name : names) passes_.push_back(make_pass(name));
+}
+
+PassManager::PassManager() : PassManager(default_pipeline()) {}
+
+void PassManager::run(Graph& g) const {
+  for (const auto& pass : passes_) {
+    obs::Span span(std::string("ir.pass.") + pass->name(), "ir");
+    const bool changed = pass->run(g);
+    span.arg("changed", changed ? 1 : 0);
+    static obs::MetricId runs =
+        obs::MetricsRegistry::global().counter("ir.pass.runs");
+    obs::MetricsRegistry::global().add(runs);
+  }
+}
+
+}  // namespace mldist::nn::ir

@@ -1,0 +1,74 @@
+// Optimisation passes over the inference graph, run as a declared pipeline.
+//
+// Default pipeline, in order (order is load-bearing and golden-tested):
+//   elide-identity   drop kIdentity nodes (inference-mode dropout)
+//   fuse-batchnorm   fold a BatchNorm into its single GEMM producer's
+//                    epilogue (Dense: in the GEMM column epilogue; Conv1D:
+//                    as a post-GEMM norm_act sweep, because BN's feature
+//                    axis spans length*cout while the conv GEMM only has
+//                    cout columns).  Runs BEFORE fuse-activation so
+//                    Dense→BN→ReLU fuses fully while Dense→ReLU→BN
+//                    correctly leaves the BN standalone.
+//   fuse-activation  fold a ReLU/LeakyReLU into its single producer's
+//                    epilogue (Dense, Conv1D, standalone BatchNorm, Add)
+//   lower-conv       pick the Conv1D algorithm per dispatch backend:
+//                    blocked/avx2 take the im2col-free strided-GEMM path;
+//                    reference keeps the single whole-batch im2col GEMM
+//                    (per-sample kernel calls buy it nothing)
+//   plan-exec        liveness-based output-buffer slot assignment so the
+//                    Executor reuses a small arena with no per-call
+//                    allocations
+//
+// Determinism contract per pass: every rewrite replaces computation with a
+// sequence that is bitwise identical per element under every MLDIST_KERNEL
+// backend (see DESIGN.md §12).  tests/kernel_equiv_test.cpp pins each pass
+// individually (fused-vs-unfused exact equality with the pass enabled vs
+// disabled).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nn/ir/graph.hpp"
+
+namespace mldist::nn::ir {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  /// Mutates `g`; returns true when anything changed.
+  virtual bool run(Graph& g) = 0;
+};
+
+class PassManager {
+ public:
+  /// The declared default pipeline (see file comment), in order.
+  static const std::vector<std::string>& default_pipeline();
+
+  /// All registered pass names.
+  static const std::vector<std::string>& known_passes();
+
+  /// Parse a --passes value: comma-separated pass names, or "default", or
+  /// "none" / "" for an empty pipeline.  Throws std::invalid_argument on
+  /// unknown names.
+  static std::vector<std::string> parse_pipeline(std::string_view csv);
+
+  /// Build a manager running `names` in the given order; throws
+  /// std::invalid_argument on unknown names.
+  explicit PassManager(const std::vector<std::string>& names);
+  PassManager();  ///< the default pipeline
+
+  /// Run the pipeline over `g` (one obs span + run counter per pass).
+  void run(Graph& g) const;
+
+  const std::vector<std::string>& pipeline() const { return names_; }
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace mldist::nn::ir

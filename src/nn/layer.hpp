@@ -44,6 +44,11 @@ class Layer {
   /// the layer's fixed input width.
   virtual std::size_t output_size(std::size_t input_size) const = 0;
 
+  /// The input width this layer is constructed for, or 0 when it accepts
+  /// any width (activations, dropout).  ir::Graph::lower uses it to infer
+  /// the model's input width without a sample batch.
+  virtual std::size_t input_size() const { return 0; }
+
   std::size_t param_count() {
     std::size_t n = 0;
     for (const auto& p : params()) n += p.size;

@@ -21,6 +21,7 @@ class LSTM : public Layer {
   std::vector<ParamView> params() override;
   std::string name() const override;
   std::size_t output_size(std::size_t input_size) const override;
+  std::size_t input_size() const override { return t_ * f_; }
 
  private:
   std::size_t t_;

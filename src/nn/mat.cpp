@@ -12,6 +12,16 @@ namespace {
 /// Below this many multiply-accumulates the fork/join overhead dominates.
 constexpr std::size_t kParallelThreshold = 1u << 19;
 
+void gemm_rows(const float* a, std::ptrdiff_t a_rs, std::ptrdiff_t a_cs,
+               const float* b, std::ptrdiff_t b_rs, std::ptrdiff_t b_cs,
+               Mat& out, std::size_t m, std::size_t k, std::size_t n,
+               const kernels::GemmEpilogue& epilogue) {
+  mldist::nn::gemm_rows(a, a_rs, a_cs, b, b_rs, b_cs, out.data(), m, k, n,
+                        epilogue);
+}
+
+}  // namespace
+
 // All products funnel through this: C rows [begin, end) are computed by
 // kernels::gemm on the active dispatch implementation.  Parallelism stays a
 // row partition of C, so each output element sees the same k-ascending fma
@@ -19,12 +29,12 @@ constexpr std::size_t kParallelThreshold = 1u << 19;
 // bitwise deterministic across both.
 void gemm_rows(const float* a, std::ptrdiff_t a_rs, std::ptrdiff_t a_cs,
                const float* b, std::ptrdiff_t b_rs, std::ptrdiff_t b_cs,
-               Mat& out, std::size_t m, std::size_t k, std::size_t n,
+               float* c, std::size_t m, std::size_t k, std::size_t n,
                const kernels::GemmEpilogue& epilogue) {
   const auto rows = [&](std::size_t begin, std::size_t end) {
     if (begin >= end) return;
     kernels::gemm(a + static_cast<std::ptrdiff_t>(begin) * a_rs, a_rs, a_cs,
-                  b, b_rs, b_cs, out.row(begin), end - begin, k, n, epilogue);
+                  b, b_rs, b_cs, c + begin * n, end - begin, k, n, epilogue);
   };
   if (m * k * n >= kParallelThreshold && m > 1) {
     util::ThreadPool::global().parallel_for(m, rows);
@@ -32,8 +42,6 @@ void gemm_rows(const float* a, std::ptrdiff_t a_rs, std::ptrdiff_t a_cs,
     rows(0, m);
   }
 }
-
-}  // namespace
 
 void matmul(const Mat& a, const Mat& b, Mat& out) {
   assert(a.cols() == b.rows());

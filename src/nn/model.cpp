@@ -4,16 +4,40 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <mutex>
 #include <numeric>
+#include <utility>
 
-#include "nn/activations.hpp"
-#include "nn/dense.hpp"
+#include "kernels/dispatch.hpp"
+#include "nn/ir/executor.hpp"
+#include "nn/ir/graph.hpp"
+#include "nn/ir/pass.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace mldist::nn {
+
+/// Compiled-inference state.  The graph is cached per dispatch backend (the
+/// lower-conv pass bakes a per-backend kernel plan into it) and per
+/// pipeline; executors are pooled because they are single-use-at-a-time
+/// (their buffer arena is stateful) while predict/evaluate fan batches out
+/// across the thread pool.  The graph is held through shared_ptr so an
+/// executor mid-run survives a concurrent recompile.
+struct Sequential::IrState {
+  std::mutex mu;
+  std::vector<std::string> pipeline = ir::PassManager::default_pipeline();
+  bool compiled = false;
+  kernels::Impl impl = kernels::Impl::kReference;
+  std::shared_ptr<const ir::Graph> graph;
+  std::vector<std::unique_ptr<ir::Executor>> pool;
+};
+
+Sequential::Sequential() : ir_(std::make_unique<IrState>()) {}
+Sequential::~Sequential() = default;
+Sequential::Sequential(Sequential&&) noexcept = default;
+Sequential& Sequential::operator=(Sequential&&) noexcept = default;
 
 namespace {
 
@@ -59,48 +83,95 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
       obs::MetricsRegistry::global().counter(base + ".backward_ns");
   o.span_name = base;
   layer_obs_.push_back(std::move(o));
+  // The compiled graph references the old layer list by pointer; rebuild
+  // lazily on the next inference call.
+  std::lock_guard<std::mutex> lock(ir_->mu);
+  ir_->compiled = false;
+  ir_->graph.reset();
+  ir_->pool.clear();
   return *this;
 }
 
 Mat Sequential::forward(const Mat& x, bool training) {
+  if (!training) return forward_ir(x);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   Mat cur = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    // The span and the forward_ns counter are attributed to layer i, even
-    // when the inference-only fusion below also consumes layer i+1.
     obs::Span span(layer_obs_[i].span_name, "nn");
     const util::Timer layer_timer;
-    const std::size_t attributed = i;
-    bool fused = false;
-    // Inference-only fusion: collapse Dense + ReLU/LeakyReLU into one
-    // fused-epilogue kernel call.  The epilogue applies the identical
-    // per-element rewrite as the activation layer, so this is bitwise
-    // equal to the unfused pair; training keeps the separate layers
-    // because backward needs the activation's input cache.
-    if (!training && i + 1 < layers_.size()) {
-      if (auto* dense = dynamic_cast<Dense*>(layers_[i].get())) {
-        Layer* next = layers_[i + 1].get();
-        if (dynamic_cast<ReLU*>(next) != nullptr) {
-          cur = dense->forward_fused(cur, kernels::Activation::kRelu, 0.0f);
-          fused = true;
-        } else if (auto* leaky = dynamic_cast<LeakyReLU*>(next)) {
-          cur = dense->forward_fused(cur, kernels::Activation::kLeakyRelu,
-                                     leaky->alpha());
-          fused = true;
-        }
-      }
-    }
-    if (fused) {
-      span.arg("fused", 1);
-      ++i;  // the activation layer was consumed by the fused kernel
-    } else {
-      cur = layers_[i]->forward(cur, training);
-    }
-    reg.add(layer_obs_[attributed].forward_ns,
+    cur = layers_[i]->forward(cur, /*training=*/true);
+    reg.add(layer_obs_[i].forward_ns,
             static_cast<std::uint64_t>(
                 std::max(0.0, layer_timer.seconds() * 1e9)));
   }
   return cur;
+}
+
+Mat Sequential::forward_reference(const Mat& x) {
+  Mat cur = x;
+  for (auto& l : layers_) cur = l->forward(cur, /*training=*/false);
+  return cur;
+}
+
+Mat Sequential::forward_ir(const Mat& x) {
+  const kernels::Impl impl = kernels::dispatch();
+  std::shared_ptr<const ir::Graph> graph;
+  std::unique_ptr<ir::Executor> ex;
+  {
+    std::lock_guard<std::mutex> lock(ir_->mu);
+    if (!ir_->compiled || ir_->impl != impl) {
+      obs::Span span("ir.compile", "nn");
+      ir::Graph g = ir::Graph::lower(*this);
+      ir::PassManager(ir_->pipeline).run(g);
+      span.arg("nodes", static_cast<std::uint64_t>(g.nodes().size()));
+      ir_->graph = std::make_shared<const ir::Graph>(std::move(g));
+      ir_->impl = impl;
+      ir_->compiled = true;
+      ir_->pool.clear();  // built for the replaced graph
+    }
+    graph = ir_->graph;
+    if (!ir_->pool.empty()) {
+      ex = std::move(ir_->pool.back());
+      ir_->pool.pop_back();
+    }
+  }
+  if (!ex) ex = std::make_unique<ir::Executor>(graph);
+  Mat y = ex->run(x);
+  {
+    std::lock_guard<std::mutex> lock(ir_->mu);
+    // Return the executor (and its warm arena) unless a recompile raced us.
+    if (&ex->graph() == ir_->graph.get()) ir_->pool.push_back(std::move(ex));
+  }
+  return y;
+}
+
+void Sequential::set_pipeline(std::vector<std::string> passes) {
+  ir::PassManager validate(passes);  // throws on unknown pass names
+  std::lock_guard<std::mutex> lock(ir_->mu);
+  ir_->pipeline = std::move(passes);
+  ir_->compiled = false;
+  ir_->graph.reset();
+  ir_->pool.clear();
+}
+
+std::vector<std::string> Sequential::pipeline() const {
+  std::lock_guard<std::mutex> lock(ir_->mu);
+  return ir_->pipeline;
+}
+
+std::uint32_t Sequential::topology_hash() {
+  return ir::Graph::lower(*this).topology_hash();
+}
+
+std::string Sequential::dump_ir() {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(ir_->mu);
+    names = ir_->pipeline;
+  }
+  ir::Graph g = ir::Graph::lower(*this);
+  ir::PassManager(names).run(g);
+  return g.to_text();
 }
 
 Mat Sequential::predict_proba(const Mat& x) { return softmax(forward(x)); }

@@ -1,6 +1,16 @@
 // Sequential model container with a Keras-like fit/evaluate interface.
+//
+// Inference (forward with training=false, predict, evaluate) executes
+// through the graph IR (nn/ir/): the layer stack is lowered once into an
+// ir::Graph, the configured pass pipeline optimises it, and an
+// ir::Executor with a reusable buffer arena runs it.  The compiled graph
+// is cached per (dispatch backend, pipeline) and rebuilt lazily; training
+// keeps the layer-by-layer path because backward needs per-layer caches.
+// Both paths are bitwise identical (tests/kernel_equiv_test.cpp and
+// tests/ir_test.cpp, label "ir").
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -62,13 +72,24 @@ struct EvalResult {
 
 class Sequential {
  public:
-  Sequential() = default;
+  Sequential();
+  ~Sequential();
+  Sequential(Sequential&&) noexcept;
+  Sequential& operator=(Sequential&&) noexcept;
 
-  /// Append a layer; returns *this for chaining.
+  /// Append a layer; returns *this for chaining.  Invalidates any compiled
+  /// inference graph.
   Sequential& add(std::unique_ptr<Layer> layer);
 
-  /// Forward pass through all layers, producing logits.
+  /// Forward pass through all layers, producing logits.  Inference runs the
+  /// compiled IR graph; training runs the layer stack (backward needs the
+  /// per-layer caches).  The two are bitwise identical.
   Mat forward(const Mat& x, bool training = false);
+
+  /// Layer-by-layer inference forward, bypassing the IR entirely.  This is
+  /// the specification path the IR executor is equivalence-tested against;
+  /// it applies no fusion of any kind.
+  Mat forward_reference(const Mat& x);
 
   /// Softmax probabilities for a batch.
   Mat predict_proba(const Mat& x);
@@ -105,6 +126,23 @@ class Sequential {
   /// One-line structural summary, e.g. "dense(128->1024) relu dense(...)".
   std::string summary();
 
+  /// Replace the IR optimisation pipeline (names as understood by
+  /// ir::PassManager; throws std::invalid_argument on unknown names) and
+  /// drop any compiled graph.  Intended for tests, benches, and --passes.
+  void set_pipeline(std::vector<std::string> passes);
+  std::vector<std::string> pipeline() const;
+
+  /// CRC-32 of the lowered (pre-optimisation) inference graph: op kinds,
+  /// edges, and shapes.  Stable across pass pipelines and dispatch
+  /// backends; save_params stamps it so parameters cannot load into a
+  /// structurally different model.
+  std::uint32_t topology_hash();
+
+  /// Text rendering of the optimised inference graph (--dump-ir output),
+  /// lowered and optimised with the current pipeline but without touching
+  /// the compiled-graph cache.
+  std::string dump_ir();
+
  private:
   /// Per-layer observability handles, filled in add() (the cold path) so
   /// the forward/backward hot paths never do a metric-name lookup.  Metric
@@ -117,8 +155,15 @@ class Sequential {
     std::string span_name;        ///< precomputed trace span name
   };
 
+  /// Compiled-inference state (mutex, cached ir::Graph, executor pool);
+  /// defined in model.cpp so this header stays free of the IR headers.
+  struct IrState;
+
+  Mat forward_ir(const Mat& x);
+
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<LayerObs> layer_obs_;  ///< parallel to layers_
+  std::unique_ptr<IrState> ir_;
 };
 
 }  // namespace mldist::nn

@@ -21,6 +21,12 @@ class Residual : public Layer {
   std::vector<ParamView> params() override;
   std::string name() const override;
   std::size_t output_size(std::size_t input_size) const override;
+  std::size_t input_size() const override {
+    return inner_.empty() ? 0 : inner_.front()->input_size();
+  }
+
+  std::size_t inner_count() const { return inner_.size(); }
+  Layer& inner(std::size_t i) { return *inner_[i]; }
 
  private:
   std::vector<std::unique_ptr<Layer>> inner_;

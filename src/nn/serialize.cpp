@@ -13,7 +13,14 @@
 namespace mldist::nn {
 
 namespace {
-constexpr char kMagic[4] = {'N', 'N', 'B', '1'};
+// NNB2 = NNB1 plus a uint32 graph-topology hash right after the magic
+// (Sequential::topology_hash(): CRC-32 over the lowered inference graph's
+// op kinds, edges, and shapes).  Tensor count/shape checks catch most
+// architecture mismatches by accident; the hash pins the structure itself,
+// so e.g. two different layer orders with identical parameter shapes can
+// no longer swap files.  NNB1 files load with a warning.
+constexpr char kMagic[4] = {'N', 'N', 'B', '2'};
+constexpr char kLegacyMagic[4] = {'N', 'N', 'B', '1'};
 // CRC footer appended after the tensors: kCrcMagic + uint32 CRC-32 of every
 // payload byte before the footer.  Legacy files simply end at the last
 // tensor; load_params tolerates the missing footer (with a warning) so
@@ -28,6 +35,8 @@ void save_params(Sequential& model, std::ostream& out) {
     crc.update(data, n);
   };
   put(kMagic, sizeof(kMagic));
+  const std::uint32_t topo = model.topology_hash();
+  put(&topo, sizeof(topo));
   const auto params = model.params();
   const std::uint32_t count = static_cast<std::uint32_t>(params.size());
   put(&count, sizeof(count));
@@ -50,7 +59,23 @@ void load_params(Sequential& model, std::istream& in) {
   };
   char magic[4];
   get(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!in) throw std::runtime_error("load_params: bad magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) == 0) {
+    std::uint32_t topo = 0;
+    get(&topo, sizeof(topo));
+    if (!in) throw std::runtime_error("load_params: truncated stream");
+    const std::uint32_t expect = model.topology_hash();
+    if (topo != expect) {
+      throw std::runtime_error(
+          "load_params: model topology mismatch (file graph hash " +
+          std::to_string(topo) + ", model graph hash " +
+          std::to_string(expect) + ")");
+    }
+  } else if (std::memcmp(magic, kLegacyMagic, sizeof(kLegacyMagic)) == 0) {
+    obs::log_warn("nn.serialize",
+                  "load_params: warning: no graph-topology hash (legacy "
+                  "NNB1 model file); architecture not verified");
+  } else {
     throw std::runtime_error("load_params: bad magic");
   }
   std::uint32_t count = 0;

@@ -29,9 +29,14 @@
 #include "kernels/gemm.hpp"
 #include "kernels/gimli_batch.hpp"
 #include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv1d.hpp"
 #include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/ir/pass.hpp"
 #include "nn/mat.hpp"
 #include "nn/model.hpp"
+#include "nn/residual.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -297,8 +302,9 @@ TEST(GemmEquivalence, MatWrappersKernelInvariant) {
   kernels::set_dispatch(kStartupImpl);
 }
 
-// Sequential's inference fusion (Dense + ReLU/LeakyReLU collapsed into the
-// epilogue) must return bitwise-identical logits to training-mode forward.
+// Sequential's IR-compiled inference path (Dense + ReLU/LeakyReLU fused
+// into the GEMM epilogue by the default pass pipeline) must return bitwise
+// identical logits to the layer-by-layer training-mode forward.
 TEST(GemmEquivalence, SequentialFusionMatchesUnfusedForward) {
   for (Impl impl : kernels::available_impls()) {
     kernels::set_dispatch(impl);
@@ -319,6 +325,68 @@ TEST(GemmEquivalence, SequentialFusionMatchesUnfusedForward) {
     for (std::size_t i = 0; i < fused.size(); ++i) {
       ASSERT_EQ(bits_of(fused.data()[i]), bits_of(unfused.data()[i]))
           << "impl=" << kernels::impl_name(impl);
+    }
+  }
+  kernels::set_dispatch(kStartupImpl);
+}
+
+// Per-pass determinism contract: every optimisation pass in the default
+// pipeline must preserve the bitwise output of the unoptimised graph.  The
+// model exercises every fusable shape (dense+act, dense+bn+act, conv+bn+act,
+// residual add+act, dropout identity, opaque tanh), and the pipeline is
+// grown one pass at a time so a regression names the exact pass at fault.
+TEST(GemmEquivalence, EachIrPassPreservesBitwiseOutput) {
+  for (Impl impl : kernels::available_impls()) {
+    kernels::set_dispatch(impl);
+    Xoshiro256 rng(0x99);
+    nn::Sequential model;
+    model.add(std::make_unique<nn::Dense>(12, 18, rng));
+    model.add(std::make_unique<nn::Tanh>());
+    model.add(std::make_unique<nn::Dense>(18, 18, rng));
+    model.add(std::make_unique<nn::LeakyReLU>(0.3f));
+    model.add(std::make_unique<nn::Dense>(18, 18, rng));
+    model.add(std::make_unique<nn::BatchNorm>(18));
+    model.add(std::make_unique<nn::ReLU>());
+    model.add(std::make_unique<nn::Conv1D>(6, 3, 4, 3, rng));
+    model.add(std::make_unique<nn::BatchNorm>(24));
+    model.add(std::make_unique<nn::ReLU>());
+    auto block = std::make_unique<nn::Residual>();
+    block->add(std::make_unique<nn::Conv1D>(6, 4, 4, 3, rng));
+    block->add(std::make_unique<nn::BatchNorm>(24));
+    model.add(std::move(block));
+    model.add(std::make_unique<nn::ReLU>());
+    model.add(std::make_unique<nn::Dropout>(0.25f));
+    model.add(std::make_unique<nn::GlobalMaxPool1D>(6, 4));
+    model.add(std::make_unique<nn::Dense>(4, 3, rng));
+    nn::Mat warm(16, 12);
+    for (std::size_t i = 0; i < warm.size(); ++i) {
+      warm.data()[i] = static_cast<float>(rng.next_gaussian());
+    }
+    // Non-trivial BatchNorm running statistics (fresh mean 0 / var 1 would
+    // mask mean/var indexing bugs in the fused epilogues).
+    for (int i = 0; i < 3; ++i) (void)model.forward(warm, /*training=*/true);
+    nn::Mat x(9, 12);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x.data()[i] = static_cast<float>(rng.next_gaussian());
+    }
+    const nn::Mat want = model.forward_reference(x);
+    std::vector<std::string> pipeline;  // start with the empty pipeline
+    const auto check = [&](const std::string& stage) {
+      model.set_pipeline(pipeline);
+      const nn::Mat got = model.forward(x, /*training=*/false);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(bits_of(got.data()[i]), bits_of(want.data()[i]))
+            << "impl=" << kernels::impl_name(impl) << " pipeline=[" << stage
+            << "] element " << i;
+      }
+    };
+    check("none");
+    std::string stage;
+    for (const auto& name : nn::ir::PassManager::default_pipeline()) {
+      pipeline.push_back(name);
+      stage += stage.empty() ? name : "," + name;
+      check(stage);
     }
   }
   kernels::set_dispatch(kStartupImpl);

@@ -13,11 +13,13 @@
 
 #include "kernels/dispatch.hpp"
 #include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
 #include "nn/conv1d.hpp"
 #include "nn/dense.hpp"
 #include "nn/loss.hpp"
 #include "nn/lstm.hpp"
 #include "nn/model.hpp"
+#include "nn/residual.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -35,9 +37,13 @@ class GradCheck : public ::testing::TestWithParam<mldist::kernels::Impl> {
   void TearDown() override { mldist::kernels::set_dispatch(kStartupImpl); }
 };
 
-/// Loss of `model` on (x, y) without touching gradients.
-double loss_of(Sequential& model, const Mat& x, const std::vector<int>& y) {
-  const Mat logits = model.forward(x, /*training=*/false);
+/// Loss of `model` on (x, y) without touching gradients.  `training` keeps
+/// BatchNorm on batch statistics so composite blocks perturb the same
+/// function the analytic backward differentiates; the default inference
+/// mode additionally exercises the IR-compiled forward path.
+double loss_of(Sequential& model, const Mat& x, const std::vector<int>& y,
+               bool training = false) {
+  const Mat logits = model.forward(x, training);
   return softmax_cross_entropy(logits, y, /*compute_grad=*/false).loss;
 }
 
@@ -59,7 +65,7 @@ Mat analytic_pass(Sequential& model, const Mat& x, const std::vector<int>& y) {
 /// differences.
 void check_param_grads(Sequential& model, const Mat& x,
                        const std::vector<int>& y, std::size_t stride,
-                       double tol) {
+                       double tol, bool training = false) {
   (void)analytic_pass(model, x, y);
   // Snapshot analytic gradients (backward below would be clobbered by
   // repeated perturbation passes).
@@ -73,9 +79,9 @@ void check_param_grads(Sequential& model, const Mat& x,
     for (std::size_t i = 0; i < p.size; i += stride) {
       const float orig = p.value[i];
       p.value[i] = orig + kEps;
-      const double lp = loss_of(model, x, y);
+      const double lp = loss_of(model, x, y, training);
       p.value[i] = orig - kEps;
-      const double lm = loss_of(model, x, y);
+      const double lm = loss_of(model, x, y, training);
       p.value[i] = orig;
       const double numeric = (lp - lm) / (2.0 * kEps);
       const double analytic = saved[pi][i];
@@ -88,15 +94,15 @@ void check_param_grads(Sequential& model, const Mat& x,
 
 /// Check d(loss)/d(input) for every `stride`-th input entry.
 void check_input_grads(Sequential& model, Mat x, const std::vector<int>& y,
-                       std::size_t stride, double tol) {
+                       std::size_t stride, double tol, bool training = false) {
   const Mat dx = analytic_pass(model, x, y);
   constexpr float kEps = 2e-3f;
   for (std::size_t i = 0; i < x.size(); i += stride) {
     const float orig = x.data()[i];
     x.data()[i] = orig + kEps;
-    const double lp = loss_of(model, x, y);
+    const double lp = loss_of(model, x, y, training);
     x.data()[i] = orig - kEps;
-    const double lm = loss_of(model, x, y);
+    const double lm = loss_of(model, x, y, training);
     x.data()[i] = orig;
     const double numeric = (lp - lm) / (2.0 * kEps);
     EXPECT_NEAR(dx.data()[i], numeric, tol + 0.05 * std::fabs(numeric))
@@ -226,6 +232,31 @@ TEST_P(GradCheck, DeepMixedStack) {
   const Mat x = random_input(6, 8, rng);
   const auto y = random_labels(6, 4, rng);
   check_param_grads(model, x, y, 3, 1.5e-3);
+}
+
+// Composite Residual(Conv1D -> BatchNorm -> Tanh) block — the building
+// block of the gohr-net extension — gradchecked per kernel backend.  The
+// loss is evaluated in training mode so BatchNorm perturbs the same
+// batch-statistics function the analytic backward differentiates (inference
+// mode would switch it to running statistics mid-check).  Tanh rather than
+// ReLU keeps the composite smooth: normalising over the batch makes the
+// pre-activations cluster around the ReLU kink, where central differences
+// straddle the non-differentiable point and produce O(1) false mismatches.
+TEST_P(GradCheck, ResidualBatchNormConvComposite) {
+  Xoshiro256 rng(10);
+  Sequential model;
+  model.add(std::make_unique<Conv1D>(6, 1, 3, 3, rng));
+  auto block = std::make_unique<Residual>();
+  block->add(std::make_unique<Conv1D>(6, 3, 3, 3, rng));
+  block->add(std::make_unique<BatchNorm>(18));
+  block->add(std::make_unique<Tanh>());
+  model.add(std::move(block));
+  model.add(std::make_unique<GlobalMaxPool1D>(6, 3));
+  model.add(std::make_unique<Dense>(3, 2, rng));
+  const Mat x = random_input(8, 6, rng);
+  const auto y = random_labels(8, 2, rng);
+  check_param_grads(model, x, y, 1, 2e-3, /*training=*/true);
+  check_input_grads(model, x, y, 1, 2e-3, /*training=*/true);
 }
 
 INSTANTIATE_TEST_SUITE_P(

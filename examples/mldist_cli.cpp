@@ -24,6 +24,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "campaign/supervisor.hpp"
+#include "campaign/worker.hpp"
 #include "core/distinguisher.hpp"
 #include "core/experiment.hpp"
 #include "core/model_io.hpp"
@@ -34,6 +36,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/server.hpp"
+#include "obs/signal.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
@@ -57,7 +60,25 @@ struct Args {
   bool passes_set = false;         ///< --passes was given
   std::vector<std::string> passes; ///< IR pipeline override when passes_set
   core::ExperimentConfig config;
+
+  // --- campaign subcommand -------------------------------------------------
+  std::vector<std::string> targets;  ///< --targets a,b,c (grid axis)
+  std::vector<int> rounds_list;      ///< --rounds-list 5,6,7
+  std::vector<std::string> archs;    ///< --archs a,b
+  campaign::SupervisorOptions sup;
 };
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ',') {
+      if (i > start) out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
 
 bool parse(int argc, char** argv, Args& out) {
   if (argc < 2) return false;
@@ -107,6 +128,22 @@ bool parse(int argc, char** argv, Args& out) {
       }
     } else if (flag == "--arch") {
       out.config.arch = v;
+    } else if (flag == "--targets") {
+      out.targets = split_commas(v);
+    } else if (flag == "--rounds-list") {
+      for (const std::string& r : split_commas(v)) {
+        out.rounds_list.push_back(std::atoi(r.c_str()));
+      }
+    } else if (flag == "--archs") {
+      out.archs = split_commas(v);
+    } else if (flag == "--workers") {
+      out.sup.workers = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--cell-timeout") {
+      out.sup.cell_timeout_s = std::atof(v);
+    } else if (flag == "--max-cell-retries") {
+      out.sup.max_cell_retries = std::atoi(v);
+    } else if (flag == "--state-dir") {
+      out.sup.state_dir = v;
     } else if (flag == "--model") {
       out.model_path = v;
     } else if (flag == "--oracle") {
@@ -169,9 +206,19 @@ int usage() {
                "[--log-file FILE]\n"
                "  mldist_cli dump-ir [--arch A] [--target T] "
                "[--passes default|none|p1,p2,...]\n"
+               "  mldist_cli campaign --state-dir DIR [--targets a,b] "
+               "[--rounds-list 5,6,7]\n"
+               "             [--archs a,b] [--workers N] [--cell-timeout S] "
+               "[--max-cell-retries N]\n"
+               "             [--samples N] [--epochs E] [--seed S] [--json]\n"
                "  mldist_cli list\n"
                "train/test also accept --passes to override the IR "
-               "optimisation pipeline.\n");
+               "optimisation pipeline.\n"
+               "campaign shards the target x rounds x arch grid over worker "
+               "processes,\n"
+               "journals results to DIR/campaign.state.jsonl + "
+               "DIR/history.jsonl, and resumes\n"
+               "from DIR after a crash, skipping finished cells.\n");
   return kExitConfig;
 }
 
@@ -345,6 +392,47 @@ int cmd_test(const Args& args) {
   return 0;
 }
 
+// Run (or resume) a sharded campaign over the target x rounds x arch grid.
+// Exit 0 when every cell completed, 1 when the campaign finished with
+// failed cells or was interrupted (partial results are on disk either way).
+int cmd_campaign(const Args& args) {
+  if (args.sup.state_dir.empty()) {
+    throw std::invalid_argument("campaign: --state-dir is required");
+  }
+  campaign::CampaignSpec spec;
+  spec.base = args.config;
+  spec.base.on_epoch = nullptr;
+  spec.targets = args.targets;
+  spec.rounds = args.rounds_list;
+  spec.archs = args.archs;
+  spec.seed = args.config.seed;
+
+  const campaign::CampaignReport rep =
+      campaign::Supervisor(spec, args.sup).run();
+
+  if (args.json) {
+    util::JsonBuilder j;
+    j.field("command", "campaign")
+        .raw("manifest", obs::RunManifest::current().to_json())
+        .raw("config", args.config.to_json())
+        .raw("report", rep.to_json())
+        .field("state_dir", args.sup.state_dir);
+    std::printf("%s\n", j.str().c_str());
+  } else {
+    std::printf("campaign: %zu cells -> %zu done, %zu skipped (previous "
+                "runs), %zu failed\n",
+                rep.cells_total, rep.cells_done, rep.cells_skipped,
+                rep.cells_failed);
+    std::printf("  retries %zu, reclaims %zu, worker restarts %zu, %.1fs%s\n",
+                rep.retries, rep.reclaims, rep.worker_restarts, rep.seconds,
+                rep.interrupted ? "  [interrupted -- rerun to resume]" : "");
+    std::printf("  results: %s/history.jsonl\n", args.sup.state_dir.c_str());
+  }
+  return rep.complete() && rep.cells_failed == 0 && !rep.interrupted
+             ? 0
+             : kExitNotUsable;
+}
+
 /// Print a structured error record (JSON under --json) and return the exit
 /// code, instead of dying with an unhandled exception.
 int report_error(bool json, const char* kind, const std::string& what,
@@ -383,8 +471,20 @@ int finish_trace(int code) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Campaign worker processes are exec'd copies of this binary; hand the
+  // process over before any normal-mode setup runs.
+  if (const int worker_rc = campaign::worker_entry(argc, argv);
+      worker_rc >= 0) {
+    return worker_rc;
+  }
   Args args;
   if (!parse(argc, argv, args)) return usage();
+  // SIGTERM/SIGINT: single-experiment commands drain the log ring, stamp an
+  // "interrupted" RunStatus and die with the signal (immediate mode); the
+  // campaign supervisor instead observes the flag and shuts down
+  // cooperatively — journaling the interruption so a rerun resumes.
+  obs::install_interrupt_handlers(
+      /*exit_immediately=*/args.command != "campaign");
   // Live observability (off by default): /metrics, /healthz and /runz for
   // the duration of the run.  The server thread only ever reads snapshots,
   // so it cannot perturb the pipeline's determinism.
@@ -405,6 +505,7 @@ int main(int argc, char** argv) {
     if (args.command == "dump-ir") return cmd_dump_ir(args);
     if (args.command == "train") return finish_trace(cmd_train(args));
     if (args.command == "test") return finish_trace(cmd_test(args));
+    if (args.command == "campaign") return finish_trace(cmd_campaign(args));
     return usage();
   } catch (const std::invalid_argument& e) {
     // Bad target/arch names, model/target mismatches: caller-fixable.

@@ -1,0 +1,71 @@
+// The campaign write-ahead log (ISSUE 7): campaign.state.jsonl.
+//
+// Every state transition the supervisor commits — lease, trained, done,
+// reclaim, failed, interrupted — is one appended JSON line (via
+// util::append_jsonl, whose O_APPEND single-write(2) contract keeps records
+// whole under concurrency).  "Write-ahead" in the recovery sense: a cell
+// only counts as finished once its "done" record (carrying the full pinned
+// payload) is on the WAL; the history.jsonl line is derived from it, so a
+// supervisor killed between the two reconciles by re-emitting history from
+// the WAL — never by re-running the cell.
+//
+// Replay is consumer-side field extraction, the same stance as
+// tools/bench_compare: the library still only *writes* JSON (util/json is a
+// builder, not a parser), and the three extract_* helpers below pull the
+// handful of keys replay needs out of lines this module itself wrote.  They
+// are not a general JSON parser and don't try to be.
+//
+// Record shapes (one per line, "event" first):
+//   {"event":"start","campaign":...,"cells":N,"seed":S,"manifest":{...}}
+//   {"event":"lease","cell":"id","index":n,"attempt":k,"worker":pid}
+//   {"event":"trained","cell":"id","index":n,"train":"<0x1f-record>"}
+//   {"event":"done","cell":"id","index":n,"payload":{...},"telemetry":{...}}
+//   {"event":"reclaim","cell":"id","index":n,"attempt":k,"reason":"died|
+//    hung|diverged|error","latency_ns":L}
+//   {"event":"failed","cell":"id","index":n,"attempts":k,"reason":...}
+//   {"event":"interrupted"}   {"event":"end","done":D,"failed":F}
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace mldist::campaign {
+
+/// Extract a string value for `key` from a flat JSON object this module
+/// wrote (no whitespace between tokens), unescaping \" \\ \/ \b \f \n \r
+/// \t and \uXXXX (BMP, rendered as UTF-8).  False when the key is absent
+/// or not a string.
+bool extract_json_string(const std::string& json, const std::string& key,
+                         std::string& out);
+
+/// Extract an unsigned integer value for `key`.
+bool extract_json_u64(const std::string& json, const std::string& key,
+                      std::uint64_t& out);
+
+/// Extract the raw balanced-brace object value for `key` (verbatim
+/// substring including the outer braces — this is what makes payload
+/// pinning bitwise: the bytes come back exactly as journaled).
+bool extract_json_object(const std::string& json, const std::string& key,
+                         std::string& out);
+
+/// Everything a relaunched supervisor needs to know about prior progress,
+/// keyed by cell id.
+struct JournalState {
+  std::map<std::string, std::string> done_payload;    ///< pinned payload JSON
+  std::map<std::string, std::string> done_telemetry;  ///< sidecar JSON
+  std::set<std::string> failed;                       ///< permanently failed
+  /// Cells whose offline phase was journaled (encode_train_result record):
+  /// resumable from the model snapshot without retraining.
+  std::map<std::string, std::string> trained;
+  bool saw_start = false;
+};
+
+/// Replay `path` (missing file = empty state).  Later records win: a
+/// "done" after a "trained" clears the trained entry; a torn final line
+/// (crash mid-append cannot happen under append_jsonl's contract, but a
+/// full disk can truncate) is skipped.
+JournalState replay_journal(const std::string& path);
+
+}  // namespace mldist::campaign

@@ -1,0 +1,256 @@
+#include "campaign/spec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/crc32.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace mldist::campaign {
+
+namespace {
+
+constexpr char kSep = '\x1f';  // ASCII unit separator
+
+std::string hexf(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::vector<std::string> split_fields(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == kSep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool parse_f64(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 0);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_i32(const std::string& s, int& out) {
+  std::uint64_t v = 0;
+  const bool neg = !s.empty() && s[0] == '-';
+  if (!parse_u64(neg ? s.substr(1) : s, v)) return false;
+  out = static_cast<int>(v);
+  if (neg) out = -out;
+  return true;
+}
+
+}  // namespace
+
+std::string cell_id(const core::ExperimentConfig& config) {
+  core::ExperimentConfig keyed = config;
+  keyed.checkpoint_path.clear();  // ids must not depend on the state dir
+  const std::string json = keyed.to_json();
+  const std::uint32_t crc = util::crc32(json.data(), json.size());
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+std::vector<Cell> expand_grid(const CampaignSpec& spec) {
+  const std::vector<std::string> targets =
+      spec.targets.empty() ? std::vector<std::string>{spec.base.target}
+                           : spec.targets;
+  const std::vector<int> rounds =
+      spec.rounds.empty() ? std::vector<int>{spec.base.rounds} : spec.rounds;
+  const std::vector<std::string> archs =
+      spec.archs.empty() ? std::vector<std::string>{spec.base.arch}
+                         : spec.archs;
+  std::vector<Cell> cells;
+  cells.reserve(targets.size() * rounds.size() * archs.size());
+  for (const std::string& target : targets) {
+    for (int r : rounds) {
+      for (const std::string& arch : archs) {
+        Cell cell;
+        cell.index = cells.size();
+        cell.config = spec.base;
+        cell.config.target = target;
+        cell.config.rounds = r;
+        cell.config.arch = arch;
+        cell.config.seed = util::derive_stream_seed(spec.seed, cell.index);
+        cell.config.on_epoch = nullptr;
+        cell.id = cell_id(cell.config);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+std::string encode_config(const core::ExperimentConfig& c) {
+  std::string out;
+  const auto add = [&](const std::string& field) {
+    if (!out.empty()) out += kSep;
+    out += field;
+  };
+  add(c.target);
+  add(std::to_string(c.rounds));
+  add(c.arch);
+  add(std::to_string(c.epochs));
+  add(std::to_string(c.batch_size));
+  add(hexf(static_cast<double>(c.learning_rate)));
+  add(hexf(c.validation_fraction));
+  add(hexf(c.z_threshold));
+  add(std::to_string(c.seed));
+  add(std::to_string(c.threads));
+  add(std::to_string(c.offline_base_inputs));
+  add(std::to_string(c.online_base_inputs));
+  add(std::to_string(c.games));
+  add(std::to_string(c.max_retries));
+  add(hexf(static_cast<double>(c.lr_backoff)));
+  add(c.checkpoint_path);
+  return out;
+}
+
+bool decode_config(const std::string& text, core::ExperimentConfig& out) {
+  const std::vector<std::string> f = split_fields(text);
+  if (f.size() != 16) return false;
+  core::ExperimentConfig c;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  c.target = f[0];
+  if (!parse_i32(f[1], c.rounds)) return false;
+  c.arch = f[2];
+  if (!parse_i32(f[3], c.epochs)) return false;
+  if (!parse_u64(f[4], u)) return false;
+  c.batch_size = static_cast<std::size_t>(u);
+  if (!parse_f64(f[5], d)) return false;
+  c.learning_rate = static_cast<float>(d);
+  if (!parse_f64(f[6], c.validation_fraction)) return false;
+  if (!parse_f64(f[7], c.z_threshold)) return false;
+  if (!parse_u64(f[8], c.seed)) return false;
+  if (!parse_u64(f[9], u)) return false;
+  c.threads = static_cast<std::size_t>(u);
+  if (!parse_u64(f[10], u)) return false;
+  c.offline_base_inputs = static_cast<std::size_t>(u);
+  if (!parse_u64(f[11], u)) return false;
+  c.online_base_inputs = static_cast<std::size_t>(u);
+  if (!parse_u64(f[12], u)) return false;
+  c.games = static_cast<std::size_t>(u);
+  if (!parse_i32(f[13], c.max_retries)) return false;
+  if (!parse_f64(f[14], d)) return false;
+  c.lr_backoff = static_cast<float>(d);
+  c.checkpoint_path = f[15];
+  out = std::move(c);
+  return true;
+}
+
+std::string encode_train_result(const CellTrainResult& r) {
+  std::string out;
+  const auto add = [&](const std::string& field) {
+    if (!out.empty()) out += kSep;
+    out += field;
+  };
+  add(hexf(r.report.train_accuracy));
+  add(hexf(r.report.val_accuracy));
+  add(hexf(r.report.train_loss));
+  add(std::to_string(r.report.samples));
+  add(hexf(r.report.log2_data));
+  add(r.report.usable ? "1" : "0");
+  add(std::to_string(r.report.robustness.attempts));
+  add(std::to_string(r.report.robustness.divergences));
+  add(std::to_string(r.report.robustness.rollbacks));
+  add(std::to_string(r.t));
+  add(hexf(r.best_val));
+  return out;
+}
+
+bool decode_train_result(const std::string& text, CellTrainResult& out) {
+  const std::vector<std::string> f = split_fields(text);
+  if (f.size() != 11) return false;
+  CellTrainResult r;
+  std::uint64_t u = 0;
+  if (!parse_f64(f[0], r.report.train_accuracy)) return false;
+  if (!parse_f64(f[1], r.report.val_accuracy)) return false;
+  if (!parse_f64(f[2], r.report.train_loss)) return false;
+  if (!parse_u64(f[3], u)) return false;
+  r.report.samples = static_cast<std::size_t>(u);
+  if (!parse_f64(f[4], r.report.log2_data)) return false;
+  if (f[5] != "0" && f[5] != "1") return false;
+  r.report.usable = f[5] == "1";
+  if (!parse_i32(f[6], r.report.robustness.attempts)) return false;
+  if (!parse_i32(f[7], r.report.robustness.divergences)) return false;
+  if (!parse_i32(f[8], r.report.robustness.rollbacks)) return false;
+  if (!parse_u64(f[9], u)) return false;
+  r.t = static_cast<std::size_t>(u);
+  if (!parse_f64(f[10], r.best_val)) return false;
+  out = std::move(r);
+  return true;
+}
+
+const char* verdict_name(core::Verdict verdict) {
+  switch (verdict) {
+    case core::Verdict::kCipher: return "cipher";
+    case core::Verdict::kRandom: return "random";
+    case core::Verdict::kInconclusive: return "inconclusive";
+  }
+  return "unknown";
+}
+
+std::string cell_payload_json(const Cell& cell,
+                              const core::TrainReport& train,
+                              const core::OnlineReport* online) {
+  core::ExperimentConfig rendered = cell.config;
+  rendered.checkpoint_path.clear();  // execution detail, not cell identity
+  util::JsonBuilder t;
+  t.field("train_accuracy", train.train_accuracy)
+      .field("val_accuracy", train.val_accuracy)
+      .field("train_loss", train.train_loss)
+      .field("samples", train.samples)
+      .field("log2_data", train.log2_data)
+      .field("usable", train.usable)
+      .field("attempts", train.robustness.attempts)
+      .field("divergences", train.robustness.divergences)
+      .field("rollbacks", train.robustness.rollbacks);
+  util::JsonBuilder j;
+  j.field("cell", cell.id)
+      .field("index", static_cast<std::uint64_t>(cell.index))
+      .raw("config", rendered.to_json())
+      .raw("train", t.str());
+  if (online != nullptr) {
+    util::JsonBuilder o;
+    o.field("accuracy", online->accuracy)
+        .field("samples", online->samples)
+        .field("log2_data", online->log2_data)
+        .field("z_vs_random", online->z_vs_random)
+        .field("verdict", verdict_name(online->verdict));
+    j.raw("online", o.str());
+  } else {
+    j.raw("online", "null");
+  }
+  return j.str();
+}
+
+std::string cell_telemetry_json(const core::TrainReport& train,
+                                const core::OnlineReport* online) {
+  util::JsonBuilder j;
+  j.raw("collect", train.collect.to_json())
+      .raw("fit", train.fit.to_json())
+      .field("seconds_per_epoch", train.seconds_per_epoch);
+  if (online != nullptr) {
+    j.raw("online_collect", online->collect.to_json())
+        .raw("predict", online->predict.to_json());
+  }
+  return j.str();
+}
+
+}  // namespace mldist::campaign

@@ -1,0 +1,94 @@
+// Campaign grid specification (ISSUE 7): the declarative record for a full
+// target × rounds × architecture sweep, expanded into Cells — one
+// core::ExperimentConfig per grid point.
+//
+// Determinism contract: a cell's results are a pure function of its config.
+// Each cell's seed is derived from the campaign seed and the cell *index*
+// (util::derive_stream_seed, the same stream-derivation the parallel data
+// engine uses) — never from the worker that happens to run it — so any
+// sharding, any retry and any crash/recovery schedule produces bitwise
+// identical payloads.  cell_payload_json() renders only deterministic
+// fields (accuracies, sample counts, z-scores, verdicts); wall-clock
+// telemetry travels in a separate, unpinned JSON object.
+//
+// The wire codecs (encode_config/encode_train_result) exist because cells
+// cross a process boundary: the supervisor sends a cell's config to a
+// worker over a pipe and journals the worker's train result in the WAL.
+// Fields are separated by 0x1f (ASCII unit separator — cannot appear in
+// target/arch names or paths we mint) and floating-point values are
+// rendered as C99 hex-floats ("%a"), so a value decoded on the other side
+// is bit-identical to the one encoded: resumed runs cannot drift by a ULP
+// through a decimal round-trip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/distinguisher.hpp"
+#include "core/experiment.hpp"
+
+namespace mldist::campaign {
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::vector<std::string> targets;  ///< core::make_target names
+  std::vector<int> rounds;
+  std::vector<std::string> archs;
+  /// Everything the grid axes don't override (budgets, epochs, threads...).
+  core::ExperimentConfig base;
+  /// Campaign master seed; cell i runs with derive_stream_seed(seed, i).
+  std::uint64_t seed = 0xca3fa16eULL;
+};
+
+struct Cell {
+  std::size_t index = 0;  ///< position in the expanded grid
+  /// 8-hex CRC-32 of the cell config's JSON (checkpoint_path cleared, so
+  /// the id is stable across state directories): the WAL / history /
+  /// snapshot-file key for this cell.
+  std::string id;
+  core::ExperimentConfig config;
+};
+
+/// Expand the grid in row-major target > rounds > arch order, deriving each
+/// cell's seed and id.  Empty axes fall back to the base config's value.
+std::vector<Cell> expand_grid(const CampaignSpec& spec);
+
+/// The stable cell id for `config` (CRC-32 of its JSON with checkpoint_path
+/// cleared).
+std::string cell_id(const core::ExperimentConfig& config);
+
+/// ExperimentConfig <-> 0x1f-separated record with hex-float reals.
+/// decode returns false (leaving `out` unspecified) on a malformed record.
+std::string encode_config(const core::ExperimentConfig& config);
+bool decode_config(const std::string& text, core::ExperimentConfig& out);
+
+/// The deterministic outcome of a cell's offline phase, as journaled after
+/// the worker snapshots its trained model: enough to adopt_train_report()
+/// in a different process and rerun only the online phase.
+struct CellTrainResult {
+  core::TrainReport report;  ///< telemetry/timing fields are not carried
+  std::size_t t = 0;         ///< class count the report was produced with
+  double best_val = 0.0;     ///< checkpoint manager's recorded best
+};
+
+std::string encode_train_result(const CellTrainResult& result);
+bool decode_train_result(const std::string& text, CellTrainResult& out);
+
+/// The pinned per-cell result object: deterministic fields only, config
+/// rendered with checkpoint_path cleared.  Bitwise identical across worker
+/// counts, retries and crash/resume schedules.  `online` may be null (cell
+/// trained but was not usable, so Algorithm 2 aborted before the online
+/// phase).
+std::string cell_payload_json(const Cell& cell,
+                              const core::TrainReport& train,
+                              const core::OnlineReport* online);
+
+/// The unpinned sidecar: wall-clock/throughput telemetry of this particular
+/// execution of the cell.
+std::string cell_telemetry_json(const core::TrainReport& train,
+                                const core::OnlineReport* online);
+
+const char* verdict_name(core::Verdict verdict);
+
+}  // namespace mldist::campaign

@@ -35,8 +35,16 @@ class CheckpointManager {
   explicit CheckpointManager(std::string path) : path_(std::move(path)) {}
 
   /// Snapshot `model` when `val_accuracy` beats the best seen so far
-  /// (atomic tmp-file + rename).  Returns true when a snapshot was written.
+  /// (fsync'd tmp-file + atomic rename + directory fsync, so the snapshot
+  /// survives a power cut as well as a crash).  Returns true when a
+  /// snapshot was written.
   bool update(nn::Sequential& model, double val_accuracy);
+
+  /// Mark an existing on-disk snapshot at path() as valid without writing
+  /// anything, recording `recorded_best` as its validation accuracy.  Used
+  /// by campaign resume: a relaunched worker adopts the snapshot a killed
+  /// predecessor left behind, then restore()s from it.
+  void adopt(double recorded_best = 0.0) { best_ = recorded_best; }
 
   bool has_checkpoint() const { return best_ >= 0.0; }
   double best_val_accuracy() const { return best_; }
@@ -48,6 +56,14 @@ class CheckpointManager {
 
   /// Delete the checkpoint file (best-effort; keeps the recorded best).
   void remove_file() const;
+
+  /// Retention GC for long campaigns: delete all files under `dir` whose
+  /// names end in `suffix`, keeping the `keep_newest` most recently
+  /// modified.  Stray ".tmp" siblings of deleted files go too.  Returns the
+  /// number of files removed; best-effort (unreadable dirs count as empty).
+  static std::size_t gc_directory(const std::string& dir,
+                                  const std::string& suffix,
+                                  std::size_t keep_newest);
 
  private:
   std::string path_;

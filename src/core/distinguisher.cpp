@@ -332,4 +332,11 @@ Verdict MLDistinguisher::decide(double online_accuracy,
   return Verdict::kInconclusive;
 }
 
+void MLDistinguisher::adopt_train_report(const TrainReport& report,
+                                         std::size_t t) {
+  train_report_ = report;
+  t_ = t;
+  baseline_.reset();
+}
+
 }  // namespace mldist::core

@@ -124,6 +124,14 @@ class MLDistinguisher {
   /// Decision rule given the recorded training accuracy.
   Verdict decide(double online_accuracy, std::size_t online_samples) const;
 
+  /// Campaign snapshot-resume path: install a previously recorded train
+  /// report (and the class count `t` it was produced with) without running
+  /// train().  The caller is responsible for restoring the matching model
+  /// parameters (core::CheckpointManager snapshot) first; test()/decide()
+  /// then behave exactly as if this process had trained the model itself.
+  /// Clears any degraded-baseline state.
+  void adopt_train_report(const TrainReport& report, std::size_t t);
+
   nn::Sequential& model() { return *model_; }
   const TrainReport& last_train() const { return train_report_; }
   /// True when training exhausted its retries and the online phase now runs

@@ -149,6 +149,17 @@ void Logger::flush() {
   drain_locked();
 }
 
+void Logger::signal_drain() noexcept {
+  if (!sink_mutex_.try_lock()) return;
+  try {
+    drain_locked();
+  } catch (...) {
+    // fwrite/fflush do not throw; swallow anything exotic — a signal
+    // handler must not let an exception escape.
+  }
+  sink_mutex_.unlock();
+}
+
 void Logger::drain_locked() {
   std::FILE* out = sink_ != nullptr ? sink_ : stderr;
   bool wrote = false;

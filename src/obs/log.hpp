@@ -76,6 +76,13 @@ class Logger {
   /// contending callers fall through (the holder drains their records).
   void flush();
 
+  /// Best-effort drain for signal handlers: try-lock only (a handler that
+  /// interrupted the drain holder must not deadlock on sink_mutex_), never
+  /// throws, never allocates on the no-records path.  A SIGTERM'd worker
+  /// gets its buffered warn/error records onto the sink before dying; if
+  /// the lock is contended the records were being drained anyway.
+  void signal_drain() noexcept;
+
   /// Records discarded because the ring was full.
   std::uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);

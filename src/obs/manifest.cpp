@@ -90,11 +90,23 @@ RunStatus& RunStatus::global() {
   return status;
 }
 
+void RunStatus::set_detail_provider(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(detail_mutex_);
+  detail_ = std::move(provider);
+}
+
 std::string RunStatus::to_json() const {
+  // Copy the provider under the lock, call it outside: a slow provider (or
+  // one taking its own locks) must not stall set_detail_provider.
+  std::function<std::string()> provider;
+  {
+    std::lock_guard<std::mutex> lock(detail_mutex_);
+    provider = detail_;
+  }
   util::JsonBuilder j;
-  j.field("phase", phase())
-      .field("epoch", epoch())
-      .raw("manifest", RunManifest::current().to_json());
+  j.field("phase", phase()).field("epoch", epoch());
+  if (provider) j.raw("detail", provider());
+  j.raw("manifest", RunManifest::current().to_json());
   return j.str();
 }
 

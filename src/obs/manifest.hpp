@@ -23,6 +23,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -62,12 +64,22 @@ class RunStatus {
   const char* phase() const { return phase_.load(std::memory_order_relaxed); }
   int epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
-  /// {"phase":"fit","epoch":3,"manifest":{...}}
+  /// Attach a callback whose pre-rendered JSON object is embedded as the
+  /// "detail" key of to_json() — the campaign supervisor uses it to fold
+  /// per-worker lease/progress state into /runz.  Pass nullptr (or an empty
+  /// function) to detach.  The provider must return a complete JSON value;
+  /// it is invoked outside the registration lock, so it may itself take
+  /// locks (but must not call back into RunStatus).
+  void set_detail_provider(std::function<std::string()> provider);
+
+  /// {"phase":"fit","epoch":3,"detail":{...},"manifest":{...}}
   std::string to_json() const;
 
  private:
   std::atomic<const char*> phase_{"idle"};
   std::atomic<int> epoch_{0};
+  mutable std::mutex detail_mutex_;  ///< guards detail_
+  std::function<std::string()> detail_;
 };
 
 }  // namespace mldist::obs

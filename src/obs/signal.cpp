@@ -1,0 +1,54 @@
+#include "obs/signal.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
+
+namespace mldist::obs {
+
+namespace {
+
+std::atomic<bool> interrupted{false};
+std::atomic<bool> exit_on_signal{true};
+std::atomic<bool> installed{false};
+
+void on_interrupt(int sig) {
+  interrupted.store(true, std::memory_order_relaxed);
+  // String literal: RunStatus stores phases by pointer, which is the only
+  // async-signal-safe way to update it.
+  RunStatus::global().set_phase("interrupted");
+  Logger::global().signal_drain();
+  if (!exit_on_signal.load(std::memory_order_relaxed)) return;
+  // Re-raise under the default disposition so the process dies with the
+  // conventional "killed by signal" wait status — the campaign supervisor
+  // (and shells) distinguish that from a normal exit code.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void install_interrupt_handlers(bool exit_immediately) {
+  exit_on_signal.store(exit_immediately, std::memory_order_relaxed);
+  if (installed.exchange(true)) return;
+  // Force the logger singleton into existence now: the handler must never
+  // be the first caller of Logger::global() (static-init under a signal).
+  Logger::global();
+  struct sigaction sa = {};
+  sa.sa_handler = on_interrupt;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: poll/read in cooperative loops wake up
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+bool interrupt_requested() {
+  return interrupted.load(std::memory_order_relaxed);
+}
+
+void clear_interrupt() { interrupted.store(false, std::memory_order_relaxed); }
+
+}  // namespace mldist::obs

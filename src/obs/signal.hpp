@@ -1,0 +1,38 @@
+// SIGTERM/SIGINT handling for entry points (ISSUE 7 satellite): a killed
+// worker or an operator's Ctrl-C must not lose buffered warn/error log
+// records or leave /runz claiming the run is still mid-phase.
+//
+// Two modes:
+//
+//  * exit_immediately = true (train/test/bench entry points): the handler
+//    stamps RunStatus phase "interrupted", best-effort drains the logger
+//    ring (Logger::signal_drain — try-lock, so a handler that interrupted
+//    the drain holder cannot deadlock), then re-raises the signal under the
+//    default disposition so the exit status still says "killed by SIGTERM"
+//    to whoever is waiting on the process (the campaign supervisor keys
+//    reclaim decisions off that status).
+//
+//  * exit_immediately = false (the campaign supervisor): the handler only
+//    sets a flag; the supervisor's poll loop observes interrupt_requested()
+//    and performs a cooperative shutdown — journal an "interrupted" WAL
+//    record, drain workers, release the state-dir lock — which a handler
+//    could never do safely itself.
+//
+// Handlers are installed at most once per process; a second install call
+// just switches the mode flag.
+#pragma once
+
+namespace mldist::obs {
+
+/// Install SIGTERM + SIGINT handlers (see file comment for the two modes).
+void install_interrupt_handlers(bool exit_immediately);
+
+/// True once a SIGTERM/SIGINT arrived (either mode).  Cooperative loops
+/// poll this.
+bool interrupt_requested();
+
+/// Testing/CLI hook: reset the interrupt flag (e.g. between cooperative
+/// campaign runs in one test binary).
+void clear_interrupt();
+
+}  // namespace mldist::obs

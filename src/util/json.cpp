@@ -1,10 +1,14 @@
 #include "util/json.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
-#include <fstream>
 
 namespace mldist::util {
 
@@ -97,26 +101,103 @@ std::string JsonBuilder::quote(const std::string& s) {
   return out + "\"";
 }
 
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// write(2) all of `data` to `fd`, retrying EINTR and short writes.
+bool write_fd_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool fsync_fd(int fd) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  // Some filesystems reject fsync on directories; treat EINVAL as a no-op
+  // rather than a durability failure the caller can do anything about.
+  return rc == 0 || errno == EINVAL;
+}
+
+}  // namespace
+
+bool fsync_file(const std::string& path, std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "fsync_file: cannot open " + path + ": " + errno_text();
+    }
+    return false;
+  }
+  const bool ok = fsync_fd(fd);
+  if (!ok && error != nullptr) {
+    *error = "fsync_file: fsync " + path + ": " + errno_text();
+  }
+  ::close(fd);
+  return ok;
+}
+
+bool fsync_parent_dir(const std::string& path, std::string* error) {
+  const std::filesystem::path p(path);
+  std::string dir = p.has_parent_path() ? p.parent_path().string() : ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "fsync_parent_dir: cannot open " + dir + ": " + errno_text();
+    }
+    return false;
+  }
+  const bool ok = fsync_fd(fd);
+  if (!ok && error != nullptr) {
+    *error = "fsync_parent_dir: fsync " + dir + ": " + errno_text();
+  }
+  ::close(fd);
+  return ok;
+}
+
 WriteResult write_json_file(const std::string& path, const std::string& json) {
   const std::filesystem::path p(path);
   std::error_code ec;
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path(), ec);
-  // Atomic publish (the CheckpointManager pattern): write the payload to a
-  // sibling tmp file, then rename over the destination.  Readers and a
-  // crashed writer both see either the old artifact or the new one — never
-  // a truncated-in-place file.
+  // Durable atomic publish (the CheckpointManager pattern): write the
+  // payload to a sibling tmp file, fsync it so the bytes are on stable
+  // storage *before* the rename makes them visible, rename over the
+  // destination, then fsync the directory so the rename itself survives a
+  // power cut.  Readers and a crashed writer both see either the old
+  // artifact or the new one — never a truncated or empty file.
   const std::string tmp = path + ".tmp";
   {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      return {"write_json_file: cannot open " + tmp + " for writing"};
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return {"write_json_file: cannot open " + tmp +
+              " for writing: " + errno_text()};
     }
-    out << json << "\n";
-    out.flush();
-    if (!out) {
+    const std::string payload = json + "\n";
+    if (!write_fd_all(fd, payload.data(), payload.size())) {
+      const std::string why = errno_text();
+      ::close(fd);
       std::filesystem::remove(tmp, ec);
-      return {"write_json_file: write to " + tmp + " failed"};
+      return {"write_json_file: write to " + tmp + " failed: " + why};
     }
+    if (!fsync_fd(fd)) {
+      const std::string why = errno_text();
+      ::close(fd);
+      std::filesystem::remove(tmp, ec);
+      return {"write_json_file: fsync " + tmp + " failed: " + why};
+    }
+    ::close(fd);
   }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
@@ -124,6 +205,7 @@ WriteResult write_json_file(const std::string& path, const std::string& json) {
     return {"write_json_file: rename " + tmp + " -> " + path +
             " failed: " + ec.message()};
   }
+  fsync_parent_dir(path);  // best-effort: the rename is already atomic
   return {};
 }
 
@@ -133,13 +215,27 @@ WriteResult append_jsonl(const std::string& path, const std::string& line) {
   if (p.has_parent_path()) {
     std::filesystem::create_directories(p.parent_path(), ec);
   }
-  std::ofstream out(path, std::ios::app);
-  if (!out) {
-    return {"append_jsonl: cannot open " + path + " for append"};
+  // O_APPEND + one write(2) per record: POSIX guarantees the offset seek
+  // and the write are one atomic step, so records from concurrent
+  // processes (campaign workers, the supervisor, bench runs) land whole —
+  // lines never interleave mid-record.  Pipe-style short writes cannot
+  // split a record either: regular-file writes of this size complete in
+  // one syscall, and the EINTR/short-write loop below only re-enters for
+  // signals, each retry still appending contiguously at EOF only if the
+  // first write wrote nothing.
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return {"append_jsonl: cannot open " + path +
+            " for append: " + errno_text()};
   }
-  out << line << "\n";
-  out.flush();
-  if (!out) return {"append_jsonl: write to " + path + " failed"};
+  const std::string record = line + "\n";
+  if (!write_fd_all(fd, record.data(), record.size())) {
+    const std::string why = errno_text();
+    ::close(fd);
+    return {"append_jsonl: write to " + path + " failed: " + why};
+  }
+  ::close(fd);
   return {};
 }
 

@@ -50,17 +50,29 @@ struct WriteResult {
 };
 
 /// Write `json` to `path` (one line, trailing newline), creating parent
-/// directories.  Crash-safe: the payload goes to "<path>.tmp" and is
-/// atomically renamed over `path` (the tmp+rename pattern of
-/// core::CheckpointManager), so a crash mid-write leaves the previous
-/// artifact — never a torn results/BENCH_*.json.
+/// directories.  Crash-safe: the payload goes to "<path>.tmp", is fsync'd,
+/// and is atomically renamed over `path` (the tmp+rename pattern of
+/// core::CheckpointManager) with the parent directory fsync'd after the
+/// rename — a crash or power loss mid-write leaves the previous artifact,
+/// never a torn or vanished results/BENCH_*.json.
 WriteResult write_json_file(const std::string& path, const std::string& json);
 
-/// Append one line to a JSONL file (results/history.jsonl), creating parent
-/// directories.  Append is atomic enough for single-writer run logs (one
-/// fwrite + flush per line); the tmp+rename dance would clobber earlier
+/// Append one line to a JSONL file (results/history.jsonl, the campaign
+/// WAL), creating parent directories.  Multi-process safe: the file is
+/// opened with O_APPEND and the record (line + '\n') is issued as a single
+/// write(2), so concurrent workers appending to the same history never
+/// interleave partial lines — every line in the file is one complete
+/// record from one writer.  The tmp+rename dance would clobber earlier
 /// lines, which is exactly wrong for an append-only history.
 WriteResult append_jsonl(const std::string& path, const std::string& line);
+
+/// fsync `path`'s contents to stable storage.  Returns false (with errno
+/// text in `error` when non-null) on failure.  Durable-write helper shared
+/// by write_json_file and core::CheckpointManager.
+bool fsync_file(const std::string& path, std::string* error = nullptr);
+
+/// fsync the directory containing `path`, making a rename into it durable.
+bool fsync_parent_dir(const std::string& path, std::string* error = nullptr);
 
 /// Minimal well-formedness validator for the JSON this repo emits (bench
 /// artifacts, telemetry records, trace files): objects, arrays, strings

@@ -1,0 +1,184 @@
+#include "util/process.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace mldist::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Pipe make_pipe(bool parent_keeps_read) {
+  int fds[2];
+  if (::pipe(fds) != 0) throw_errno("make_pipe: pipe");
+  Pipe p{fds[0], fds[1]};
+  const int parent_end = parent_keeps_read ? p.read_fd : p.write_fd;
+  if (::fcntl(parent_end, F_SETFD, FD_CLOEXEC) != 0) {
+    throw_errno("make_pipe: fcntl(FD_CLOEXEC)");
+  }
+  return p;
+}
+
+void set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0) throw_errno("set_nonblocking: fcntl(F_GETFL)");
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) != 0) {
+    throw_errno("set_nonblocking: fcntl(F_SETFL)");
+  }
+}
+
+void close_fd(int fd) {
+  if (fd < 0) return;
+  // POSIX leaves the fd state unspecified after EINTR from close; Linux
+  // always closes it, so do not retry (a retry could close a reused fd).
+  ::close(fd);
+}
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) throw_errno("self_exe_path: readlink(/proc/self/exe)");
+  buf[n] = '\0';
+  return buf;
+}
+
+pid_t spawn_process(const std::vector<std::string>& argv) {
+  if (argv.empty()) throw std::invalid_argument("spawn_process: empty argv");
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) throw_errno("spawn_process: fork");
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    // Only reached when exec failed; _exit (not exit) so no atexit handlers
+    // of the half-copied parent image run.
+    ::_exit(127);
+  }
+  return pid;
+}
+
+namespace {
+
+ChildStatus decode_wait(pid_t rc, int status) {
+  if (rc == 0) return {ChildState::kRunning, 0};
+  if (rc < 0) return {ChildState::kLost, 0};
+  if (WIFEXITED(status)) return {ChildState::kExited, WEXITSTATUS(status)};
+  if (WIFSIGNALED(status)) return {ChildState::kSignaled, WTERMSIG(status)};
+  return {ChildState::kRunning, 0};  // stopped/continued: not a termination
+}
+
+}  // namespace
+
+ChildStatus poll_child(pid_t pid) {
+  int status = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(pid, &status, WNOHANG);
+  } while (rc < 0 && errno == EINTR);
+  return decode_wait(rc, status);
+}
+
+ChildStatus wait_child(pid_t pid) {
+  int status = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(pid, &status, 0);
+  } while (rc < 0 && errno == EINTR);
+  return decode_wait(rc, status);
+}
+
+bool kill_process(pid_t pid, int sig) {
+  return ::kill(pid, sig) == 0;
+}
+
+bool read_available(int fd, std::string& buf) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      buf.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // EOF: peer closed
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    return false;  // treat hard read errors like EOF: the peer is gone
+  }
+}
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+FileLock::~FileLock() { release(); }
+
+FileLock::FileLock(FileLock&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool FileLock::acquire(const std::string& path, std::string* error) {
+  release();
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "FileLock: cannot open " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    if (error != nullptr) {
+      *error = errno == EWOULDBLOCK
+                   ? "FileLock: " + path + " is held by another process"
+                   : "FileLock: flock " + path + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+void FileLock::release() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace mldist::util

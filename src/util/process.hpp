@@ -1,0 +1,117 @@
+// Process-level primitives for the sharded campaign runner (ISSUE 7):
+// spawn/wait/kill wrappers around fork+exec, inheritable pipes, and
+// advisory file locks.
+//
+// The supervisor (src/campaign) shards experiment cells over worker
+// *processes* so a SIGKILL'd, SIGSEGV'd or hung worker can never take the
+// campaign down with it.  Workers are always spawned fresh via
+// fork+exec of the caller's own binary (self_exe_path) rather than plain
+// fork: a bare fork of a process that already started thread-pool, logger
+// or metrics-server threads inherits their locked mutexes in an
+// unrunnable state, while exec gives every worker a clean single-threaded
+// address space.
+//
+// Everything here is Linux/POSIX; the repo's platform contract (ROADMAP)
+// is Linux.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mldist::util {
+
+/// One unidirectional pipe.  `close_cloexec_end` marks which end stays in
+/// the parent: that end gets FD_CLOEXEC so other spawned workers never
+/// inherit it (a worker holding a sibling's status-pipe write end would
+/// keep that pipe from ever reporting EOF).
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+};
+
+/// Create a pipe.  `parent_keeps_read` selects which end is marked
+/// FD_CLOEXEC (the parent-kept end); the other end is inheritable by
+/// exec'd children.  Throws std::runtime_error on failure.
+Pipe make_pipe(bool parent_keeps_read);
+
+/// Set/clear O_NONBLOCK on `fd`.  Throws std::runtime_error on failure.
+void set_nonblocking(int fd, bool nonblocking);
+
+/// Close `fd` if it is >= 0 (EINTR-safe, idempotent via the -1 guard when
+/// the caller resets its copy).
+void close_fd(int fd);
+
+/// Absolute path of the running executable (readlink /proc/self/exe).
+/// Throws std::runtime_error when unresolvable.
+std::string self_exe_path();
+
+/// fork + execv `argv` (argv[0] is the binary path).  File descriptors
+/// without FD_CLOEXEC are inherited — the campaign protocol passes pipe fd
+/// numbers as command-line arguments.  Returns the child pid; throws
+/// std::runtime_error when fork fails.  An exec failure surfaces as the
+/// child exiting with status 127.
+pid_t spawn_process(const std::vector<std::string>& argv);
+
+/// Child state as seen by waitpid.
+enum class ChildState {
+  kRunning,   ///< still alive
+  kExited,    ///< exited; `code` is the exit status
+  kSignaled,  ///< killed by a signal; `code` is the signal number
+  kLost,      ///< waitpid failed (ECHILD — already reaped elsewhere)
+};
+
+struct ChildStatus {
+  ChildState state = ChildState::kRunning;
+  int code = 0;
+};
+
+/// Non-blocking waitpid(WNOHANG): reaps and reports a finished child,
+/// kRunning otherwise.
+ChildStatus poll_child(pid_t pid);
+
+/// Blocking waitpid.  Returns kLost when the child was already reaped.
+ChildStatus wait_child(pid_t pid);
+
+/// kill(2) wrapper; returns false when the process no longer exists.
+bool kill_process(pid_t pid, int sig);
+
+/// Append whatever is currently readable on `fd` (which should be
+/// O_NONBLOCK) to `buf`.  Returns false once the peer closed the pipe
+/// (EOF); true while the pipe is still open (including "nothing available
+/// right now").
+bool read_available(int fd, std::string& buf);
+
+/// Write all of `data` to `fd`, retrying on EINTR / partial writes.
+/// Returns false on EPIPE or any other write error (callers treat a
+/// vanished peer as a normal shutdown signal, not an exception).
+bool write_all(int fd, std::string_view data);
+
+/// Advisory exclusive lock on `path` (O_CREAT + flock LOCK_EX|LOCK_NB),
+/// used to keep two supervisors off the same campaign state directory.
+/// Destroying the object releases the lock.  A default-constructed or
+/// failed lock is !held().
+class FileLock {
+ public:
+  FileLock() = default;
+  ~FileLock();
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+
+  /// Try to take the lock.  Returns false (with `error` filled when
+  /// non-null) if another process holds it or the file cannot be opened.
+  bool acquire(const std::string& path, std::string* error = nullptr);
+  void release();
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace mldist::util

@@ -1,0 +1,612 @@
+// Campaign subsystem tests (ISSUE 7, -L fault): append_jsonl multi-process
+// atomicity, grid expansion determinism, the 0x1f wire codecs, WAL replay,
+// sharded-vs-serial bitwise payload equality, chaos SIGKILL recovery, the
+// heartbeat watchdog, diverged-cell graceful degradation, supervisor
+// resume, checkpoint GC and the /runz detail provider.
+//
+// This binary doubles as its own campaign worker: main() calls
+// campaign::worker_entry first, exactly like mldist_cli, so the Supervisor
+// can exec copies of the test executable.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/journal.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/supervisor.hpp"
+#include "campaign/worker.hpp"
+#include "core/checkpoint.hpp"
+#include "core/experiment.hpp"
+#include "obs/manifest.hpp"
+#include "util/json.hpp"
+#include "util/process.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mldist;
+
+// --- helpers ---------------------------------------------------------------
+
+/// Fresh private directory under the system temp dir; removed on scope exit.
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    static int counter = 0;
+    path_ = (std::filesystem::temp_directory_path() /
+             ("mldist-campaign-" + std::to_string(::getpid()) + "-" +
+              std::to_string(counter++) + "-" + tag))
+                .string();
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// setenv on construction, unsetenv on destruction — chaos knobs must never
+/// leak into the next test (or into a serial reference run).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+/// A grid of `cells` toy-target cells sized for sub-second training.
+campaign::CampaignSpec tiny_spec(int cells) {
+  campaign::CampaignSpec spec;
+  spec.name = "test-campaign";
+  spec.targets = {"toy"};
+  spec.archs = {"default-mlp"};
+  spec.rounds.clear();
+  for (int r = 1; r <= cells; ++r) spec.rounds.push_back(r);
+  spec.base.epochs = 2;
+  spec.base.batch_size = 64;
+  spec.base.threads = 1;
+  spec.base.offline_base_inputs = 300;
+  spec.base.online_base_inputs = 150;
+  spec.base.max_retries = 1;
+  spec.seed = 0xc0ffee;
+  return spec;
+}
+
+campaign::SupervisorOptions options_for(const TempDir& dir,
+                                        std::size_t workers) {
+  campaign::SupervisorOptions opt;
+  opt.state_dir = dir.path();
+  opt.workers = workers;
+  opt.backoff_base_s = 0.02;  // fast retries: these are tests
+  opt.backoff_cap_s = 0.1;
+  opt.poll_interval_s = 0.01;
+  return opt;
+}
+
+/// history.jsonl as {cell id -> verbatim payload object bytes}.
+std::map<std::string, std::string> read_history(const std::string& state_dir) {
+  std::map<std::string, std::string> out;
+  std::ifstream in(state_dir + "/history.jsonl");
+  std::string line;
+  while (in && std::getline(in, line)) {
+    std::string id;
+    std::string payload;
+    if (campaign::extract_json_string(line, "cell", id) &&
+        campaign::extract_json_object(line, "payload", payload)) {
+      out[id] = payload;
+    }
+  }
+  return out;
+}
+
+std::size_t count_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::size_t n = 0;
+  while (in && std::getline(in, line)) ++n;
+  return n;
+}
+
+/// Uninterrupted single-process reference run: the bitwise ground truth the
+/// sharded and chaos campaigns are compared against.
+std::map<std::string, std::string> serial_reference(
+    const campaign::CampaignSpec& spec, const TempDir& dir) {
+  campaign::Supervisor sup(spec, options_for(dir, /*workers=*/0));
+  const campaign::CampaignReport rep = sup.run();
+  EXPECT_TRUE(rep.complete());
+  EXPECT_EQ(rep.cells_failed, 0u);
+  return read_history(dir.path());
+}
+
+// --- util::append_jsonl under multi-process concurrency --------------------
+
+TEST(AppendJsonl, MultiProcessStressKeepsLinesWhole) {
+  TempDir dir("jsonl");
+  const std::string path = dir.path() + "/stress.jsonl";
+  constexpr int kWriters = 4;
+  constexpr int kLines = 200;
+  // Payload long enough that a torn write(2) would interleave visibly.
+  const std::string pad(128, 'x');
+
+  std::vector<pid_t> children;
+  for (int w = 0; w < kWriters; ++w) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: nothing but open/write/close syscalls — fork-safe.
+      for (int n = 0; n < kLines; ++n) {
+        util::JsonBuilder j;
+        j.field("w", static_cast<std::uint64_t>(w))
+            .field("n", static_cast<std::uint64_t>(n))
+            .field("pad", pad);
+        if (!util::append_jsonl(path, j.str())) ::_exit(2);
+      }
+      ::_exit(0);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+
+  // Every line must be whole (valid JSON, full pad) and every (w, n) pair
+  // must appear exactly once — no torn or interleaved records.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string err;
+    ASSERT_TRUE(util::json_validate(line, &err)) << err << "\n" << line;
+    std::uint64_t w = 0;
+    std::uint64_t n = 0;
+    std::string got_pad;
+    ASSERT_TRUE(campaign::extract_json_u64(line, "w", w));
+    ASSERT_TRUE(campaign::extract_json_u64(line, "n", n));
+    ASSERT_TRUE(campaign::extract_json_string(line, "pad", got_pad));
+    ASSERT_EQ(got_pad, pad);
+    ASSERT_TRUE(seen.emplace(w, n).second) << "duplicate " << w << "," << n;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kWriters) * kLines);
+}
+
+// --- grid expansion --------------------------------------------------------
+
+TEST(CampaignSpec, GridExpansionIsDeterministic) {
+  campaign::CampaignSpec spec = tiny_spec(3);
+  spec.targets = {"toy", "speck"};
+  const std::vector<campaign::Cell> a = campaign::expand_grid(spec);
+  const std::vector<campaign::Cell> b = campaign::expand_grid(spec);
+  ASSERT_EQ(a.size(), 6u);
+  ASSERT_EQ(a.size(), b.size());
+  std::set<std::string> ids;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, i);
+    EXPECT_EQ(a[i].id, b[i].id);
+    // The cell's stream is derived from (campaign seed, cell index) — never
+    // from whichever worker happens to run it.
+    EXPECT_EQ(a[i].config.seed, util::derive_stream_seed(spec.seed, i));
+    ids.insert(a[i].id);
+  }
+  EXPECT_EQ(ids.size(), a.size()) << "cell ids must be unique across the grid";
+}
+
+TEST(CampaignSpec, CellIdIgnoresCheckpointPath) {
+  core::ExperimentConfig config;
+  const std::string bare = campaign::cell_id(config);
+  config.checkpoint_path = "/somewhere/else/state.ckpt";
+  EXPECT_EQ(campaign::cell_id(config), bare);
+  config.rounds += 1;
+  EXPECT_NE(campaign::cell_id(config), bare);
+}
+
+// --- wire codecs -----------------------------------------------------------
+
+TEST(CampaignCodec, ConfigRoundTripsBitwise) {
+  core::ExperimentConfig c;
+  c.target = "gimli-hash";
+  c.rounds = 9;
+  c.arch = "MLP II";
+  c.epochs = 7;
+  c.batch_size = 96;
+  c.learning_rate = 1e-3f;
+  c.validation_fraction = 0.1;  // not exactly representable: the hex-float
+  c.z_threshold = std::nextafter(3.0, 4.0);  // codec must not round it
+  c.seed = 0xdeadbeefcafef00dULL;
+  c.threads = 3;
+  c.offline_base_inputs = 4321;
+  c.online_base_inputs = 1234;
+  c.games = 5;
+  c.max_retries = 2;
+  c.lr_backoff = 0.3f;
+  c.checkpoint_path = "/tmp/cell.ckpt";
+
+  const std::string wire = campaign::encode_config(c);
+  core::ExperimentConfig d;
+  ASSERT_TRUE(campaign::decode_config(wire, d));
+  EXPECT_EQ(d.target, c.target);
+  EXPECT_EQ(d.rounds, c.rounds);
+  EXPECT_EQ(d.arch, c.arch);
+  EXPECT_EQ(d.epochs, c.epochs);
+  EXPECT_EQ(d.batch_size, c.batch_size);
+  EXPECT_EQ(d.learning_rate, c.learning_rate);
+  EXPECT_EQ(d.validation_fraction, c.validation_fraction);
+  EXPECT_EQ(d.z_threshold, c.z_threshold);
+  EXPECT_EQ(d.seed, c.seed);
+  EXPECT_EQ(d.threads, c.threads);
+  EXPECT_EQ(d.offline_base_inputs, c.offline_base_inputs);
+  EXPECT_EQ(d.online_base_inputs, c.online_base_inputs);
+  EXPECT_EQ(d.games, c.games);
+  EXPECT_EQ(d.max_retries, c.max_retries);
+  EXPECT_EQ(d.lr_backoff, c.lr_backoff);
+  EXPECT_EQ(d.checkpoint_path, c.checkpoint_path);
+  // Bitwise stability: re-encoding the decoded config is a fixed point.
+  EXPECT_EQ(campaign::encode_config(d), wire);
+
+  EXPECT_FALSE(campaign::decode_config("", d));
+  EXPECT_FALSE(campaign::decode_config("toy\x1f" "2", d));
+}
+
+TEST(CampaignCodec, TrainResultRoundTripsBitwise) {
+  campaign::CellTrainResult r;
+  r.report.train_accuracy = 0.987654321;
+  r.report.val_accuracy = std::nextafter(0.75, 1.0);
+  r.report.train_loss = 0.0123456789;
+  r.report.samples = 12000;
+  r.report.log2_data = 13.551;
+  r.report.usable = true;
+  r.report.robustness.attempts = 2;
+  r.report.robustness.divergences = 1;
+  r.report.robustness.rollbacks = 1;
+  r.t = 2;
+  r.best_val = r.report.val_accuracy;
+
+  const std::string wire = campaign::encode_train_result(r);
+  campaign::CellTrainResult d;
+  ASSERT_TRUE(campaign::decode_train_result(wire, d));
+  EXPECT_EQ(d.report.train_accuracy, r.report.train_accuracy);
+  EXPECT_EQ(d.report.val_accuracy, r.report.val_accuracy);
+  EXPECT_EQ(d.report.train_loss, r.report.train_loss);
+  EXPECT_EQ(d.report.samples, r.report.samples);
+  EXPECT_EQ(d.report.log2_data, r.report.log2_data);
+  EXPECT_EQ(d.report.usable, r.report.usable);
+  EXPECT_EQ(d.report.robustness.attempts, r.report.robustness.attempts);
+  EXPECT_EQ(d.report.robustness.divergences, r.report.robustness.divergences);
+  EXPECT_EQ(d.report.robustness.rollbacks, r.report.robustness.rollbacks);
+  EXPECT_EQ(d.t, r.t);
+  EXPECT_EQ(d.best_val, r.best_val);
+  EXPECT_EQ(campaign::encode_train_result(d), wire);
+
+  EXPECT_FALSE(campaign::decode_train_result("not a record", d));
+}
+
+// --- WAL field extraction + replay ----------------------------------------
+
+TEST(CampaignJournal, ExtractsStringsNumbersAndObjects) {
+  const std::string line =
+      R"({"event":"done","cell":"ab12cd34","index":7,)"
+      R"("note":"tab\there é","payload":{"cell":"ab12cd34",)"
+      R"("nested":{"s":"a}b{"},"n":3},"telemetry":null})";
+  std::string s;
+  ASSERT_TRUE(campaign::extract_json_string(line, "event", s));
+  EXPECT_EQ(s, "done");
+  ASSERT_TRUE(campaign::extract_json_string(line, "note", s));
+  EXPECT_EQ(s, "tab\there \xc3\xa9");
+  std::uint64_t n = 0;
+  ASSERT_TRUE(campaign::extract_json_u64(line, "index", n));
+  EXPECT_EQ(n, 7u);
+  std::string obj;
+  ASSERT_TRUE(campaign::extract_json_object(line, "payload", obj));
+  // Verbatim bytes, braces balanced through nested objects and strings
+  // containing brace characters.
+  EXPECT_EQ(obj,
+            R"({"cell":"ab12cd34","nested":{"s":"a}b{"},"n":3})");
+  EXPECT_FALSE(campaign::extract_json_string(line, "absent", s));
+  EXPECT_FALSE(campaign::extract_json_u64(line, "cell", n));
+  EXPECT_FALSE(campaign::extract_json_object(line, "telemetry", obj));
+}
+
+TEST(CampaignJournal, ReplayAppliesLaterRecordsOverEarlier) {
+  TempDir dir("journal");
+  const std::string path = dir.path() + "/campaign.state.jsonl";
+  const auto put = [&](const std::string& line) {
+    ASSERT_TRUE(util::append_jsonl(path, line));
+  };
+  put(R"({"event":"start","campaign":"t","cells":3})");
+  put(R"({"event":"lease","cell":"aaaa","index":0,"attempt":1,"worker":11})");
+  put(R"({"event":"trained","cell":"aaaa","index":0,"train":"rec-a"})");
+  put(R"({"event":"failed","cell":"bbbb","index":1,"attempts":4,)"
+      R"("reason":"diverged"})");
+  put(R"({"event":"done","cell":"cccc","index":2,"payload":{"cell":"cccc"},)"
+      R"("telemetry":{"x":1}})");
+  // A later "done" supersedes both the trained record and a failed verdict.
+  put(R"({"event":"done","cell":"aaaa","index":0,"payload":{"cell":"aaaa"},)"
+      R"("telemetry":null})");
+
+  const campaign::JournalState state = campaign::replay_journal(path);
+  EXPECT_TRUE(state.saw_start);
+  EXPECT_EQ(state.done_payload.size(), 2u);
+  EXPECT_EQ(state.done_payload.at("aaaa"), R"({"cell":"aaaa"})");
+  EXPECT_EQ(state.done_payload.at("cccc"), R"({"cell":"cccc"})");
+  EXPECT_EQ(state.done_telemetry.at("cccc"), R"({"x":1})");
+  EXPECT_TRUE(state.trained.empty());
+  EXPECT_EQ(state.failed.count("bbbb"), 1u);
+
+  const campaign::JournalState missing =
+      campaign::replay_journal(dir.path() + "/nope.jsonl");
+  EXPECT_FALSE(missing.saw_start);
+  EXPECT_TRUE(missing.done_payload.empty());
+}
+
+// --- run_cell determinism + phase-granular resume --------------------------
+
+TEST(CampaignWorker, ResumeFromSnapshotReproducesPayloadBitwise) {
+  TempDir dir("resume");
+  campaign::CampaignSpec spec = tiny_spec(1);
+  const std::vector<campaign::Cell> cells = campaign::expand_grid(spec);
+  ASSERT_EQ(cells.size(), 1u);
+
+  campaign::CellHooks full;
+  full.snapshot_path = dir.path() + "/cell.model";
+  std::string trained_tsv;
+  full.on_trained = [&](const campaign::CellTrainResult& r) {
+    trained_tsv = campaign::encode_train_result(r);
+  };
+  const campaign::CellOutcome reference = campaign::run_cell(cells[0], full);
+  ASSERT_TRUE(reference.ok) << reference.fail_message;
+  ASSERT_FALSE(trained_tsv.empty());
+  ASSERT_TRUE(std::filesystem::exists(full.snapshot_path));
+
+  // Resume path: restore the snapshot + adopt the journaled train record,
+  // re-run only the online phase.  Payload must be byte-identical.
+  campaign::CellHooks resume;
+  resume.snapshot_path = full.snapshot_path;
+  resume.resume_train_tsv = trained_tsv;
+  bool retrained = false;
+  resume.on_trained = [&](const campaign::CellTrainResult&) {
+    retrained = true;
+  };
+  const campaign::CellOutcome resumed = campaign::run_cell(cells[0], resume);
+  ASSERT_TRUE(resumed.ok) << resumed.fail_message;
+  EXPECT_FALSE(retrained) << "resume must skip the offline phase";
+  EXPECT_EQ(resumed.payload, reference.payload);
+
+  // Corrupt snapshot: falls back to a full retrain — same payload again.
+  {
+    std::ofstream out(full.snapshot_path, std::ios::trunc);
+    out << "garbage";
+  }
+  const campaign::CellOutcome refit = campaign::run_cell(cells[0], resume);
+  ASSERT_TRUE(refit.ok) << refit.fail_message;
+  EXPECT_EQ(refit.payload, reference.payload);
+}
+
+// --- supervisor: sharded == serial, bitwise --------------------------------
+
+TEST(CampaignSupervisor, ShardedMatchesSerialBitwise) {
+  const campaign::CampaignSpec spec = tiny_spec(3);
+  TempDir serial_dir("serial");
+  const std::map<std::string, std::string> reference =
+      serial_reference(spec, serial_dir);
+  ASSERT_EQ(reference.size(), 3u);
+
+  TempDir sharded_dir("sharded");
+  campaign::Supervisor sup(spec, options_for(sharded_dir, /*workers=*/2));
+  const campaign::CampaignReport rep = sup.run();
+  EXPECT_TRUE(rep.complete());
+  EXPECT_EQ(rep.cells_done, 3u);
+  EXPECT_EQ(rep.cells_failed, 0u);
+  EXPECT_FALSE(rep.interrupted);
+
+  EXPECT_EQ(read_history(sharded_dir.path()), reference)
+      << "sharded payloads must be bitwise identical to the serial run";
+}
+
+// --- supervisor: chaos SIGKILL recovery (the ISSUE 7 acceptance pin) -------
+
+TEST(CampaignSupervisor, SurvivesWorkerSigkillsWithBitwisePayloads) {
+  const campaign::CampaignSpec spec = tiny_spec(3);
+  TempDir serial_dir("chaos-ref");
+  const std::map<std::string, std::string> reference =
+      serial_reference(spec, serial_dir);
+
+  TempDir chaos_dir("chaos");
+  campaign::CampaignReport rep;
+  {
+    // Every first attempt of every cell is SIGKILLed mid-train (p=100,
+    // max=1); second attempts run clean, so the campaign must recover every
+    // cell through the reclaim + retry path.
+    ScopedEnv chaos("MLDIST_CHAOS_KILL", "p=100,seed=7,max=1");
+    campaign::Supervisor sup(spec, options_for(chaos_dir, /*workers=*/2));
+    rep = sup.run();
+  }
+  EXPECT_TRUE(rep.complete());
+  EXPECT_EQ(rep.cells_done, 3u);
+  EXPECT_EQ(rep.cells_failed, 0u);
+  EXPECT_GE(rep.reclaims, 3u) << "each cell's first lease must be reclaimed";
+  EXPECT_GE(rep.retries, 3u);
+  EXPECT_GE(rep.worker_restarts, 1u);
+
+  EXPECT_EQ(read_history(chaos_dir.path()), reference)
+      << "payloads after SIGKILL recovery must be bitwise identical to an "
+         "uninterrupted single-process run";
+}
+
+// --- supervisor: watchdog reclaims hung workers ----------------------------
+
+TEST(CampaignSupervisor, WatchdogReclaimsHungWorker) {
+  const campaign::CampaignSpec spec = tiny_spec(2);
+  TempDir dir("hang");
+  campaign::CampaignReport rep;
+  {
+    // Cell 0's first lease never heartbeats; the watchdog must SIGKILL the
+    // worker once the heartbeat goes stale and re-lease the cell.
+    ScopedEnv chaos("MLDIST_CHAOS_HANG", "0:1");
+    campaign::SupervisorOptions opt = options_for(dir, /*workers=*/2);
+    opt.cell_timeout_s = 1.5;
+    campaign::Supervisor sup(spec, opt);
+    rep = sup.run();
+  }
+  EXPECT_TRUE(rep.complete());
+  EXPECT_EQ(rep.cells_done, 2u);
+  EXPECT_EQ(rep.cells_failed, 0u);
+  EXPECT_GE(rep.reclaims, 1u);
+  EXPECT_GT(rep.reclaim_latency_ns_mean, 0.0);
+}
+
+// --- supervisor: diverged cells fail gracefully ----------------------------
+
+TEST(CampaignSupervisor, DivergedCellFailsGracefullyOthersComplete) {
+  const campaign::CampaignSpec spec = tiny_spec(3);
+  TempDir dir("diverge");
+  campaign::SupervisorOptions opt = options_for(dir, /*workers=*/2);
+  opt.max_cell_retries = 1;  // 2 attempts, both diverge -> permanent failure
+  campaign::CampaignReport rep;
+  {
+    ScopedEnv chaos("MLDIST_CHAOS_DIVERGE", "1");
+    campaign::Supervisor sup(spec, opt);
+    rep = sup.run();
+  }
+  // Graceful degradation: the campaign still completes, with cell 1 as a
+  // journaled permanent failure and the other two done.
+  EXPECT_TRUE(rep.complete());
+  EXPECT_EQ(rep.cells_done, 2u);
+  EXPECT_EQ(rep.cells_failed, 1u);
+  EXPECT_GE(rep.retries, 1u);
+  EXPECT_EQ(read_history(dir.path()).size(), 2u);
+
+  const campaign::JournalState state =
+      campaign::replay_journal(dir.path() + "/campaign.state.jsonl");
+  EXPECT_EQ(state.failed.size(), 1u);
+}
+
+// --- supervisor: resume skips journaled cells ------------------------------
+
+TEST(CampaignSupervisor, ResumeSkipsJournaledCellsWithoutDuplicates) {
+  const campaign::CampaignSpec spec = tiny_spec(3);
+  TempDir serial_dir("resume-ref");
+  const std::map<std::string, std::string> reference =
+      serial_reference(spec, serial_dir);
+
+  TempDir dir("resume-run");
+  {
+    // Simulated supervisor crash after the first finished cell.
+    campaign::SupervisorOptions opt = options_for(dir, /*workers=*/0);
+    opt.stop_after_cells = 1;
+    campaign::Supervisor sup(spec, opt);
+    const campaign::CampaignReport first = sup.run();
+    EXPECT_TRUE(first.interrupted);
+    EXPECT_EQ(first.cells_done, 1u);
+  }
+  // Relaunch over the same state dir: journaled cells are skipped, the rest
+  // run to completion, and history gains no duplicate lines.
+  campaign::Supervisor sup(spec, options_for(dir, /*workers=*/2));
+  const campaign::CampaignReport second = sup.run();
+  EXPECT_TRUE(second.complete());
+  EXPECT_FALSE(second.interrupted);
+  EXPECT_EQ(second.cells_skipped, 1u);
+  EXPECT_EQ(second.cells_done, 2u);
+  EXPECT_EQ(second.cells_failed, 0u);
+
+  EXPECT_EQ(count_lines(dir.path() + "/history.jsonl"), 3u);
+  EXPECT_EQ(read_history(dir.path()), reference)
+      << "a resumed campaign must end with the same payloads as one "
+         "uninterrupted run";
+}
+
+TEST(CampaignSupervisor, StateDirLockRejectsSecondSupervisor) {
+  const campaign::CampaignSpec spec = tiny_spec(1);
+  TempDir dir("lock");
+  util::FileLock lock;
+  ASSERT_TRUE(lock.acquire(dir.path() + "/LOCK"));
+  campaign::Supervisor sup(spec, options_for(dir, /*workers=*/0));
+  EXPECT_THROW(sup.run(), std::invalid_argument);
+}
+
+TEST(CampaignSupervisor, RequiresStateDir) {
+  campaign::SupervisorOptions opt;
+  opt.state_dir.clear();
+  campaign::Supervisor sup(tiny_spec(1), opt);
+  EXPECT_THROW(sup.run(), std::invalid_argument);
+}
+
+// --- checkpoint GC ---------------------------------------------------------
+
+TEST(CheckpointGc, KeepsNewestRemovesRestAndTmpSiblings) {
+  TempDir dir("gc");
+  const auto touch = [&](const std::string& name) {
+    std::ofstream out(dir.path() + "/" + name);
+    out << "x";
+  };
+  touch("a.model");
+  touch("b.model");
+  touch("c.model");
+  touch("a.model.tmp");
+  touch("keep.other");
+  // Pin distinct mtimes (fast writes on tmpfs can tie): c is the newest.
+  const auto now = std::filesystem::file_time_type::clock::now();
+  std::filesystem::last_write_time(dir.path() + "/a.model",
+                                   now - std::chrono::seconds(3));
+  std::filesystem::last_write_time(dir.path() + "/b.model",
+                                   now - std::chrono::seconds(2));
+  std::filesystem::last_write_time(dir.path() + "/c.model",
+                                   now - std::chrono::seconds(1));
+  const std::size_t removed =
+      core::CheckpointManager::gc_directory(dir.path(), ".model",
+                                            /*keep_newest=*/1);
+  EXPECT_EQ(removed, 2u);
+  EXPECT_TRUE(std::filesystem::exists(dir.path() + "/c.model"));
+  EXPECT_FALSE(std::filesystem::exists(dir.path() + "/a.model"));
+  EXPECT_FALSE(std::filesystem::exists(dir.path() + "/b.model"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path() + "/keep.other"));
+  // The tmp sibling of a *removed* checkpoint goes with it.
+  EXPECT_FALSE(std::filesystem::exists(dir.path() + "/a.model.tmp"));
+}
+
+// --- /runz detail provider -------------------------------------------------
+
+TEST(RunStatusDetail, ProviderRendersAndClears) {
+  obs::RunStatus::global().set_detail_provider(
+      [] { return std::string(R"({"cells_done":2,"workers":4})"); });
+  const std::string with = obs::RunStatus::global().to_json();
+  EXPECT_NE(with.find(R"("detail":{"cells_done":2,"workers":4})"),
+            std::string::npos)
+      << with;
+  obs::RunStatus::global().set_detail_provider(nullptr);
+  const std::string without = obs::RunStatus::global().to_json();
+  EXPECT_EQ(without.find("\"detail\""), std::string::npos) << without;
+}
+
+}  // namespace
+
+// The test binary is also the campaign worker binary (the Supervisor execs
+// /proc/self/exe): dispatch worker invocations before gtest sees argv.
+int main(int argc, char** argv) {
+  if (const int worker_rc = mldist::campaign::worker_entry(argc, argv);
+      worker_rc >= 0) {
+    return worker_rc;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -7,8 +7,9 @@
 //              --samples 2000 [--oracle random] [--json]
 //   mldist_cli list
 //
-// Targets: gimli-hash, gimli-cipher, speck, gift64, gift128, toy, salsa,
-// trivium (--rounds means init clocks for trivium).  With --json the report
+// Targets: gimli-hash, gimli-cipher, speck, simon, simeck, present, chaskey,
+// gift64, gift128, toy, salsa, trivium (--rounds means init clocks for
+// trivium).  With --json the report
 // is printed as one machine-readable JSON line (config, per-phase telemetry,
 // verdict) instead of the human-readable text.
 //
@@ -24,6 +25,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "campaign/specfile.hpp"
 #include "campaign/supervisor.hpp"
 #include "campaign/worker.hpp"
 #include "core/distinguisher.hpp"
@@ -62,6 +64,7 @@ struct Args {
   core::ExperimentConfig config;
 
   // --- campaign subcommand -------------------------------------------------
+  std::string spec_path;             ///< --spec FILE (declarative grid)
   std::vector<std::string> targets;  ///< --targets a,b,c (grid axis)
   std::vector<int> rounds_list;      ///< --rounds-list 5,6,7
   std::vector<std::string> archs;    ///< --archs a,b
@@ -128,6 +131,21 @@ bool parse(int argc, char** argv, Args& out) {
       }
     } else if (flag == "--arch") {
       out.config.arch = v;
+    } else if (flag == "--diff-site") {
+      try {
+        core::parse_diff_site(v);  // fail at the flag, not deep in make_target
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "--diff-site: %s\n", e.what());
+        return false;
+      }
+      out.config.diff_site = v;
+    } else if (flag == "--diffs") {
+      out.config.diffs.clear();
+      for (const std::string& d : split_commas(v)) {
+        out.config.diffs.push_back(std::strtoull(d.c_str(), nullptr, 0));
+      }
+    } else if (flag == "--spec") {
+      out.spec_path = v;
     } else if (flag == "--targets") {
       out.targets = split_commas(v);
     } else if (flag == "--rounds-list") {
@@ -206,6 +224,10 @@ int usage() {
                "[--log-file FILE]\n"
                "  mldist_cli dump-ir [--arch A] [--target T] "
                "[--passes default|none|p1,p2,...]\n"
+               "  mldist_cli campaign --state-dir DIR --spec FILE.json "
+               "[--workers N]\n"
+               "             [--cell-timeout S] [--max-cell-retries N] "
+               "[--json]\n"
                "  mldist_cli campaign --state-dir DIR [--targets a,b] "
                "[--rounds-list 5,6,7]\n"
                "             [--archs a,b] [--workers N] [--cell-timeout S] "
@@ -213,12 +235,16 @@ int usage() {
                "             [--samples N] [--epochs E] [--seed S] [--json]\n"
                "  mldist_cli list\n"
                "train/test also accept --passes to override the IR "
-               "optimisation pipeline.\n"
-               "campaign shards the target x rounds x arch grid over worker "
-               "processes,\n"
-               "journals results to DIR/campaign.state.jsonl + "
-               "DIR/history.jsonl, and resumes\n"
-               "from DIR after a crash, skipping finished cells.\n");
+               "optimisation pipeline,\n"
+               "and --diff-site plaintext|related-key with --diffs m1,m2 to "
+               "pick the\n"
+               "difference site and masks (see EXPERIMENTS.md).\n"
+               "campaign shards the spec-file grid (or the legacy target x "
+               "rounds x arch\n"
+               "axes) over worker processes, journals results to "
+               "DIR/campaign.state.jsonl +\n"
+               "DIR/history.jsonl, and resumes from DIR after a crash, "
+               "skipping finished cells.\n");
   return kExitConfig;
 }
 
@@ -227,6 +253,10 @@ int cmd_list() {
   std::printf("  gimli-hash    (rounds 1..24; paper: 6/7/8)\n");
   std::printf("  gimli-cipher  (total rounds before c0; paper: 6/7/8)\n");
   std::printf("  speck         (rounds 1..22; Gohr: 5..8)\n");
+  std::printf("  simon         (SIMON32/64, rounds 1..32)\n");
+  std::printf("  simeck        (SIMECK32/64, rounds 1..32)\n");
+  std::printf("  present       (PRESENT-80, rounds 1..31)\n");
+  std::printf("  chaskey       (permutation rounds 1..16; spec: 8)\n");
   std::printf("  gift64        (rounds 1..28)\n");
   std::printf("  gift128       (rounds 1..40)\n");
   std::printf("  toy           (the 8-bit Fig. 1 cipher; --rounds ignored)\n");
@@ -234,6 +264,8 @@ int cmd_list() {
   std::printf("  trivium       (--rounds = init clocks, full = 1152)\n");
   std::printf("architectures: default-mlp, gohr-net/D, and the Table-3 zoo "
               "(MLP I..VI, LSTM, CNN)\n");
+  std::printf("difference sites: plaintext (default), related-key "
+              "(speck/simon/simeck/present/chaskey)\n");
   return 0;
 }
 
@@ -400,12 +432,25 @@ int cmd_campaign(const Args& args) {
     throw std::invalid_argument("campaign: --state-dir is required");
   }
   campaign::CampaignSpec spec;
-  spec.base = args.config;
-  spec.base.on_epoch = nullptr;
-  spec.targets = args.targets;
-  spec.rounds = args.rounds_list;
-  spec.archs = args.archs;
-  spec.seed = args.config.seed;
+  if (!args.spec_path.empty()) {
+    // The spec file owns the whole grid; mixing in legacy axis flags would
+    // silently lose whichever side we ignored, so refuse the combination.
+    if (!args.targets.empty() || !args.rounds_list.empty() ||
+        !args.archs.empty()) {
+      throw std::invalid_argument(
+          "campaign: --spec carries the full grid; drop the legacy "
+          "--targets/--rounds-list/--archs flags (put those axes in the "
+          "spec file's \"grid\" blocks instead)");
+    }
+    spec = campaign::load_spec_file(args.spec_path);
+  } else {
+    spec.base = args.config;
+    spec.base.on_epoch = nullptr;
+    spec.targets = args.targets;
+    spec.rounds = args.rounds_list;
+    spec.archs = args.archs;
+    spec.seed = args.config.seed;
+  }
 
   const campaign::CampaignReport rep =
       campaign::Supervisor(spec, args.sup).run();

@@ -147,6 +147,7 @@ JournalState replay_journal(const std::string& path) {
     if (!extract_json_string(line, "event", event)) continue;
     if (event == "start") {
       state.saw_start = true;
+      extract_json_string(line, "grid", state.grid_crc);
       continue;
     }
     std::string cell;

@@ -16,7 +16,8 @@
 // are not a general JSON parser and don't try to be.
 //
 // Record shapes (one per line, "event" first):
-//   {"event":"start","campaign":...,"cells":N,"seed":S,"manifest":{...}}
+//   {"event":"start","campaign":...,"cells":N,"seed":S,"grid":"crc",
+//    "manifest":{...}}
 //   {"event":"lease","cell":"id","index":n,"attempt":k,"worker":pid}
 //   {"event":"trained","cell":"id","index":n,"train":"<0x1f-record>"}
 //   {"event":"done","cell":"id","index":n,"payload":{...},"telemetry":{...}}
@@ -60,6 +61,10 @@ struct JournalState {
   /// resumable from the model snapshot without retraining.
   std::map<std::string, std::string> trained;
   bool saw_start = false;
+  /// The expanded grid's fingerprint from the latest "start" record (see
+  /// campaign::grid_crc).  Empty for journals written before the field
+  /// existed — those resume without the spec-change check.
+  std::string grid_crc;
 };
 
 /// Replay `path` (missing file = empty state).  Later records win: a

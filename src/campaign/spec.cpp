@@ -66,34 +66,116 @@ std::string cell_id(const core::ExperimentConfig& config) {
   return buf;
 }
 
-std::vector<Cell> expand_grid(const CampaignSpec& spec) {
-  const std::vector<std::string> targets =
-      spec.targets.empty() ? std::vector<std::string>{spec.base.target}
-                           : spec.targets;
-  const std::vector<int> rounds =
-      spec.rounds.empty() ? std::vector<int>{spec.base.rounds} : spec.rounds;
-  const std::vector<std::string> archs =
-      spec.archs.empty() ? std::vector<std::string>{spec.base.arch}
-                         : spec.archs;
-  std::vector<Cell> cells;
-  cells.reserve(targets.size() * rounds.size() * archs.size());
+void CellOverrides::apply(core::ExperimentConfig& config) const {
+  if (epochs) config.epochs = *epochs;
+  if (batch_size) config.batch_size = *batch_size;
+  if (learning_rate) config.learning_rate = *learning_rate;
+  if (validation_fraction) config.validation_fraction = *validation_fraction;
+  if (z_threshold) config.z_threshold = *z_threshold;
+  if (online_base_inputs) config.online_base_inputs = *online_base_inputs;
+  if (games) config.games = *games;
+  if (max_retries) config.max_retries = *max_retries;
+}
+
+namespace {
+template <typename T>
+std::vector<T> or_default(const std::vector<T>& axis, const T& fallback) {
+  return axis.empty() ? std::vector<T>{fallback} : axis;
+}
+
+void expand_block(const GridBlock& block, const CampaignSpec& spec,
+                  std::vector<Cell>& cells) {
+  core::ExperimentConfig base = spec.base;
+  block.overrides.apply(base);
+  const auto targets = or_default(block.targets, base.target);
+  const auto rounds = or_default(block.rounds, base.rounds);
+  const auto archs = or_default(block.archs, base.arch);
+  const auto sites = or_default(block.diff_sites, base.diff_site);
+  const auto diff_sets = or_default(block.diff_sets, base.diffs);
+  const auto budgets = or_default(block.offline_budgets,
+                                  base.offline_base_inputs);
   for (const std::string& target : targets) {
     for (int r : rounds) {
       for (const std::string& arch : archs) {
-        Cell cell;
-        cell.index = cells.size();
-        cell.config = spec.base;
-        cell.config.target = target;
-        cell.config.rounds = r;
-        cell.config.arch = arch;
-        cell.config.seed = util::derive_stream_seed(spec.seed, cell.index);
-        cell.config.on_epoch = nullptr;
-        cell.id = cell_id(cell.config);
-        cells.push_back(std::move(cell));
+        for (const std::string& site : sites) {
+          for (const auto& diffs : diff_sets) {
+            for (std::size_t budget : budgets) {
+              Cell cell;
+              cell.index = cells.size();
+              cell.config = base;
+              cell.config.target = target;
+              cell.config.rounds = r;
+              cell.config.arch = arch;
+              cell.config.diff_site = site;
+              cell.config.diffs = diffs;
+              cell.config.offline_base_inputs = budget;
+              cell.config.seed =
+                  util::derive_stream_seed(spec.seed, cell.index);
+              cell.config.on_epoch = nullptr;
+              cell.id = cell_id(cell.config);
+              cells.push_back(std::move(cell));
+            }
+          }
+        }
       }
     }
   }
+}
+}  // namespace
+
+std::vector<Cell> expand_grid(const CampaignSpec& spec) {
+  std::vector<Cell> cells;
+  if (!spec.blocks.empty()) {
+    for (const GridBlock& block : spec.blocks) {
+      expand_block(block, spec, cells);
+    }
+    return cells;
+  }
+  // Legacy single-block axes (the CLI's --targets/--rounds-list/--archs).
+  GridBlock block;
+  block.targets = spec.targets;
+  block.rounds = spec.rounds;
+  block.archs = spec.archs;
+  expand_block(block, spec, cells);
   return cells;
+}
+
+std::string grid_crc(const std::vector<Cell>& cells) {
+  std::string all;
+  all.reserve(cells.size() * 9);
+  for (const Cell& cell : cells) {
+    all += cell.id;
+    all += '\n';
+  }
+  const std::uint32_t crc = util::crc32(all.data(), all.size());
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+double cell_cost(const core::ExperimentConfig& config) {
+  // Unitless relative work estimate: offline rows dominate ((1 + epochs)
+  // passes over offline_base_inputs * t rows), plus the online games.  The
+  // arch weight approximates per-row inference/backprop cost relative to
+  // the default MLP.
+  double arch_weight = 1.0;
+  const std::string& a = config.arch;
+  if (a.rfind("gohr-net/", 0) == 0) {
+    arch_weight = 4.0 + 2.0 * std::strtod(a.c_str() + 9, nullptr);
+  } else if (a.rfind("LSTM", 0) == 0) {
+    arch_weight = 10.0;
+  } else if (a.rfind("CNN", 0) == 0) {
+    arch_weight = 6.0;
+  } else if (a == "MLP III" || a == "MLP VI") {
+    arch_weight = 3.0;  // the 1.2M-parameter zoo members
+  }
+  const double t =
+      config.diffs.empty() ? 2.0 : static_cast<double>(config.diffs.size());
+  const double offline_rows =
+      static_cast<double>(config.offline_base_inputs) * t;
+  const double online_rows = static_cast<double>(config.online_base_inputs) *
+                             t * static_cast<double>(config.games);
+  return arch_weight * (offline_rows * (1.0 + config.epochs)) + online_rows;
 }
 
 std::string encode_config(const core::ExperimentConfig& c) {
@@ -104,6 +186,18 @@ std::string encode_config(const core::ExperimentConfig& c) {
   };
   add(c.target);
   add(std::to_string(c.rounds));
+  add(c.diff_site);
+  {
+    std::string diffs;
+    for (std::size_t i = 0; i < c.diffs.size(); ++i) {
+      if (i > 0) diffs += ',';
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "0x%llx",
+                    static_cast<unsigned long long>(c.diffs[i]));
+      diffs += buf;
+    }
+    add(diffs);
+  }
   add(c.arch);
   add(std::to_string(c.epochs));
   add(std::to_string(c.batch_size));
@@ -123,33 +217,45 @@ std::string encode_config(const core::ExperimentConfig& c) {
 
 bool decode_config(const std::string& text, core::ExperimentConfig& out) {
   const std::vector<std::string> f = split_fields(text);
-  if (f.size() != 16) return false;
+  if (f.size() != 18) return false;
   core::ExperimentConfig c;
   std::uint64_t u = 0;
   double d = 0.0;
   c.target = f[0];
   if (!parse_i32(f[1], c.rounds)) return false;
-  c.arch = f[2];
-  if (!parse_i32(f[3], c.epochs)) return false;
-  if (!parse_u64(f[4], u)) return false;
+  c.diff_site = f[2];
+  c.diffs.clear();
+  if (!f[3].empty()) {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= f[3].size(); ++i) {
+      if (i == f[3].size() || f[3][i] == ',') {
+        if (!parse_u64(f[3].substr(start, i - start), u)) return false;
+        c.diffs.push_back(u);
+        start = i + 1;
+      }
+    }
+  }
+  c.arch = f[4];
+  if (!parse_i32(f[5], c.epochs)) return false;
+  if (!parse_u64(f[6], u)) return false;
   c.batch_size = static_cast<std::size_t>(u);
-  if (!parse_f64(f[5], d)) return false;
+  if (!parse_f64(f[7], d)) return false;
   c.learning_rate = static_cast<float>(d);
-  if (!parse_f64(f[6], c.validation_fraction)) return false;
-  if (!parse_f64(f[7], c.z_threshold)) return false;
-  if (!parse_u64(f[8], c.seed)) return false;
-  if (!parse_u64(f[9], u)) return false;
-  c.threads = static_cast<std::size_t>(u);
-  if (!parse_u64(f[10], u)) return false;
-  c.offline_base_inputs = static_cast<std::size_t>(u);
+  if (!parse_f64(f[8], c.validation_fraction)) return false;
+  if (!parse_f64(f[9], c.z_threshold)) return false;
+  if (!parse_u64(f[10], c.seed)) return false;
   if (!parse_u64(f[11], u)) return false;
-  c.online_base_inputs = static_cast<std::size_t>(u);
+  c.threads = static_cast<std::size_t>(u);
   if (!parse_u64(f[12], u)) return false;
+  c.offline_base_inputs = static_cast<std::size_t>(u);
+  if (!parse_u64(f[13], u)) return false;
+  c.online_base_inputs = static_cast<std::size_t>(u);
+  if (!parse_u64(f[14], u)) return false;
   c.games = static_cast<std::size_t>(u);
-  if (!parse_i32(f[13], c.max_retries)) return false;
-  if (!parse_f64(f[14], d)) return false;
+  if (!parse_i32(f[15], c.max_retries)) return false;
+  if (!parse_f64(f[16], d)) return false;
   c.lr_backoff = static_cast<float>(d);
-  c.checkpoint_path = f[15];
+  c.checkpoint_path = f[17];
   out = std::move(c);
   return true;
 }

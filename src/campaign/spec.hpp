@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,11 +31,44 @@
 
 namespace mldist::campaign {
 
-struct CampaignSpec {
-  std::string name = "campaign";
+/// Per-block hyper-parameter overrides (ISSUE 8): applied on top of the
+/// campaign base config before the block's axes are stamped.  A block of
+/// one grid point makes these per-cell overrides.
+struct CellOverrides {
+  std::optional<int> epochs;
+  std::optional<std::size_t> batch_size;
+  std::optional<float> learning_rate;
+  std::optional<double> validation_fraction;
+  std::optional<double> z_threshold;
+  std::optional<std::size_t> online_base_inputs;
+  std::optional<std::size_t> games;
+  std::optional<int> max_retries;
+
+  void apply(core::ExperimentConfig& config) const;
+};
+
+/// One block of the declarative grid: the cross product of its axes.  Empty
+/// axes fall back to the (override-patched) base config's value, so a block
+/// listing only targets sweeps one cell per target.
+struct GridBlock {
   std::vector<std::string> targets;  ///< core::make_target names
   std::vector<int> rounds;
   std::vector<std::string> archs;
+  std::vector<std::string> diff_sites;  ///< "plaintext" / "related-key"
+  /// Each entry is one set of t difference specifiers ({} = target default).
+  std::vector<std::vector<std::uint64_t>> diff_sets;
+  std::vector<std::size_t> offline_budgets;  ///< offline_base_inputs sweeps
+  CellOverrides overrides;
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::vector<std::string> targets;  ///< legacy single-block axes (CLI flags)
+  std::vector<int> rounds;
+  std::vector<std::string> archs;
+  /// Declarative grid blocks (spec files).  When non-empty these replace
+  /// the legacy axes above; expand_grid() concatenates the blocks in order.
+  std::vector<GridBlock> blocks;
   /// Everything the grid axes don't override (budgets, epochs, threads...).
   core::ExperimentConfig base;
   /// Campaign master seed; cell i runs with derive_stream_seed(seed, i).
@@ -50,13 +84,28 @@ struct Cell {
   core::ExperimentConfig config;
 };
 
-/// Expand the grid in row-major target > rounds > arch order, deriving each
-/// cell's seed and id.  Empty axes fall back to the base config's value.
+/// Expand the grid, deriving each cell's seed and id.  Legacy axes expand
+/// row-major target > rounds > arch; spec-file blocks expand in block order,
+/// each row-major target > rounds > arch > diff_site > diff_set > budget,
+/// with cell indices global across blocks.  Empty axes fall back to the
+/// base config's value.
 std::vector<Cell> expand_grid(const CampaignSpec& spec);
 
 /// The stable cell id for `config` (CRC-32 of its JSON with checkpoint_path
 /// cleared).
 std::string cell_id(const core::ExperimentConfig& config);
+
+/// 8-hex CRC-32 over the expanded grid's cell ids (in index order): the
+/// fingerprint journaled in the WAL "start" record so a resume against a
+/// spec edit that changed the grid is rejected instead of silently mixing
+/// two campaigns' cells.
+std::string grid_crc(const std::vector<Cell>& cells);
+
+/// Deterministic relative cost estimate for one cell — sample budget ×
+/// epochs × an architecture weight × the class count.  Unitless; the
+/// supervisor leases expensive cells first and converts completed cost per
+/// wall-clock second into per-cell ETAs for /runz.
+double cell_cost(const core::ExperimentConfig& config);
 
 /// ExperimentConfig <-> 0x1f-separated record with hex-float reals.
 /// decode returns false (leaving `out` unspecified) on a malformed record.

@@ -1,0 +1,502 @@
+#include "campaign/specfile.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/targets.hpp"
+
+namespace mldist::campaign {
+
+SpecError::SpecError(const std::string& origin, int line,
+                     const std::string& message)
+    : std::invalid_argument(origin + ":" + std::to_string(line) + ": " +
+                            message),
+      line_(line) {}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON DOM with per-node source lines.  Numbers keep their raw
+// text so 64-bit integers survive exactly (no double round-trip).
+// ---------------------------------------------------------------------------
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  int line = 1;
+  bool boolean = false;
+  std::string text;  // string contents or raw number text
+  std::vector<Value> items;
+  std::vector<std::pair<std::string, Value>> members;
+
+  const char* kind_name() const {
+    switch (kind) {
+      case Kind::kNull: return "null";
+      case Kind::kBool: return "a boolean";
+      case Kind::kNumber: return "a number";
+      case Kind::kString: return "a string";
+      case Kind::kArray: return "an array";
+      case Kind::kObject: return "an object";
+    }
+    return "a value";
+  }
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, const std::string& origin)
+      : text_(text), origin_(origin) {}
+
+  Value parse() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ < text_.size()) fail("trailing content after the spec object");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw SpecError(origin_, line_, message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of spec");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    Value v;
+    v.line = line_;
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"':
+        v.kind = Value::Kind::kString;
+        v.text = parse_string();
+        return v;
+      case 't':
+      case 'f':
+        v.kind = Value::Kind::kBool;
+        v.boolean = c == 't';
+        expect_word(c == 't' ? "true" : "false");
+        return v;
+      case 'n':
+        v.kind = Value::Kind::kNull;
+        expect_word("null");
+        return v;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          v.kind = Value::Kind::kNumber;
+          v.text = parse_number();
+          return v;
+        }
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  void expect_word(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        fail(std::string("expected '") + word + "'");
+      }
+      ++pos_;
+    }
+  }
+
+  std::string parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      const std::size_t d = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == d) fail("malformed number");
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      digits();
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\n') fail("unterminated string");
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated string escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default:
+            fail(std::string("unsupported string escape '\\") + e + "'");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Value parse_array() {
+    Value v;
+    v.kind = Value::Kind::kArray;
+    v.line = line_;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Value parse_object() {
+    Value v;
+    v.kind = Value::Kind::kObject;
+    v.line = line_;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected a quoted object key");
+      const int key_line = line_;
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      Value member = parse_value();
+      member.line = member.kind == Value::Kind::kObject ||
+                            member.kind == Value::Kind::kArray
+                        ? member.line
+                        : key_line;
+      v.members.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  const std::string& origin_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Schema mapping
+// ---------------------------------------------------------------------------
+
+class Mapper {
+ public:
+  explicit Mapper(const std::string& origin) : origin_(origin) {}
+
+  CampaignSpec map(const Value& root) {
+    require(root, Value::Kind::kObject, "spec");
+    CampaignSpec spec;
+    for (const auto& [key, v] : root.members) {
+      if (key == "name") {
+        spec.name = as_string(v, key);
+      } else if (key == "seed") {
+        spec.seed = as_u64(v, key);
+      } else if (key == "defaults") {
+        map_defaults(v, spec.base);
+      } else if (key == "grid") {
+        require(v, Value::Kind::kArray, key);
+        for (const Value& b : v.items) {
+          spec.blocks.push_back(map_block(b));
+        }
+      } else {
+        unknown_key(v, key, "the spec",
+                    "name, seed, defaults, grid");
+      }
+    }
+    if (spec.blocks.empty()) {
+      throw SpecError(origin_, root.line,
+                      "spec needs a non-empty \"grid\" array");
+    }
+    validate(spec);
+    return spec;
+  }
+
+ private:
+  [[noreturn]] void unknown_key(const Value& v, const std::string& key,
+                                const std::string& where,
+                                const char* known) const {
+    throw SpecError(origin_, v.line,
+                    "unknown key \"" + key + "\" in " + where +
+                        " (known keys: " + known + ")");
+  }
+
+  void require(const Value& v, Value::Kind kind, const std::string& key) const {
+    if (v.kind == kind) return;
+    const char* want = "a value";
+    switch (kind) {
+      case Value::Kind::kString: want = "a string"; break;
+      case Value::Kind::kNumber: want = "a number"; break;
+      case Value::Kind::kArray: want = "an array"; break;
+      case Value::Kind::kObject: want = "an object"; break;
+      default: break;
+    }
+    throw SpecError(origin_, v.line,
+                    "\"" + key + "\" must be " + want + ", got " +
+                        v.kind_name());
+  }
+
+  std::string as_string(const Value& v, const std::string& key) const {
+    require(v, Value::Kind::kString, key);
+    return v.text;
+  }
+
+  std::uint64_t as_u64(const Value& v, const std::string& key) const {
+    // Accept JSON integers and (for masks) hex strings like "0x40".
+    const std::string* raw = nullptr;
+    if (v.kind == Value::Kind::kNumber) {
+      if (v.text.find_first_of(".eE-") != std::string::npos) {
+        throw SpecError(origin_, v.line,
+                        "\"" + key + "\" must be a non-negative integer, got " +
+                            v.text);
+      }
+      raw = &v.text;
+    } else if (v.kind == Value::Kind::kString) {
+      raw = &v.text;
+    } else {
+      throw SpecError(origin_, v.line,
+                      "\"" + key + "\" must be an integer or a hex string, "
+                      "got " + std::string(v.kind_name()));
+    }
+    char* end = nullptr;
+    const std::uint64_t out = std::strtoull(raw->c_str(), &end, 0);
+    if (raw->empty() || end == nullptr || *end != '\0') {
+      throw SpecError(origin_, v.line,
+                      "\"" + key + "\" is not a valid integer: \"" + *raw +
+                          "\"");
+    }
+    return out;
+  }
+
+  int as_int(const Value& v, const std::string& key) const {
+    require(v, Value::Kind::kNumber, key);
+    if (v.text.find_first_of(".eE") != std::string::npos) {
+      throw SpecError(origin_, v.line,
+                      "\"" + key + "\" must be an integer, got " + v.text);
+    }
+    return static_cast<int>(std::strtol(v.text.c_str(), nullptr, 10));
+  }
+
+  double as_double(const Value& v, const std::string& key) const {
+    require(v, Value::Kind::kNumber, key);
+    return std::strtod(v.text.c_str(), nullptr);
+  }
+
+  std::vector<std::uint64_t> as_diff_set(const Value& v,
+                                         const std::string& key) const {
+    require(v, Value::Kind::kArray, key);
+    std::vector<std::uint64_t> out;
+    out.reserve(v.items.size());
+    for (const Value& item : v.items) out.push_back(as_u64(item, key));
+    return out;
+  }
+
+  void map_defaults(const Value& v, core::ExperimentConfig& base) const {
+    require(v, Value::Kind::kObject, "defaults");
+    for (const auto& [key, m] : v.members) {
+      if (key == "target") base.target = as_string(m, key);
+      else if (key == "rounds") base.rounds = as_int(m, key);
+      else if (key == "arch") base.arch = as_string(m, key);
+      else if (key == "diff_site") base.diff_site = as_string(m, key);
+      else if (key == "diffs") base.diffs = as_diff_set(m, key);
+      else if (key == "epochs") base.epochs = as_int(m, key);
+      else if (key == "batch_size") base.batch_size = static_cast<std::size_t>(as_u64(m, key));
+      else if (key == "learning_rate") base.learning_rate = static_cast<float>(as_double(m, key));
+      else if (key == "validation_fraction") base.validation_fraction = as_double(m, key);
+      else if (key == "z_threshold") base.z_threshold = as_double(m, key);
+      else if (key == "threads") base.threads = static_cast<std::size_t>(as_u64(m, key));
+      else if (key == "offline_base_inputs") base.offline_base_inputs = static_cast<std::size_t>(as_u64(m, key));
+      else if (key == "online_base_inputs") base.online_base_inputs = static_cast<std::size_t>(as_u64(m, key));
+      else if (key == "games") base.games = static_cast<std::size_t>(as_u64(m, key));
+      else if (key == "max_retries") base.max_retries = as_int(m, key);
+      else if (key == "lr_backoff") base.lr_backoff = static_cast<float>(as_double(m, key));
+      else {
+        unknown_key(m, key, "defaults",
+                    "target, rounds, arch, diff_site, diffs, epochs, "
+                    "batch_size, learning_rate, validation_fraction, "
+                    "z_threshold, threads, offline_base_inputs, "
+                    "online_base_inputs, games, max_retries, lr_backoff");
+      }
+    }
+  }
+
+  CellOverrides map_overrides(const Value& v) const {
+    require(v, Value::Kind::kObject, "overrides");
+    CellOverrides o;
+    for (const auto& [key, m] : v.members) {
+      if (key == "epochs") o.epochs = as_int(m, key);
+      else if (key == "batch_size") o.batch_size = static_cast<std::size_t>(as_u64(m, key));
+      else if (key == "learning_rate") o.learning_rate = static_cast<float>(as_double(m, key));
+      else if (key == "validation_fraction") o.validation_fraction = as_double(m, key);
+      else if (key == "z_threshold") o.z_threshold = as_double(m, key);
+      else if (key == "online_base_inputs") o.online_base_inputs = static_cast<std::size_t>(as_u64(m, key));
+      else if (key == "games") o.games = static_cast<std::size_t>(as_u64(m, key));
+      else if (key == "max_retries") o.max_retries = as_int(m, key);
+      else {
+        unknown_key(m, key, "overrides",
+                    "epochs, batch_size, learning_rate, "
+                    "validation_fraction, z_threshold, online_base_inputs, "
+                    "games, max_retries");
+      }
+    }
+    return o;
+  }
+
+  GridBlock map_block(const Value& v) const {
+    require(v, Value::Kind::kObject, "grid block");
+    GridBlock block;
+    for (const auto& [key, m] : v.members) {
+      if (key == "targets") {
+        require(m, Value::Kind::kArray, key);
+        for (const Value& item : m.items) {
+          block.targets.push_back(as_string(item, key));
+        }
+      } else if (key == "rounds") {
+        require(m, Value::Kind::kArray, key);
+        for (const Value& item : m.items) {
+          block.rounds.push_back(as_int(item, key));
+        }
+      } else if (key == "archs") {
+        require(m, Value::Kind::kArray, key);
+        for (const Value& item : m.items) {
+          block.archs.push_back(as_string(item, key));
+        }
+      } else if (key == "diff_sites") {
+        require(m, Value::Kind::kArray, key);
+        for (const Value& item : m.items) {
+          const std::string site = as_string(item, key);
+          try {
+            core::parse_diff_site(site);
+          } catch (const std::invalid_argument& e) {
+            throw SpecError(origin_, item.line, e.what());
+          }
+          block.diff_sites.push_back(site);
+        }
+      } else if (key == "diff_sets") {
+        require(m, Value::Kind::kArray, key);
+        for (const Value& item : m.items) {
+          block.diff_sets.push_back(as_diff_set(item, key));
+        }
+      } else if (key == "offline_base_inputs") {
+        require(m, Value::Kind::kArray, key);
+        for (const Value& item : m.items) {
+          block.offline_budgets.push_back(
+              static_cast<std::size_t>(as_u64(item, key)));
+        }
+      } else if (key == "overrides") {
+        block.overrides = map_overrides(m);
+      } else {
+        unknown_key(m, key, "a grid block",
+                    "targets, rounds, archs, diff_sites, diff_sets, "
+                    "offline_base_inputs, overrides");
+      }
+    }
+    return block;
+  }
+
+  void validate(const CampaignSpec& spec) const {
+    // Instantiating every cell's target catches unknown target names, bad
+    // diff sites and out-of-range rounds/diffs before any worker forks.
+    for (const Cell& cell : expand_grid(spec)) {
+      try {
+        (void)cell.config.make_target();
+      } catch (const std::invalid_argument& e) {
+        throw SpecError(origin_, 1,
+                        "cell " + std::to_string(cell.index) + " (" +
+                            cell.config.target + "/" +
+                            std::to_string(cell.config.rounds) + "r, " +
+                            cell.config.diff_site + "): " + e.what());
+      }
+    }
+  }
+
+  const std::string& origin_;
+};
+
+}  // namespace
+
+CampaignSpec parse_spec_text(const std::string& text,
+                             const std::string& origin) {
+  Parser parser(text, origin);
+  const Value root = parser.parse();
+  Mapper mapper(origin);
+  return mapper.map(root);
+}
+
+CampaignSpec load_spec_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("campaign: cannot read spec file " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_spec_text(buf.str(), path);
+}
+
+}  // namespace mldist::campaign

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -50,8 +51,21 @@ struct CellState {
   CellPhase phase = CellPhase::kPending;
   int attempts = 0;        ///< leases consumed
   double ready_at = 0.0;   ///< backoff expiry (monotonic seconds)
+  double cost = 0.0;       ///< spec.hpp cell_cost(): lease ordering + ETA
   std::string train_tsv;   ///< journaled offline result (resume record)
 };
+
+/// Lease queue order: heterogeneous cell costs, most expensive first so the
+/// long poles start while cheap cells fill the tail (classic LPT); ties
+/// break on grid index for determinism.
+struct CostFirst {
+  bool operator()(const std::pair<double, std::size_t>& a,
+                  const std::pair<double, std::size_t>& b) const {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  }
+};
+using ReadyQueue = std::set<std::pair<double, std::size_t>, CostFirst>;
 
 struct WorkerSlot {
   pid_t pid = -1;
@@ -72,6 +86,24 @@ struct LiveCounters {
   std::atomic<std::size_t> skipped{0};
   std::atomic<std::size_t> in_flight{0};
   std::atomic<std::size_t> workers{0};
+};
+
+/// Per-lease progress behind the /runz detail provider (ISSUE 8): which
+/// cells are in flight, their cost estimates, and the completed-cost
+/// throughput the per-cell ETA is derived from.  Mutex-protected because
+/// the provider runs on the HTTP serving thread.
+struct LiveDetail {
+  struct Lease {
+    std::string id;
+    std::uint64_t index = 0;
+    double cost = 0.0;
+    double since = 0.0;  ///< monotonic lease time
+  };
+  std::mutex mu;
+  std::vector<Lease> leases;
+  double cost_total = 0.0;
+  double cost_done = 0.0;
+  double t0 = 0.0;  ///< monotonic campaign start
 };
 
 /// The whole campaign run: built fresh by Supervisor::run so the public
@@ -146,6 +178,22 @@ class Runner {
   void complete_cell(CellState& cs, const std::string& payload,
                      const std::string& telemetry);
   void fail_attempt(CellState& cs, const std::string& reason, double now);
+
+  void queue_ready(const CellState& cs) {
+    ready_.insert({cs.cost, cs.cell.index});
+  }
+  void detail_lease(const CellState& cs, double now) {
+    std::lock_guard<std::mutex> lock(detail_->mu);
+    detail_->leases.push_back(
+        {cs.cell.id, static_cast<std::uint64_t>(cs.cell.index), cs.cost, now});
+  }
+  void detail_release(const CellState& cs, bool completed) {
+    std::lock_guard<std::mutex> lock(detail_->mu);
+    std::erase_if(detail_->leases, [&](const LiveDetail::Lease& l) {
+      return l.index == static_cast<std::uint64_t>(cs.cell.index);
+    });
+    if (completed) detail_->cost_done += cs.cost;
+  }
   bool work_remaining() const {
     return finished_ < cells_.size();
   }
@@ -160,10 +208,12 @@ class Runner {
   std::vector<CellState> cells_;
   std::map<std::string, std::string> done_payloads_;   ///< WAL replay, by id
   std::map<std::string, std::string> done_telemetry_;
-  std::set<std::size_t> ready_;  ///< leaseable cell indices, ascending
+  ReadyQueue ready_;  ///< leaseable cells, most expensive first
   std::vector<WorkerSlot> workers_;
   CampaignReport report_;
+  std::string grid_crc_;  ///< fingerprint of the expanded grid
   std::shared_ptr<LiveCounters> live_ = std::make_shared<LiveCounters>();
+  std::shared_ptr<LiveDetail> detail_ = std::make_shared<LiveDetail>();
   std::size_t finished_ = 0;  ///< cells in a terminal phase
   bool stop_requested_ = false;
   double reclaim_latency_ns_sum_ = 0.0;
@@ -189,10 +239,14 @@ CampaignReport Runner::run() {
   }
 
   const std::vector<Cell> grid = expand_grid(spec_);
+  grid_crc_ = grid_crc(grid);
   cells_.reserve(grid.size());
+  double cost_total = 0.0;
   for (const Cell& cell : grid) {
     CellState cs;
     cs.cell = cell;
+    cs.cost = cell_cost(cs.cell.config);
+    cost_total += cs.cost;
     cells_.push_back(std::move(cs));
   }
   report_.cells_total = cells_.size();
@@ -206,17 +260,25 @@ CampaignReport Runner::run() {
         .field("campaign", spec_.name)
         .field("cells", static_cast<std::uint64_t>(cells_.size()))
         .field("seed", spec_.seed)
+        .field("grid", grid_crc_)
         .field("workers", static_cast<std::uint64_t>(options_.workers))
         .raw("manifest", obs::RunManifest::current().to_json());
     journal(j);
   }
 
-  // /runz: fold campaign progress into the live status endpoint.
+  // /runz: fold campaign progress into the live status endpoint, with
+  // per-lease cost/ETA derived from completed-cost throughput.
+  {
+    std::lock_guard<std::mutex> lock(detail_->mu);
+    detail_->cost_total = cost_total;
+    detail_->t0 = mono_s();
+  }
   {
     auto live = live_;
+    auto detail = detail_;
     const std::string name = spec_.name;
     const std::uint64_t total = cells_.size();
-    obs::RunStatus::global().set_detail_provider([live, name, total] {
+    obs::RunStatus::global().set_detail_provider([live, detail, name, total] {
       util::JsonBuilder j;
       j.field("campaign", name)
           .field("cells_total", total)
@@ -228,6 +290,33 @@ CampaignReport Runner::run() {
           .field("in_flight",
                  static_cast<std::uint64_t>(live->in_flight.load()))
           .field("workers", static_cast<std::uint64_t>(live->workers.load()));
+      {
+        std::lock_guard<std::mutex> lock(detail->mu);
+        const double now = mono_s();
+        const double elapsed = std::max(1e-9, now - detail->t0);
+        // Unitless cost per wall second, from completed cells only; 0 until
+        // the first completion (ETAs render as null until then).
+        const double rate = detail->cost_done / elapsed;
+        j.field("cost_total", detail->cost_total)
+            .field("cost_done", detail->cost_done)
+            .field("cost_rate", rate);
+        std::vector<std::string> leases;
+        leases.reserve(detail->leases.size());
+        for (const LiveDetail::Lease& l : detail->leases) {
+          util::JsonBuilder e;
+          e.field("cell", l.id)
+              .field("index", l.index)
+              .field("cost", l.cost)
+              .field("running_s", now - l.since);
+          if (rate > 0.0) {
+            e.field("eta_s", l.cost / rate);
+          } else {
+            e.raw("eta_s", "null");
+          }
+          leases.push_back(e.str());
+        }
+        j.raw("leases", util::JsonBuilder::array(leases));
+      }
       return j.str();
     });
   }
@@ -268,6 +357,17 @@ CampaignReport Runner::run() {
 
 void Runner::load_prior_state() {
   const JournalState prior = replay_journal(journal_path());
+  // Spec-change guard: an edit that alters the expanded grid invalidates the
+  // journal's by-id bookkeeping (ids could collide with different configs).
+  // Old journals without the field resume unchecked, as before.
+  if (prior.saw_start && !prior.grid_crc.empty() &&
+      prior.grid_crc != grid_crc_) {
+    throw std::invalid_argument(
+        "campaign: the spec's expanded grid (crc " + grid_crc_ +
+        ") does not match the existing journal (crc " + prior.grid_crc +
+        "); resume with the original spec or point state_dir at a fresh "
+        "directory");
+  }
   for (CellState& cs : cells_) {
     if (prior.done_payload.count(cs.cell.id) != 0) {
       cs.phase = CellPhase::kSkipped;
@@ -286,7 +386,7 @@ void Runner::load_prior_state() {
           it != prior.trained.end()) {
         cs.train_tsv = it->second;  // resume at the online phase
       }
-      ready_.insert(cs.cell.index);
+      queue_ready(cs);
     }
   }
   // Stash the journaled payloads for history reconciliation.
@@ -333,11 +433,13 @@ void Runner::complete_cell(CellState& cs, const std::string& payload,
   ++report_.cells_done;
   ++finished_;
   live_->done.fetch_add(1);
+  detail_release(cs, /*completed=*/true);
   obs::count("campaign.cells_done");
 }
 
 void Runner::fail_attempt(CellState& cs, const std::string& reason,
                           double now) {
+  detail_release(cs, /*completed=*/false);
   const int max_attempts = 1 + options_.max_cell_retries;
   if (cs.attempts >= max_attempts) {
     journal_event("failed", cs, [&] {
@@ -371,7 +473,7 @@ void Runner::promote_backoffs(double now) {
   for (CellState& cs : cells_) {
     if (cs.phase == CellPhase::kBackoff && now >= cs.ready_at) {
       cs.phase = CellPhase::kPending;
-      ready_.insert(cs.cell.index);
+      queue_ready(cs);
     }
   }
 }
@@ -402,11 +504,12 @@ void Runner::run_serial() {
           std::chrono::duration<double>(std::max(0.0, next - now)));
       continue;
     }
-    CellState& cs = cells_[*ready_.begin()];
+    CellState& cs = cells_[ready_.begin()->second];
     ready_.erase(ready_.begin());
     ++cs.attempts;
     cs.phase = CellPhase::kLeased;
     live_->in_flight.store(1);
+    detail_lease(cs, now);
     journal_event("lease", cs, [&] {
       util::JsonBuilder extra;
       extra.field("attempt", cs.attempts).field("worker", 0);
@@ -491,13 +594,14 @@ void Runner::assign_ready_cells(double now) {
   for (WorkerSlot& w : workers_) {
     if (ready_.empty()) return;
     if (w.pid < 0 || !w.ready || w.leased >= 0 || w.killing) continue;
-    CellState& cs = cells_[*ready_.begin()];
+    CellState& cs = cells_[ready_.begin()->second];
     ready_.erase(ready_.begin());
     ++cs.attempts;
     cs.phase = CellPhase::kLeased;
     w.leased = static_cast<std::ptrdiff_t>(cs.cell.index);
     w.last_heartbeat = now;
     live_->in_flight.fetch_add(1);
+    detail_lease(cs, now);
     journal_event("lease", cs, [&] {
       util::JsonBuilder extra;
       extra.field("attempt", cs.attempts)

@@ -1,0 +1,99 @@
+#include "ciphers/chaskey.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace mldist::ciphers {
+
+namespace {
+constexpr std::uint32_t rotl32(std::uint32_t v, int r) {
+  return (v << r) | (v >> (32 - r));
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+}  // namespace
+
+ChaskeyState chaskey_round(ChaskeyState v) {
+  v[0] += v[1];
+  v[1] = rotl32(v[1], 5);
+  v[1] ^= v[0];
+  v[0] = rotl32(v[0], 16);
+  v[2] += v[3];
+  v[3] = rotl32(v[3], 8);
+  v[3] ^= v[2];
+  v[0] += v[3];
+  v[3] = rotl32(v[3], 13);
+  v[3] ^= v[0];
+  v[2] += v[1];
+  v[1] = rotl32(v[1], 7);
+  v[1] ^= v[2];
+  v[2] = rotl32(v[2], 16);
+  return v;
+}
+
+void chaskey_permute(ChaskeyState& v, int rounds) {
+  assert(rounds >= 0);
+  for (int i = 0; i < rounds; ++i) v = chaskey_round(v);
+}
+
+ChaskeyState chaskey_times_two(const ChaskeyState& in) {
+  const std::uint32_t carry = in[3] >> 31 ? 0x87u : 0u;
+  ChaskeyState out;
+  out[0] = (in[0] << 1) ^ carry;
+  out[1] = (in[1] << 1) | (in[0] >> 31);
+  out[2] = (in[2] << 1) | (in[1] >> 31);
+  out[3] = (in[3] << 1) | (in[2] >> 31);
+  return out;
+}
+
+ChaskeyMac::ChaskeyMac(const ChaskeyState& key, int rounds)
+    : key_(key),
+      k1_(chaskey_times_two(key)),
+      k2_(chaskey_times_two(chaskey_times_two(key))),
+      rounds_(rounds) {}
+
+std::array<std::uint8_t, 16> ChaskeyMac::mac(const std::uint8_t* msg,
+                                             std::size_t len) const {
+  ChaskeyState v = key_;
+  // Absorb all complete blocks except a complete final one.
+  while (len > 16) {
+    for (int w = 0; w < 4; ++w) {
+      v[static_cast<std::size_t>(w)] ^= load_le32(msg + 4 * w);
+    }
+    chaskey_permute(v, rounds_);
+    msg += 16;
+    len -= 16;
+  }
+  // Final block: complete blocks use K1; short or empty blocks are padded
+  // with 0x01 0x00.. and use K2.
+  const ChaskeyState& last_key = (len == 16) ? k1_ : k2_;
+  std::uint8_t block[16] = {0};
+  std::memcpy(block, msg, len);
+  if (len < 16) block[len] = 0x01;
+  for (int w = 0; w < 4; ++w) {
+    v[static_cast<std::size_t>(w)] ^=
+        load_le32(block + 4 * w) ^ last_key[static_cast<std::size_t>(w)];
+  }
+  chaskey_permute(v, rounds_);
+  std::array<std::uint8_t, 16> tag;
+  for (int w = 0; w < 4; ++w) {
+    const std::uint32_t word =
+        v[static_cast<std::size_t>(w)] ^ last_key[static_cast<std::size_t>(w)];
+    tag[static_cast<std::size_t>(4 * w + 0)] =
+        static_cast<std::uint8_t>(word);
+    tag[static_cast<std::size_t>(4 * w + 1)] =
+        static_cast<std::uint8_t>(word >> 8);
+    tag[static_cast<std::size_t>(4 * w + 2)] =
+        static_cast<std::uint8_t>(word >> 16);
+    tag[static_cast<std::size_t>(4 * w + 3)] =
+        static_cast<std::uint8_t>(word >> 24);
+  }
+  return tag;
+}
+
+}  // namespace mldist::ciphers

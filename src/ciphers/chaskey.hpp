@@ -1,0 +1,48 @@
+// Chaskey (Mouha et al., SAC 2014): a permutation-based MAC for 32-bit
+// microcontrollers. The core is an ARX permutation on four 32-bit words
+// (8 rounds in the original proposal, 12 in Chaskey-12); messages are
+// absorbed in 128-bit blocks and the tag is the (truncated) final state.
+// Distinguished by neural networks in arXiv 2204.06341.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mldist::ciphers {
+
+inline constexpr int kChaskeyRounds = 8;
+
+/// Permutation state / key: four 32-bit words v0..v3 (little-endian bytes).
+using ChaskeyState = std::array<std::uint32_t, 4>;
+
+/// One forward round of the Chaskey permutation.
+ChaskeyState chaskey_round(ChaskeyState v);
+/// Apply `rounds` forward rounds in place.
+void chaskey_permute(ChaskeyState& v, int rounds = kChaskeyRounds);
+
+/// Multiply by x in GF(2^128) with polynomial x^128 + x^7 + x^2 + x + 1,
+/// treating v3 as the most significant word — the subkey derivation of the
+/// Chaskey spec (K1 = 2K, K2 = 4K = 2*K1).
+ChaskeyState chaskey_times_two(const ChaskeyState& in);
+
+class ChaskeyMac {
+ public:
+  explicit ChaskeyMac(const ChaskeyState& key, int rounds = kChaskeyRounds);
+
+  /// Full 128-bit tag over `len` message bytes (callers truncate for
+  /// shorter tags, per the spec).
+  std::array<std::uint8_t, 16> mac(const std::uint8_t* msg,
+                                   std::size_t len) const;
+
+  const ChaskeyState& k1() const { return k1_; }
+  const ChaskeyState& k2() const { return k2_; }
+
+ private:
+  ChaskeyState key_;
+  ChaskeyState k1_;
+  ChaskeyState k2_;
+  int rounds_;
+};
+
+}  // namespace mldist::ciphers

@@ -1,0 +1,99 @@
+#include "ciphers/present80.hpp"
+
+#include <cassert>
+
+namespace mldist::ciphers {
+
+namespace {
+constexpr std::uint8_t kSbox[16] = {0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+                                    0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2};
+constexpr std::uint8_t kSboxInv[16] = {0x5, 0xE, 0xF, 0x8, 0xC, 0x1, 0x2, 0xD,
+                                       0xB, 0x4, 0x6, 0x3, 0x0, 0x7, 0x9, 0xA};
+
+// pLayer: bit i moves to bit (i mod 4)*16 + i/4 (bit 63 fixed).
+constexpr int p_of(int i) { return (i % 4) * 16 + i / 4; }
+}  // namespace
+
+std::uint64_t Present80::sbox_layer(std::uint64_t s) {
+  std::uint64_t out = 0;
+  for (int n = 0; n < 16; ++n) {
+    out |= static_cast<std::uint64_t>(kSbox[(s >> (4 * n)) & 0xF]) << (4 * n);
+  }
+  return out;
+}
+
+std::uint64_t Present80::sbox_layer_inverse(std::uint64_t s) {
+  std::uint64_t out = 0;
+  for (int n = 0; n < 16; ++n) {
+    out |= static_cast<std::uint64_t>(kSboxInv[(s >> (4 * n)) & 0xF])
+           << (4 * n);
+  }
+  return out;
+}
+
+std::uint64_t Present80::p_layer(std::uint64_t s) {
+  std::uint64_t out = 0;
+  for (int i = 0; i < 64; ++i) {
+    out |= ((s >> i) & 1u) << p_of(i);
+  }
+  return out;
+}
+
+std::uint64_t Present80::p_layer_inverse(std::uint64_t s) {
+  std::uint64_t out = 0;
+  for (int i = 0; i < 64; ++i) {
+    out |= ((s >> p_of(i)) & 1u) << i;
+  }
+  return out;
+}
+
+Present80::Present80(const std::array<std::uint8_t, 10>& key) {
+  // 80-bit key register split as hi = bits 79..16, lo = bits 15..0.
+  std::uint64_t hi = 0;
+  for (int i = 0; i < 8; ++i) {
+    hi = (hi << 8) | key[static_cast<std::size_t>(i)];
+  }
+  std::uint16_t lo = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(key[8]) << 8) | key[9]);
+
+  rk_.resize(kPresentRounds + 1);
+  for (int round = 1; round <= kPresentRounds + 1; ++round) {
+    rk_[static_cast<std::size_t>(round - 1)] = hi;
+    if (round > kPresentRounds) break;
+    // Rotate the 80-bit register left by 61 (= right by 19).
+    const std::uint64_t old_hi = hi;
+    const std::uint16_t old_lo = lo;
+    hi = (old_hi >> 19) | (static_cast<std::uint64_t>(old_lo) << 45) |
+         (old_hi << 61);
+    lo = static_cast<std::uint16_t>(old_hi >> 3);
+    // S-box on the top nibble (register bits 79..76 = hi bits 63..60).
+    hi = (hi & 0x0FFFFFFFFFFFFFFFull) |
+         (static_cast<std::uint64_t>(kSbox[hi >> 60]) << 60);
+    // XOR the round counter into register bits 19..15.
+    hi ^= static_cast<std::uint64_t>(round >> 1);
+    lo ^= static_cast<std::uint16_t>((round & 1) << 15);
+  }
+}
+
+std::uint64_t Present80::encrypt(std::uint64_t p, int rounds) const {
+  assert(rounds >= 0 && rounds <= kPresentRounds);
+  for (int r = 0; r < rounds; ++r) {
+    p ^= rk_[static_cast<std::size_t>(r)];
+    p = sbox_layer(p);
+    p = p_layer(p);
+  }
+  return p ^ rk_[static_cast<std::size_t>(rounds)];
+}
+
+std::uint64_t Present80::decrypt(std::uint64_t c, int rounds) const {
+  assert(rounds >= 0 && rounds <= kPresentRounds);
+  c ^= rk_[static_cast<std::size_t>(rounds)];
+  for (int r = rounds - 1; r >= 0; --r) {
+    c = p_layer_inverse(c);
+    c = sbox_layer_inverse(c);
+    c ^= rk_[static_cast<std::size_t>(r)];
+  }
+  return c;
+}
+
+}  // namespace mldist::ciphers

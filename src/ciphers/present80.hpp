@@ -1,0 +1,37 @@
+// PRESENT-80 (Bogdanov et al., CHES 2007; ISO/IEC 29192-2): a 64-bit SPN
+// with a single 4-bit S-box, a bit permutation, and an 80-bit key.
+// Distinguished by neural networks in arXiv 2204.06341.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mldist::ciphers {
+
+inline constexpr int kPresentRounds = 31;
+
+class Present80 {
+ public:
+  /// Key bytes big-endian as printed in the paper's vectors: the all-zero
+  /// key is {0,...,0}; key[0] holds register bits 79..72.
+  explicit Present80(const std::array<std::uint8_t, 10>& key);
+
+  /// Encrypt `rounds` SPN rounds (addRoundKey, sBox, pLayer) followed by
+  /// the post-whitening key; rounds == 31 matches the official vectors.
+  std::uint64_t encrypt(std::uint64_t p, int rounds = kPresentRounds) const;
+  /// Inverse of encrypt(c, rounds).
+  std::uint64_t decrypt(std::uint64_t c, int rounds = kPresentRounds) const;
+
+  const std::vector<std::uint64_t>& round_keys() const { return rk_; }
+
+  static std::uint64_t sbox_layer(std::uint64_t s);
+  static std::uint64_t sbox_layer_inverse(std::uint64_t s);
+  static std::uint64_t p_layer(std::uint64_t s);
+  static std::uint64_t p_layer_inverse(std::uint64_t s);
+
+ private:
+  std::vector<std::uint64_t> rk_;  // 32 round keys (31 rounds + whitening).
+};
+
+}  // namespace mldist::ciphers

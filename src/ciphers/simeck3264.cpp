@@ -1,0 +1,68 @@
+#include "ciphers/simeck3264.hpp"
+
+#include <cassert>
+
+namespace mldist::ciphers {
+
+namespace {
+constexpr std::uint16_t rotl16(std::uint16_t v, int r) {
+  return static_cast<std::uint16_t>((v << r) | (v >> (16 - r)));
+}
+
+constexpr std::uint16_t simeck_f(std::uint16_t x) {
+  return static_cast<std::uint16_t>((x & rotl16(x, 5)) ^ rotl16(x, 1));
+}
+}  // namespace
+
+SimeckBlock Simeck3264::round(SimeckBlock b, std::uint16_t k) {
+  const std::uint16_t nx = static_cast<std::uint16_t>(b.y ^ simeck_f(b.x) ^ k);
+  b.y = b.x;
+  b.x = nx;
+  return b;
+}
+
+SimeckBlock Simeck3264::round_inverse(SimeckBlock b, std::uint16_t k) {
+  const std::uint16_t ny = static_cast<std::uint16_t>(b.x ^ simeck_f(b.y) ^ k);
+  b.x = b.y;
+  b.y = ny;
+  return b;
+}
+
+Simeck3264::Simeck3264(const std::array<std::uint16_t, 4>& key) {
+  rk_.resize(kSimeckRounds);
+  // Registers (t2, t1, t0, k0) = (key[0], key[1], key[2], key[3]); round i
+  // emits k0 and updates via the round function keyed by C ^ z_i, where
+  // C = 2^16 - 4 and z is the m-sequence of X^5 + X^2 + 1 seeded with all
+  // ones (z_{i+5} = z_{i+2} ^ z_i).
+  std::uint16_t t2 = key[0];
+  std::uint16_t t1 = key[1];
+  std::uint16_t t0 = key[2];
+  std::uint16_t k0 = key[3];
+  std::uint64_t z = 0x1f;  // LFSR state bits z_i..z_{i+4}, LSB = z_i.
+  for (int i = 0; i < kSimeckRounds; ++i) {
+    rk_[i] = k0;
+    const std::uint16_t rc =
+        static_cast<std::uint16_t>(0xfffcu ^ (z & 1u));
+    z = (z >> 1) | ((((z >> 2) ^ z) & 1u) << 4);
+    const std::uint16_t nt2 =
+        static_cast<std::uint16_t>(k0 ^ simeck_f(t0) ^ rc);
+    k0 = t0;
+    t0 = t1;
+    t1 = t2;
+    t2 = nt2;
+  }
+}
+
+SimeckBlock Simeck3264::encrypt(SimeckBlock p, int rounds) const {
+  assert(rounds >= 0 && rounds <= kSimeckRounds);
+  for (int i = 0; i < rounds; ++i) p = round(p, rk_[i]);
+  return p;
+}
+
+SimeckBlock Simeck3264::decrypt(SimeckBlock c, int rounds) const {
+  assert(rounds >= 0 && rounds <= kSimeckRounds);
+  for (int i = rounds - 1; i >= 0; --i) c = round_inverse(c, rk_[i]);
+  return c;
+}
+
+}  // namespace mldist::ciphers

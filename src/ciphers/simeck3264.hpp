@@ -1,0 +1,49 @@
+// SIMECK-32/64 (Yang, Zhu, Suder, Aagaard, Gong — CHES 2015): a SIMON-like
+// Feistel round, f(x) = (x & x <<< 5) ^ (x <<< 1), with a Speck-like key
+// schedule that reuses the round function on the key registers. Together
+// with SIMON it is the related-key distinguisher target of arXiv 2201.03767.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mldist::ciphers {
+
+inline constexpr int kSimeckRounds = 32;
+
+/// A 32-bit SIMECK block as two 16-bit words (x = high, y = low).
+struct SimeckBlock {
+  std::uint16_t x = 0;
+  std::uint16_t y = 0;
+
+  friend bool operator==(const SimeckBlock&, const SimeckBlock&) = default;
+
+  std::uint32_t as_u32() const {
+    return (static_cast<std::uint32_t>(x) << 16) | y;
+  }
+  static SimeckBlock from_u32(std::uint32_t v) {
+    return {static_cast<std::uint16_t>(v >> 16), static_cast<std::uint16_t>(v)};
+  }
+};
+
+class Simeck3264 {
+ public:
+  /// Key words in printing order, matching Simon3264/Speck3264: the CHES
+  /// test-vector key "1918 1110 0908 0100" is {0x1918, 0x1110, 0x0908,
+  /// 0x0100} and key[3] seeds round 0.
+  explicit Simeck3264(const std::array<std::uint16_t, 4>& key);
+
+  SimeckBlock encrypt(SimeckBlock p, int rounds = kSimeckRounds) const;
+  SimeckBlock decrypt(SimeckBlock c, int rounds = kSimeckRounds) const;
+
+  const std::vector<std::uint16_t>& round_keys() const { return rk_; }
+
+  static SimeckBlock round(SimeckBlock b, std::uint16_t k);
+  static SimeckBlock round_inverse(SimeckBlock b, std::uint16_t k);
+
+ private:
+  std::vector<std::uint16_t> rk_;
+};
+
+}  // namespace mldist::ciphers

@@ -1,0 +1,70 @@
+#include "ciphers/simon3264.hpp"
+
+#include <cassert>
+
+namespace mldist::ciphers {
+
+namespace {
+constexpr std::uint16_t rotl16(std::uint16_t v, int r) {
+  return static_cast<std::uint16_t>((v << r) | (v >> (16 - r)));
+}
+constexpr std::uint16_t rotr16(std::uint16_t v, int r) {
+  return static_cast<std::uint16_t>((v >> r) | (v << (16 - r)));
+}
+
+constexpr std::uint16_t simon_f(std::uint16_t x) {
+  return static_cast<std::uint16_t>((rotl16(x, 1) & rotl16(x, 8)) ^
+                                    rotl16(x, 2));
+}
+
+// The z0 constant sequence of the SIMON paper, indexed as z0[i % 62]; the
+// string is the sequence exactly as printed (leftmost character = (z0)_0).
+constexpr char kZ0[] =
+    "11111010001001010110000111001101111101000100101011000011100110";
+}  // namespace
+
+SimonBlock Simon3264::round(SimonBlock b, std::uint16_t k) {
+  const std::uint16_t nx = static_cast<std::uint16_t>(b.y ^ simon_f(b.x) ^ k);
+  b.y = b.x;
+  b.x = nx;
+  return b;
+}
+
+SimonBlock Simon3264::round_inverse(SimonBlock b, std::uint16_t k) {
+  const std::uint16_t ny = static_cast<std::uint16_t>(b.x ^ simon_f(b.y) ^ k);
+  b.x = b.y;
+  b.y = ny;
+  return b;
+}
+
+Simon3264::Simon3264(const std::array<std::uint16_t, 4>& key) {
+  rk_.resize(kSimonRounds);
+  // key[3] is k[0], key[2] is k[1], key[1] is k[2], key[0] is k[3];
+  // k[i+4] = c ^ (z0)_i ^ k[i] ^ (I ^ S^-1)(S^-3 k[i+3] ^ k[i+1]),
+  // c = 2^16 - 4.
+  rk_[0] = key[3];
+  rk_[1] = key[2];
+  rk_[2] = key[1];
+  rk_[3] = key[0];
+  for (int i = 0; i + 4 < kSimonRounds; ++i) {
+    std::uint16_t tmp =
+        static_cast<std::uint16_t>(rotr16(rk_[i + 3], 3) ^ rk_[i + 1]);
+    tmp ^= rotr16(tmp, 1);
+    rk_[i + 4] = static_cast<std::uint16_t>(
+        0xfffcu ^ (kZ0[i % 62] - '0') ^ rk_[i] ^ tmp);
+  }
+}
+
+SimonBlock Simon3264::encrypt(SimonBlock p, int rounds) const {
+  assert(rounds >= 0 && rounds <= kSimonRounds);
+  for (int i = 0; i < rounds; ++i) p = round(p, rk_[i]);
+  return p;
+}
+
+SimonBlock Simon3264::decrypt(SimonBlock c, int rounds) const {
+  assert(rounds >= 0 && rounds <= kSimonRounds);
+  for (int i = rounds - 1; i >= 0; --i) c = round_inverse(c, rk_[i]);
+  return c;
+}
+
+}  // namespace mldist::ciphers

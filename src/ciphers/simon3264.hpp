@@ -1,0 +1,54 @@
+// SIMON-32/64 (Beaulieu et al., 2013): the AND-RX Feistel sibling of SPECK
+// and, with SIMECK, the related-key distinguisher target of arXiv 2201.03767.
+//
+//   block 32 bits (two 16-bit words), key 64 bits (four 16-bit words),
+//   32 rounds; round function (x, y) -> (y ^ f(x) ^ k, x) with
+//   f(x) = (x <<< 1 & x <<< 8) ^ (x <<< 2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mldist::ciphers {
+
+inline constexpr int kSimonRounds = 32;
+
+/// A 32-bit SIMON block as its two 16-bit words (x = high, y = low) — the
+/// same packing convention as SpeckBlock.
+struct SimonBlock {
+  std::uint16_t x = 0;
+  std::uint16_t y = 0;
+
+  friend bool operator==(const SimonBlock&, const SimonBlock&) = default;
+
+  std::uint32_t as_u32() const {
+    return (static_cast<std::uint32_t>(x) << 16) | y;
+  }
+  static SimonBlock from_u32(std::uint32_t v) {
+    return {static_cast<std::uint16_t>(v >> 16), static_cast<std::uint16_t>(v)};
+  }
+};
+
+class Simon3264 {
+ public:
+  /// Key words in the paper's printing order, exactly like Speck3264: the
+  /// test-vector key "1918 1110 0908 0100" is passed as {0x1918, 0x1110,
+  /// 0x0908, 0x0100} (key[3] is the word used in round 0).
+  explicit Simon3264(const std::array<std::uint16_t, 4>& key);
+
+  /// Encrypt through the first `rounds` rounds (default: full 32).
+  SimonBlock encrypt(SimonBlock p, int rounds = kSimonRounds) const;
+  /// Inverse of encrypt(p, rounds).
+  SimonBlock decrypt(SimonBlock c, int rounds = kSimonRounds) const;
+
+  const std::vector<std::uint16_t>& round_keys() const { return rk_; }
+
+  static SimonBlock round(SimonBlock b, std::uint16_t k);
+  static SimonBlock round_inverse(SimonBlock b, std::uint16_t k);
+
+ private:
+  std::vector<std::uint16_t> rk_;
+};
+
+}  // namespace mldist::ciphers

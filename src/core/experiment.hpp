@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "nn/model.hpp"
 #include "util/rng.hpp"
@@ -25,6 +26,15 @@ struct ExperimentConfig {
   // --- what to attack -----------------------------------------------------
   std::string target = "gimli-hash";  ///< see make_target() for the names
   int rounds = 7;                     ///< round budget (init clocks for trivium)
+  /// Where the t differences are injected: "plaintext" (the paper's
+  /// chosen-plaintext game) or "related-key" (arXiv 2201.03767; only the
+  /// keyed block-cipher/MAC targets support it).
+  std::string diff_site = "plaintext";
+  /// The t difference specifiers, target-interpreted: XOR masks for the
+  /// block-cipher/MAC targets (speck, simon, simeck, present, chaskey,
+  /// gift64, gift128, toy), byte/word positions for the sponge and stream
+  /// targets (gimli-*, salsa, trivium).  Empty = the target's defaults.
+  std::vector<std::uint64_t> diffs;
 
   // --- classifier ---------------------------------------------------------
   std::string arch = "default-mlp";   ///< "default-mlp", an arch_zoo name
@@ -51,8 +61,10 @@ struct ExperimentConfig {
   std::function<void(const nn::EpochStats&)> on_epoch;
 
   /// Instantiate the configured target.  Throws std::invalid_argument for
-  /// unknown names.  Known names: gimli-hash, gimli-cipher, speck, gift64,
-  /// gift128, toy, salsa, trivium.
+  /// unknown names, for a diff_site the target does not support, or for
+  /// out-of-range difference specifiers.  Known names: gimli-hash,
+  /// gimli-cipher, speck, simon, simeck, present, chaskey, gift64, gift128,
+  /// toy, salsa, trivium.
   std::unique_ptr<Target> make_target() const;
 
   /// Instantiate the configured architecture for `target`'s shapes, with

@@ -2,22 +2,45 @@
 
 #include <stdexcept>
 
+#include "ciphers/chaskey.hpp"
 #include "ciphers/gift128.hpp"
 #include "ciphers/gift64.hpp"
 #include "ciphers/gift_toy.hpp"
 #include "ciphers/gimli.hpp"
 #include "ciphers/gimli_hash.hpp"
+#include "ciphers/present80.hpp"
 #include "ciphers/salsa20.hpp"
+#include "ciphers/simeck3264.hpp"
+#include "ciphers/simon3264.hpp"
 #include "ciphers/speck3264.hpp"
 #include "ciphers/trivium.hpp"
 #include "util/bits.hpp"
 
 namespace mldist::core {
 
+const char* diff_site_name(DiffSite site) {
+  return site == DiffSite::kRelatedKey ? "related-key" : "plaintext";
+}
+
+DiffSite parse_diff_site(const std::string& name) {
+  if (name == "plaintext") return DiffSite::kPlaintext;
+  if (name == "related-key") return DiffSite::kRelatedKey;
+  throw std::invalid_argument(
+      "unknown difference site '" + name +
+      "' (expected \"plaintext\" or \"related-key\")");
+}
+
 namespace {
 void require_t(std::size_t t) {
   if (t < 2) {
     throw std::invalid_argument("Target: Algorithm 2 needs t >= 2 differences");
+  }
+}
+
+void require_rounds(int rounds, int max, const char* who) {
+  if (rounds < 1 || rounds > max) {
+    throw std::invalid_argument(std::string(who) + ": rounds must be in [1, " +
+                                std::to_string(max) + "]");
   }
 }
 
@@ -264,8 +287,9 @@ std::string GimliCipherTarget::name() const {
 // SPECK-32/64
 // ---------------------------------------------------------------------------
 
-SpeckTarget::SpeckTarget(int rounds, std::vector<std::uint32_t> diffs)
-    : rounds_(rounds), diffs_(std::move(diffs)) {
+SpeckTarget::SpeckTarget(int rounds, std::vector<std::uint32_t> diffs,
+                         DiffSite site)
+    : rounds_(rounds), diffs_(std::move(diffs)), site_(site) {
   require_t(diffs_.size());
 }
 
@@ -283,16 +307,222 @@ void SpeckTarget::sample(
       cipher.encrypt(ciphers::SpeckBlock::from_u32(p), rounds_).as_u32();
   out_diffs.assign(diffs_.size(), std::vector<std::uint8_t>(4));
   for (std::size_t i = 0; i < diffs_.size(); ++i) {
-    const std::uint32_t ci =
-        cipher.encrypt(ciphers::SpeckBlock::from_u32(p ^ diffs_[i]), rounds_)
-            .as_u32();
+    std::uint32_t ci;
+    if (site_ == DiffSite::kRelatedKey) {
+      std::array<std::uint16_t, 4> k2 = key;
+      k2[3] ^= static_cast<std::uint16_t>(diffs_[i]);
+      k2[2] ^= static_cast<std::uint16_t>(diffs_[i] >> 16);
+      ci = ciphers::Speck3264(k2)
+               .encrypt(ciphers::SpeckBlock::from_u32(p), rounds_)
+               .as_u32();
+    } else {
+      ci = cipher.encrypt(ciphers::SpeckBlock::from_u32(p ^ diffs_[i]), rounds_)
+               .as_u32();
+    }
     const std::uint32_t d = ci ^ c;
     util::store_u32_le(out_diffs[i].data(), d);
   }
 }
 
 std::string SpeckTarget::name() const {
-  return "speck32-64/" + std::to_string(rounds_) + "r";
+  return "speck32-64/" + std::to_string(rounds_) + "r" +
+         (site_ == DiffSite::kRelatedKey ? "-rk" : "");
+}
+
+// ---------------------------------------------------------------------------
+// SIMON-32/64
+// ---------------------------------------------------------------------------
+
+namespace {
+// Key-mask convention shared by the 64-bit-key Feistel targets: bits [15:0]
+// of the mask flip the word the schedule loads first (key[3]), up through
+// bits [63:48] flipping key[0].
+std::array<std::uint16_t, 4> xor_key64(const std::array<std::uint16_t, 4>& key,
+                                       std::uint64_t mask) {
+  std::array<std::uint16_t, 4> k2 = key;
+  for (int w = 0; w < 4; ++w) {
+    k2[static_cast<std::size_t>(3 - w)] ^=
+        static_cast<std::uint16_t>(mask >> (16 * w));
+  }
+  return k2;
+}
+}  // namespace
+
+SimonTarget::SimonTarget(int rounds, std::vector<std::uint64_t> diffs,
+                         DiffSite site)
+    : rounds_(rounds), diffs_(std::move(diffs)), site_(site) {
+  require_t(diffs_.size());
+  require_rounds(rounds_, ciphers::kSimonRounds, "SimonTarget");
+}
+
+void SimonTarget::sample(
+    util::Xoshiro256& rng,
+    std::vector<std::vector<std::uint8_t>>& out_diffs) const {
+  const std::array<std::uint16_t, 4> key = {
+      static_cast<std::uint16_t>(rng.next_u32()),
+      static_cast<std::uint16_t>(rng.next_u32()),
+      static_cast<std::uint16_t>(rng.next_u32()),
+      static_cast<std::uint16_t>(rng.next_u32())};
+  const ciphers::Simon3264 cipher(key);
+  const std::uint32_t p = rng.next_u32();
+  const std::uint32_t c =
+      cipher.encrypt(ciphers::SimonBlock::from_u32(p), rounds_).as_u32();
+  out_diffs.assign(diffs_.size(), std::vector<std::uint8_t>(4));
+  for (std::size_t i = 0; i < diffs_.size(); ++i) {
+    std::uint32_t ci;
+    if (site_ == DiffSite::kRelatedKey) {
+      ci = ciphers::Simon3264(xor_key64(key, diffs_[i]))
+               .encrypt(ciphers::SimonBlock::from_u32(p), rounds_)
+               .as_u32();
+    } else {
+      const std::uint32_t p2 = p ^ static_cast<std::uint32_t>(diffs_[i]);
+      ci = cipher.encrypt(ciphers::SimonBlock::from_u32(p2), rounds_).as_u32();
+    }
+    util::store_u32_le(out_diffs[i].data(), ci ^ c);
+  }
+}
+
+std::string SimonTarget::name() const {
+  return "simon32-64/" + std::to_string(rounds_) + "r" +
+         (site_ == DiffSite::kRelatedKey ? "-rk" : "");
+}
+
+// ---------------------------------------------------------------------------
+// SIMECK-32/64
+// ---------------------------------------------------------------------------
+
+SimeckTarget::SimeckTarget(int rounds, std::vector<std::uint64_t> diffs,
+                           DiffSite site)
+    : rounds_(rounds), diffs_(std::move(diffs)), site_(site) {
+  require_t(diffs_.size());
+  require_rounds(rounds_, ciphers::kSimeckRounds, "SimeckTarget");
+}
+
+void SimeckTarget::sample(
+    util::Xoshiro256& rng,
+    std::vector<std::vector<std::uint8_t>>& out_diffs) const {
+  const std::array<std::uint16_t, 4> key = {
+      static_cast<std::uint16_t>(rng.next_u32()),
+      static_cast<std::uint16_t>(rng.next_u32()),
+      static_cast<std::uint16_t>(rng.next_u32()),
+      static_cast<std::uint16_t>(rng.next_u32())};
+  const ciphers::Simeck3264 cipher(key);
+  const std::uint32_t p = rng.next_u32();
+  const std::uint32_t c =
+      cipher.encrypt(ciphers::SimeckBlock::from_u32(p), rounds_).as_u32();
+  out_diffs.assign(diffs_.size(), std::vector<std::uint8_t>(4));
+  for (std::size_t i = 0; i < diffs_.size(); ++i) {
+    std::uint32_t ci;
+    if (site_ == DiffSite::kRelatedKey) {
+      ci = ciphers::Simeck3264(xor_key64(key, diffs_[i]))
+               .encrypt(ciphers::SimeckBlock::from_u32(p), rounds_)
+               .as_u32();
+    } else {
+      const std::uint32_t p2 = p ^ static_cast<std::uint32_t>(diffs_[i]);
+      ci = cipher.encrypt(ciphers::SimeckBlock::from_u32(p2), rounds_).as_u32();
+    }
+    util::store_u32_le(out_diffs[i].data(), ci ^ c);
+  }
+}
+
+std::string SimeckTarget::name() const {
+  return "simeck32-64/" + std::to_string(rounds_) + "r" +
+         (site_ == DiffSite::kRelatedKey ? "-rk" : "");
+}
+
+// ---------------------------------------------------------------------------
+// PRESENT-80
+// ---------------------------------------------------------------------------
+
+PresentTarget::PresentTarget(int rounds, std::vector<std::uint64_t> diffs,
+                             DiffSite site)
+    : rounds_(rounds), diffs_(std::move(diffs)), site_(site) {
+  require_t(diffs_.size());
+  require_rounds(rounds_, ciphers::kPresentRounds, "PresentTarget");
+}
+
+void PresentTarget::sample(
+    util::Xoshiro256& rng,
+    std::vector<std::vector<std::uint8_t>>& out_diffs) const {
+  std::array<std::uint8_t, 10> key;
+  rng.fill_bytes(key.data(), key.size());
+  const ciphers::Present80 cipher(key);
+  const std::uint64_t p = rng.next_u64();
+  const std::uint64_t c = cipher.encrypt(p, rounds_);
+  out_diffs.assign(diffs_.size(), std::vector<std::uint8_t>(8));
+  for (std::size_t i = 0; i < diffs_.size(); ++i) {
+    std::uint64_t ci;
+    if (site_ == DiffSite::kRelatedKey) {
+      // Mask bit j flips register bit j; register bits 63..0 live in key
+      // bytes key[2..9] (big-endian), so mask byte b lands in key[9 - b].
+      std::array<std::uint8_t, 10> k2 = key;
+      for (int b = 0; b < 8; ++b) {
+        k2[static_cast<std::size_t>(9 - b)] ^=
+            static_cast<std::uint8_t>(diffs_[i] >> (8 * b));
+      }
+      ci = ciphers::Present80(k2).encrypt(p, rounds_);
+    } else {
+      ci = cipher.encrypt(p ^ diffs_[i], rounds_);
+    }
+    const std::uint64_t d = ci ^ c;
+    for (int b = 0; b < 8; ++b) {
+      out_diffs[i][static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(d >> (8 * b));
+    }
+  }
+}
+
+std::string PresentTarget::name() const {
+  return "present80/" + std::to_string(rounds_) + "r" +
+         (site_ == DiffSite::kRelatedKey ? "-rk" : "");
+}
+
+// ---------------------------------------------------------------------------
+// Chaskey
+// ---------------------------------------------------------------------------
+
+ChaskeyTarget::ChaskeyTarget(int rounds, std::vector<std::uint64_t> diffs,
+                             DiffSite site)
+    : rounds_(rounds), diffs_(std::move(diffs)), site_(site) {
+  require_t(diffs_.size());
+  if (rounds_ < 1 || rounds_ > 16) {
+    throw std::invalid_argument("ChaskeyTarget: rounds must be in [1, 16]");
+  }
+}
+
+void ChaskeyTarget::sample(
+    util::Xoshiro256& rng,
+    std::vector<std::vector<std::uint8_t>>& out_diffs) const {
+  ciphers::ChaskeyState key;
+  for (auto& w : key) w = rng.next_u32();
+  std::array<std::uint8_t, 16> msg;
+  rng.fill_bytes(msg.data(), msg.size());
+
+  const ciphers::ChaskeyMac mac(key, rounds_);
+  const auto tag = mac.mac(msg.data(), msg.size());
+  out_diffs.assign(diffs_.size(), std::vector<std::uint8_t>(16));
+  for (std::size_t i = 0; i < diffs_.size(); ++i) {
+    std::array<std::uint8_t, 16> tag2;
+    if (site_ == DiffSite::kRelatedKey) {
+      ciphers::ChaskeyState k2 = key;
+      k2[0] ^= static_cast<std::uint32_t>(diffs_[i]);
+      k2[1] ^= static_cast<std::uint32_t>(diffs_[i] >> 32);
+      tag2 = ciphers::ChaskeyMac(k2, rounds_).mac(msg.data(), msg.size());
+    } else {
+      std::array<std::uint8_t, 16> m2 = msg;
+      for (int b = 0; b < 8; ++b) {
+        m2[static_cast<std::size_t>(b)] ^=
+            static_cast<std::uint8_t>(diffs_[i] >> (8 * b));
+      }
+      tag2 = mac.mac(m2.data(), m2.size());
+    }
+    for (std::size_t b = 0; b < 16; ++b) out_diffs[i][b] = tag2[b] ^ tag[b];
+  }
+}
+
+std::string ChaskeyTarget::name() const {
+  return "chaskey/" + std::to_string(rounds_) + "r" +
+         (site_ == DiffSite::kRelatedKey ? "-rk" : "");
 }
 
 // ---------------------------------------------------------------------------

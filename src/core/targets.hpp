@@ -22,6 +22,19 @@ namespace mldist::core {
 /// `batch[s][i]` = output difference i of base input s.
 using DiffBatch = std::vector<std::vector<std::vector<std::uint8_t>>>;
 
+/// Where the t differences are injected.  `kPlaintext` is the paper's
+/// chosen-plaintext game (differences XORed into the primitive's public
+/// input); `kRelatedKey` is the related-key game of arXiv 2201.03767:
+/// the difference is XORed into the master key, the key schedule is re-run,
+/// and the observable is E_{K^d}(P) ^ E_K(P) for one shared plaintext.
+enum class DiffSite { kPlaintext, kRelatedKey };
+
+/// "plaintext" / "related-key" — the spelling used by ExperimentConfig,
+/// spec files, and manifests.
+const char* diff_site_name(DiffSite site);
+/// Inverse of diff_site_name; throws std::invalid_argument on unknown names.
+DiffSite parse_diff_site(const std::string& name);
+
 class Target {
  public:
   virtual ~Target() = default;
@@ -115,11 +128,14 @@ class GimliCipherTarget : public Target {
 
 /// §2.3 background, SPECK-32/64: fresh random key per sample, plaintext
 /// differences given as 32-bit XOR masks (default: Gohr's 0x00400000 and a
-/// second mask to satisfy t >= 2).
+/// second mask to satisfy t >= 2).  Under DiffSite::kRelatedKey each mask is
+/// XORed into the master key instead — bits [15:0] into the word the
+/// schedule loads first (key[3]) and bits [31:16] into key[2].
 class SpeckTarget : public Target {
  public:
   SpeckTarget(int rounds,
-              std::vector<std::uint32_t> diffs = {0x00400000u, 0x00102000u});
+              std::vector<std::uint32_t> diffs = {0x00400000u, 0x00102000u},
+              DiffSite site = DiffSite::kPlaintext);
 
   std::size_t num_differences() const override { return diffs_.size(); }
   std::size_t output_bytes() const override { return 4; }
@@ -130,6 +146,95 @@ class SpeckTarget : public Target {
  private:
   int rounds_;
   std::vector<std::uint32_t> diffs_;
+  DiffSite site_;
+};
+
+/// SIMON-32/64 (arXiv 2201.03767's primary related-key target): fresh random
+/// 64-bit key per sample.  Plaintext site: masks are 32-bit XOR differences
+/// on the block.  Related-key site: masks are 64-bit XOR differences on the
+/// master key, bits [15:0] landing in the word the schedule loads first
+/// (key[3]) up through bits [63:48] in key[0].
+class SimonTarget : public Target {
+ public:
+  SimonTarget(int rounds,
+              std::vector<std::uint64_t> diffs = {0x40ULL, 0x4000ULL},
+              DiffSite site = DiffSite::kPlaintext);
+
+  std::size_t num_differences() const override { return diffs_.size(); }
+  std::size_t output_bytes() const override { return 4; }
+  void sample(util::Xoshiro256& rng,
+              std::vector<std::vector<std::uint8_t>>& out_diffs) const override;
+  std::string name() const override;
+
+ private:
+  int rounds_;
+  std::vector<std::uint64_t> diffs_;
+  DiffSite site_;
+};
+
+/// SIMECK-32/64: same experiment shape and mask conventions as SimonTarget.
+class SimeckTarget : public Target {
+ public:
+  SimeckTarget(int rounds,
+               std::vector<std::uint64_t> diffs = {0x40ULL, 0x4000ULL},
+               DiffSite site = DiffSite::kPlaintext);
+
+  std::size_t num_differences() const override { return diffs_.size(); }
+  std::size_t output_bytes() const override { return 4; }
+  void sample(util::Xoshiro256& rng,
+              std::vector<std::vector<std::uint8_t>>& out_diffs) const override;
+  std::string name() const override;
+
+ private:
+  int rounds_;
+  std::vector<std::uint64_t> diffs_;
+  DiffSite site_;
+};
+
+/// PRESENT-80 (arXiv 2204.06341): fresh random 80-bit key per sample,
+/// 64-bit plaintext XOR masks; the observable is the 8-byte ciphertext
+/// difference.  Related-key site: the mask is XORed into the low 64 bits of
+/// the 80-bit key register (mask bit j flips register bit j).
+class PresentTarget : public Target {
+ public:
+  PresentTarget(int rounds,
+                std::vector<std::uint64_t> diffs = {0x1ULL, 0x10ULL},
+                DiffSite site = DiffSite::kPlaintext);
+
+  std::size_t num_differences() const override { return diffs_.size(); }
+  std::size_t output_bytes() const override { return 8; }
+  void sample(util::Xoshiro256& rng,
+              std::vector<std::vector<std::uint8_t>>& out_diffs) const override;
+  std::string name() const override;
+
+ private:
+  int rounds_;
+  std::vector<std::uint64_t> diffs_;
+  DiffSite site_;
+};
+
+/// Chaskey (arXiv 2204.06341): fresh random 128-bit key and one random
+/// complete 16-byte message block per sample; the observable is the 16-byte
+/// tag difference of the round-reduced MAC.  Plaintext site: masks are XOR
+/// differences on the first 8 message bytes (bit j of the mask flips bit j
+/// of the little-endian words m0||m1).  Related-key site: masks are XOR
+/// differences on key words k0||k1, with the K1/K2 subkeys re-derived.
+class ChaskeyTarget : public Target {
+ public:
+  ChaskeyTarget(int rounds,
+                std::vector<std::uint64_t> diffs = {0x1ULL, 0x80000000ULL},
+                DiffSite site = DiffSite::kPlaintext);
+
+  std::size_t num_differences() const override { return diffs_.size(); }
+  std::size_t output_bytes() const override { return 16; }
+  void sample(util::Xoshiro256& rng,
+              std::vector<std::vector<std::uint8_t>>& out_diffs) const override;
+  std::string name() const override;
+
+ private:
+  int rounds_;
+  std::vector<std::uint64_t> diffs_;
+  DiffSite site_;
 };
 
 /// §6 future work, GIFT-64: fresh random key per sample, 64-bit plaintext

@@ -17,6 +17,7 @@
 // 3 runtime failure (I/O, corrupt model file, ...).  Failures print a
 // structured error — a JSON error record under --json — instead of crashing
 // with an unhandled exception.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +25,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "campaign/specfile.hpp"
 #include "campaign/supervisor.hpp"
@@ -40,6 +42,8 @@
 #include "obs/server.hpp"
 #include "obs/signal.hpp"
 #include "obs/trace.hpp"
+#include "serve/daemon.hpp"
+#include "serve/registry.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
@@ -69,6 +73,10 @@ struct Args {
   std::vector<int> rounds_list;      ///< --rounds-list 5,6,7
   std::vector<std::string> archs;    ///< --archs a,b
   campaign::SupervisorOptions sup;
+
+  // --- serve subcommand ----------------------------------------------------
+  std::string registry_dir;          ///< --registry DIR of *.nnb models
+  serve::ServeOptions serve_opt;     ///< --port / --batch-* / --queue-max-rows
 };
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -162,6 +170,18 @@ bool parse(int argc, char** argv, Args& out) {
       out.sup.max_cell_retries = std::atoi(v);
     } else if (flag == "--state-dir") {
       out.sup.state_dir = v;
+    } else if (flag == "--registry") {
+      out.registry_dir = v;
+    } else if (flag == "--port") {
+      out.serve_opt.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (flag == "--batch-window-us") {
+      out.serve_opt.batch.batch_window_us = std::atoi(v);
+    } else if (flag == "--batch-max-rows") {
+      out.serve_opt.batch.batch_max_rows = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--queue-max-rows") {
+      out.serve_opt.batch.queue_max_rows = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--read-timeout-ms") {
+      out.serve_opt.read_timeout_ms = std::atoi(v);
     } else if (flag == "--model") {
       out.model_path = v;
     } else if (flag == "--oracle") {
@@ -233,6 +253,10 @@ int usage() {
                "             [--archs a,b] [--workers N] [--cell-timeout S] "
                "[--max-cell-retries N]\n"
                "             [--samples N] [--epochs E] [--seed S] [--json]\n"
+               "  mldist_cli serve --registry DIR [--port P] "
+               "[--batch-window-us N]\n"
+               "             [--batch-max-rows N] [--queue-max-rows N] "
+               "[--read-timeout-ms N]\n"
                "  mldist_cli list\n"
                "train/test also accept --passes to override the IR "
                "optimisation pipeline,\n"
@@ -244,7 +268,11 @@ int usage() {
                "axes) over worker processes, journals results to "
                "DIR/campaign.state.jsonl +\n"
                "DIR/history.jsonl, and resumes from DIR after a crash, "
-               "skipping finished cells.\n");
+               "skipping finished cells.\n"
+               "serve loads every *.nnb model in DIR and answers POST "
+               "/v1/classify with\n"
+               "batched inference until SIGINT/SIGTERM (see DESIGN.md "
+               "section 15).\n");
   return kExitConfig;
 }
 
@@ -478,6 +506,50 @@ int cmd_campaign(const Args& args) {
              : kExitNotUsable;
 }
 
+// Serve every model in --registry until SIGINT/SIGTERM.  The daemon thread
+// owns all the I/O; main just parks on the cooperative interrupt flag so
+// ^C drains in-flight batches instead of dropping them.
+int cmd_serve(const Args& args) {
+  if (args.registry_dir.empty()) {
+    throw std::invalid_argument("serve: --registry DIR is required");
+  }
+  serve::ModelRegistry registry;
+  const std::size_t loaded = registry.load_dir(args.registry_dir);
+  if (loaded == 0) {
+    throw std::invalid_argument("serve: no *.nnb models in " +
+                                args.registry_dir);
+  }
+  serve::ServeDaemon daemon(registry);
+  std::string error;
+  if (!daemon.start(args.serve_opt, &error)) {
+    throw std::runtime_error("serve: " + error);
+  }
+  obs::RunStatus::global().set_phase("serve");
+  if (!args.json) {
+    std::printf("serving %zu model%s on http://localhost:%u/v1/classify "
+                "(^C to stop)\n",
+                loaded, loaded == 1 ? "" : "s", daemon.port());
+  }
+  while (!obs::interrupt_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  daemon.stop();
+  if (args.json) {
+    util::JsonBuilder j;
+    j.field("command", "serve")
+        .raw("manifest", obs::RunManifest::current().to_json())
+        .field("models", static_cast<std::uint64_t>(loaded))
+        .field("requests", daemon.requests())
+        .field("rejected", daemon.rejected());
+    std::printf("%s\n", j.str().c_str());
+  } else {
+    std::printf("serve: drained; %llu requests (%llu rejected)\n",
+                static_cast<unsigned long long>(daemon.requests()),
+                static_cast<unsigned long long>(daemon.rejected()));
+  }
+  return 0;
+}
+
 /// Print a structured error record (JSON under --json) and return the exit
 /// code, instead of dying with an unhandled exception.
 int report_error(bool json, const char* kind, const std::string& what,
@@ -526,10 +598,12 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, args)) return usage();
   // SIGTERM/SIGINT: single-experiment commands drain the log ring, stamp an
   // "interrupted" RunStatus and die with the signal (immediate mode); the
-  // campaign supervisor instead observes the flag and shuts down
-  // cooperatively — journaling the interruption so a rerun resumes.
+  // campaign supervisor and the serving daemon instead observe the flag and
+  // shut down cooperatively — the campaign journals the interruption so a
+  // rerun resumes, the daemon drains its batch queues before exiting.
   obs::install_interrupt_handlers(
-      /*exit_immediately=*/args.command != "campaign");
+      /*exit_immediately=*/args.command != "campaign" &&
+      args.command != "serve");
   // Live observability (off by default): /metrics, /healthz and /runz for
   // the duration of the run.  The server thread only ever reads snapshots,
   // so it cannot perturb the pipeline's determinism.
@@ -551,6 +625,7 @@ int main(int argc, char** argv) {
     if (args.command == "train") return finish_trace(cmd_train(args));
     if (args.command == "test") return finish_trace(cmd_test(args));
     if (args.command == "campaign") return finish_trace(cmd_campaign(args));
+    if (args.command == "serve") return finish_trace(cmd_serve(args));
     return usage();
   } catch (const std::invalid_argument& e) {
     // Bad target/arch names, model/target mismatches: caller-fixable.

@@ -161,7 +161,12 @@ double cell_cost(const core::ExperimentConfig& config) {
   double arch_weight = 1.0;
   const std::string& a = config.arch;
   if (a.rfind("gohr-net/", 0) == 0) {
-    arch_weight = 4.0 + 2.0 * std::strtod(a.c_str() + 9, nullptr);
+    // Checked parse: an unparseable depth ("gohr-net/d=x") is rejected
+    // elsewhere before any cell runs, but the cost model must not silently
+    // read it as depth 0 — fall back to a conservative mid-range weight so
+    // scheduling stays sane even for names that slip through.
+    double depth = 0.0;
+    arch_weight = parse_f64(a.substr(9), depth) ? 4.0 + 2.0 * depth : 10.0;
   } else if (a.rfind("LSTM", 0) == 0) {
     arch_weight = 10.0;
   } else if (a.rfind("CNN", 0) == 0) {

@@ -1,5 +1,7 @@
 #include "campaign/specfile.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -340,12 +342,39 @@ class Mapper {
       throw SpecError(origin_, v.line,
                       "\"" + key + "\" must be an integer, got " + v.text);
     }
-    return static_cast<int>(std::strtol(v.text.c_str(), nullptr, 10));
+    // Checked parse (parse-time-validation contract): empty text, trailing
+    // garbage and out-of-int-range values are all rejected here with the
+    // spec file:line, never silently truncated by an unchecked strtol.
+    errno = 0;
+    char* end = nullptr;
+    const long parsed = std::strtol(v.text.c_str(), &end, 10);
+    if (v.text.empty() || end != v.text.c_str() + v.text.size()) {
+      throw SpecError(origin_, v.line,
+                      "\"" + key + "\" is not a valid integer: \"" + v.text +
+                          "\"");
+    }
+    if (errno == ERANGE || parsed > 2147483647L || parsed < -2147483648L) {
+      throw SpecError(origin_, v.line,
+                      "\"" + key + "\" is out of integer range: " + v.text);
+    }
+    return static_cast<int>(parsed);
   }
 
   double as_double(const Value& v, const std::string& key) const {
     require(v, Value::Kind::kNumber, key);
-    return std::strtod(v.text.c_str(), nullptr);
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(v.text.c_str(), &end);
+    if (v.text.empty() || end != v.text.c_str() + v.text.size()) {
+      throw SpecError(origin_, v.line,
+                      "\"" + key + "\" is not a valid number: \"" + v.text +
+                          "\"");
+    }
+    if (errno == ERANGE || !std::isfinite(parsed)) {
+      throw SpecError(origin_, v.line,
+                      "\"" + key + "\" is out of range: " + v.text);
+    }
+    return parsed;
   }
 
   std::vector<std::uint64_t> as_diff_set(const Value& v,

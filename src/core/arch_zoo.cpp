@@ -1,6 +1,9 @@
 #include "core/arch_zoo.hpp"
 
+#include <cerrno>
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 #include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
@@ -182,6 +185,30 @@ std::unique_ptr<nn::Sequential> build_gohr_net(std::size_t input_bits,
   model->add(std::make_unique<nn::ReLU>());
   model->add(std::make_unique<nn::Dense>(64, classes, rng));
   return model;
+}
+
+std::size_t gohr_net_depth(const std::string& arch) {
+  constexpr std::string_view kPrefix = "gohr-net/";
+  if (arch.rfind(kPrefix, 0) != 0) {
+    throw std::invalid_argument("not a gohr-net architecture name: '" + arch +
+                                "'");
+  }
+  const std::string depth_text = arch.substr(kPrefix.size());
+  if (depth_text.empty() ||
+      depth_text.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument(
+        "bad architecture '" + arch +
+        "': expected gohr-net/<depth> with a decimal depth");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long depth =
+      std::strtoull(depth_text.c_str(), &end, 10);
+  if (errno == ERANGE || depth < 1 || depth > 64) {
+    throw std::invalid_argument("bad architecture '" + arch +
+                                "': depth must be in [1, 64]");
+  }
+  return static_cast<std::size_t>(depth);
 }
 
 }  // namespace mldist::core

@@ -59,4 +59,13 @@ std::unique_ptr<nn::Sequential> build_gohr_net(std::size_t input_bits,
                                                std::size_t depth,
                                                util::Xoshiro256& rng);
 
+/// Parse and validate the depth of a "gohr-net/D" architecture name.
+/// D must be a plain decimal in [1, 64] with nothing following it; throws
+/// std::invalid_argument (the CLI's typed config-error path, exit 2)
+/// naming the offending string otherwise.  Both model construction
+/// (ExperimentConfig::make_model) and model-file loading (core/model_io)
+/// go through this, so "gohr-net/d=x" surfaces as a descriptive config
+/// error instead of an uncaught std::stoul exception.
+std::size_t gohr_net_depth(const std::string& arch);
+
 }  // namespace mldist::core

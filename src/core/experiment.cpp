@@ -101,9 +101,9 @@ std::unique_ptr<nn::Sequential> ExperimentConfig::make_model(
     return build_default_mlp(input_bits, classes, rng);
   }
   if (arch.rfind("gohr-net/", 0) == 0) {
-    const std::size_t depth =
-        static_cast<std::size_t>(std::stoul(arch.substr(9)));
-    return build_gohr_net(input_bits, classes, depth, rng);
+    // Validated parse: "gohr-net/d=x" must surface as a config error, not
+    // an uncaught std::stoul exception (exit 3 instead of exit 2).
+    return build_gohr_net(input_bits, classes, gohr_net_depth(arch), rng);
   }
   return build_architecture(arch, input_bits, classes, rng);
 }

@@ -21,9 +21,10 @@ std::unique_ptr<nn::Sequential> build_named(const std::string& arch,
     return build_default_mlp(input_bits, classes, rng);
   }
   if (arch.rfind("gohr-net/", 0) == 0) {
-    const std::size_t depth =
-        static_cast<std::size_t>(std::stoul(arch.substr(9)));
-    return build_gohr_net(input_bits, classes, depth, rng);
+    // Validated parse (core::gohr_net_depth): a malformed depth in a model
+    // header is reported as a descriptive config error, not as an uncaught
+    // std::stoul exception.
+    return build_gohr_net(input_bits, classes, gohr_net_depth(arch), rng);
   }
   return build_architecture(arch, input_bits, classes, rng);
 }

@@ -1,0 +1,104 @@
+// Shared HTTP/1.1 plumbing for the embedded endpoints: the metrics server
+// (obs/server.hpp) and the serving daemon (src/serve) speak the same tiny
+// dialect, so the socket setup, the request reader and the response
+// formatter live here once.
+//
+// Scope is deliberately small — enough HTTP for curl, a Prometheus scraper
+// and the JSON classify clients: request line + headers + an optional
+// Content-Length body, Connection: close, no chunked encoding, no TLS, no
+// keep-alive.  Anything fancier belongs in a reverse proxy in front.
+//
+// Two hardening rules every user of this header inherits:
+//  * every socket is created close-on-exec (SOCK_CLOEXEC / accept4, with a
+//    fcntl fallback where unavailable), so fork+exec'd campaign workers can
+//    never inherit a bound listen fd and keep the port alive after the
+//    parent exits;
+//  * requests are parsed incrementally by HttpRequestReader, so a request
+//    split across several send(2) calls (or a POST body arriving after the
+//    headers) is reassembled instead of rejected, while header/body size
+//    caps bound what a hostile client can make us buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mldist::obs {
+
+/// Create, bind and listen on an IPv4 TCP socket (INADDR_ANY).  The fd is
+/// close-on-exec.  Port 0 binds an ephemeral port; the resolved port is
+/// stored in `bound_port`.  Returns -1 with `error` filled on failure.
+int listen_tcp(std::uint16_t port, int backlog, std::uint16_t* bound_port,
+               std::string* error);
+
+/// accept(2) a client from `listen_fd`, close-on-exec (accept4 with
+/// SOCK_CLOEXEC where available, else accept + fcntl).  Returns -1 on
+/// failure (errno preserved).
+int accept_cloexec(int listen_fd);
+
+/// Set SO_RCVTIMEO so a blocking recv on `fd` returns EAGAIN after
+/// `timeout_ms` instead of stalling the caller forever.
+void set_recv_timeout(int fd, int timeout_ms);
+
+/// Write all of `data`, retrying short writes; gives up silently when the
+/// client goes away (MSG_NOSIGNAL — no SIGPIPE).
+void send_all(int fd, const std::string& data);
+
+/// One serialised response: status line, Content-Type, Content-Length,
+/// Connection: close, body.
+std::string http_response(int status, const char* status_text,
+                          const char* content_type, const std::string& body);
+
+/// Convenience for the common error shapes ("text/plain" + message line).
+std::string http_error(int status, const char* status_text,
+                       const std::string& message);
+
+/// Incremental HTTP/1.1 request parser.  Feed it whatever recv produced;
+/// it accumulates until the header block and any Content-Length body are
+/// complete, then exposes method / path / body.  Malformed or oversized
+/// input parks the reader in the error state with a suggested status code.
+class HttpRequestReader {
+ public:
+  /// `max_header` bounds the request line + headers, `max_body` the
+  /// Content-Length payload a client may make us buffer.
+  explicit HttpRequestReader(std::size_t max_header = 8 * 1024,
+                             std::size_t max_body = 1024 * 1024);
+
+  /// Consume `n` more bytes off the wire.  Returns false once the reader
+  /// is in the error state (the connection should be answered with
+  /// `error_status()` and closed).
+  bool feed(const char* data, std::size_t n);
+
+  bool complete() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kError; }
+  /// 400 (malformed), 413 (body too large) or 431 (headers too large);
+  /// 0 while not failed.
+  int error_status() const { return error_status_; }
+  const std::string& error_detail() const { return error_detail_; }
+
+  // Valid once complete():
+  const std::string& method() const { return method_; }
+  /// Path with any "?query" stripped.
+  const std::string& path() const { return path_; }
+  const std::string& body() const { return body_; }
+
+ private:
+  enum class State { kHeaders, kBody, kComplete, kError };
+
+  void fail(int status, std::string detail);
+  bool parse_headers();
+
+  State state_ = State::kHeaders;
+  std::size_t max_header_;
+  std::size_t max_body_;
+  std::string buf_;             ///< raw bytes until headers parsed
+  std::string method_;
+  std::string path_;
+  std::string body_;
+  std::size_t content_length_ = 0;
+  int error_status_ = 0;
+  std::string error_detail_;
+};
+
+}  // namespace mldist::obs

@@ -1,6 +1,5 @@
 #include "obs/server.hpp"
 
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -10,6 +9,7 @@
 #include <cstring>
 
 #include "obs/export.hpp"
+#include "obs/http.hpp"
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -26,72 +26,23 @@ std::uint64_t steady_ns() {
           .count());
 }
 
-void send_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return;  // client went away; nothing to salvage
-    off += static_cast<std::size_t>(n);
-  }
-}
-
-std::string http_response(int status, const char* status_text,
-                          const char* content_type,
-                          const std::string& body) {
-  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + status_text +
-                    "\r\nContent-Type: " + content_type +
-                    "\r\nContent-Length: " + std::to_string(body.size()) +
-                    "\r\nConnection: close\r\n\r\n";
-  out += body;
-  return out;
-}
-
-/// First request line up to the first CRLF: "GET /path HTTP/1.1".  Returns
-/// the path ("" on anything unparseable — answered with 400).
-std::string parse_path(const std::string& request) {
-  const std::size_t sp1 = request.find(' ');
-  if (sp1 == std::string::npos || request.compare(0, sp1, "GET") != 0) {
-    return "";
-  }
-  const std::size_t sp2 = request.find(' ', sp1 + 1);
-  if (sp2 == std::string::npos) return "";
-  std::string path = request.substr(sp1 + 1, sp2 - sp1 - 1);
-  const std::size_t q = path.find('?');
-  if (q != std::string::npos) path.resize(q);  // ignore query strings
-  return path;
-}
+/// Per-recv SO_RCVTIMEO and total per-connection read budget.  A client
+/// that connects and then sends nothing (or trickles bytes) can stall the
+/// single serve loop for at most the budget before being answered with 408
+/// and dropped — stop() always observes the flag within one bounded
+/// connection plus one poll timeout.
+constexpr int kRecvTimeoutMs = 250;
+constexpr int kReadBudgetMs = 2000;
 
 }  // namespace
 
 bool MetricsServer::start(std::uint16_t port, std::string* error) {
   if (running()) return true;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    if (error != nullptr) *error = "socket(): " + std::string(strerror(errno));
-    return false;
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 16) != 0) {
-    if (error != nullptr) {
-      *error = "bind/listen on port " + std::to_string(port) + ": " +
-               strerror(errno);
-    }
-    ::close(fd);
-    return false;
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
-    port_ = ntohs(addr.sin_port);
-  } else {
-    port_ = port;
-  }
+  // listen_tcp marks the fd close-on-exec: campaign fork+exec workers
+  // spawned while --serve-metrics is live must not inherit the bound
+  // socket, or the port would stay bound after this process exits.
+  const int fd = listen_tcp(port, /*backlog=*/16, &port_, error);
+  if (fd < 0) return false;
   listen_fd_ = fd;
   stop_.store(false, std::memory_order_release);
   start_ns_ = steady_ns();
@@ -121,7 +72,7 @@ void MetricsServer::serve_loop() {
     // accept below never blocks because POLLIN fired.
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
     if (ready <= 0) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int client = accept_cloexec(listen_fd_);
     if (client < 0) continue;
     handle_connection(client);
     ::close(client);
@@ -129,16 +80,55 @@ void MetricsServer::serve_loop() {
 }
 
 void MetricsServer::handle_connection(int fd) {
-  // One read is enough for any GET our clients issue; a pathological
-  // trickle just gets a 400.
+  // Bounded, incremental read: SO_RCVTIMEO caps each recv so an idle
+  // client cannot wedge the serve loop (and make stop() join forever), and
+  // the reader reassembles requests split across several sends.  EAGAIN /
+  // overall-budget exhaustion answers 408; malformed or oversized input
+  // answers the reader's suggested status.
+  set_recv_timeout(fd, kRecvTimeoutMs);
+  HttpRequestReader reader;
+  const std::uint64_t deadline_ns =
+      steady_ns() + std::uint64_t(kReadBudgetMs) * 1'000'000ull;
   char buf[2048];
-  const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
-  if (n <= 0) return;
-  buf[n] = '\0';
-  const std::string path = parse_path(buf);
+  while (!reader.complete() && !reader.failed()) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      (void)reader.feed(buf, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      break;  // client closed before completing a request
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      if (steady_ns() >= deadline_ns) {
+        send_all(fd, http_error(408, "Request Timeout",
+                                "request not completed in time"));
+        return;
+      }
+    } else {
+      return;  // hard socket error; nothing to answer
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (steady_ns() >= deadline_ns && !reader.complete()) {
+      send_all(fd, http_error(408, "Request Timeout",
+                              "request not completed in time"));
+      return;
+    }
+  }
+  if (reader.failed()) {
+    send_all(fd, http_error(reader.error_status(), "Bad Request",
+                            reader.error_detail()));
+    return;
+  }
+  if (!reader.complete()) return;
+
   requests_.fetch_add(1, std::memory_order_relaxed);
   count("obs.server.requests");
 
+  if (reader.method() != "GET") {
+    send_all(fd, http_error(405, "Method Not Allowed",
+                            "only GET is served here; POST endpoints live "
+                            "on the mldist_serve daemon"));
+    return;
+  }
+  const std::string& path = reader.path();
   if (path == "/metrics") {
     const std::string body =
         render_prometheus(MetricsRegistry::global().snapshot());
@@ -153,12 +143,9 @@ void MetricsServer::handle_connection(int fd) {
   } else if (path == "/runz") {
     send_all(fd, http_response(200, "OK", "application/json",
                                RunStatus::global().to_json() + "\n"));
-  } else if (path.empty()) {
-    send_all(fd, http_response(400, "Bad Request", "text/plain",
-                               "bad request\n"));
   } else {
-    send_all(fd, http_response(404, "Not Found", "text/plain",
-                               "unknown path; try /metrics /healthz /runz\n"));
+    send_all(fd, http_error(404, "Not Found",
+                            "unknown path; try /metrics /healthz /runz"));
   }
 }
 

@@ -2,11 +2,14 @@
 // and OFF by default (DESIGN.md §11).
 //
 // One dedicated thread, poll(2) on the listening socket with a short
-// timeout so stop() is honoured promptly, then a blocking accept and one
-// request/response per connection (Connection: close).  No third-party
-// deps, no TLS, no keep-alive, no request body handling: the only clients
-// are `curl` and a Prometheus scraper, both of which speak exactly this
-// much HTTP.  Anything fancier belongs in a real reverse proxy in front.
+// timeout so stop() is honoured promptly, then one request/response per
+// connection (Connection: close) over the shared HTTP machinery of
+// obs/http.hpp: close-on-exec sockets, SO_RCVTIMEO-bounded incremental
+// reads (idle clients get 408 instead of wedging the serve loop; requests
+// split across several sends are reassembled).  No third-party deps, no
+// TLS, no keep-alive: the only clients are `curl` and a Prometheus
+// scraper.  The request-batching serving daemon (src/serve) builds its
+// multi-connection POST plane on the same machinery.
 //
 // Endpoints:
 //   /metrics  Prometheus text exposition of MetricsRegistry::snapshot()

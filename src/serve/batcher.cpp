@@ -1,0 +1,163 @@
+#include "serve/batcher.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <exception>
+
+#include "obs/http.hpp"
+#include "obs/log.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace mldist::serve {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ModelWorker::ModelWorker(const ModelEntry& entry, const BatchOptions& options)
+    : entry_(entry), opt_(options) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  batch_size_hist_ = reg.histogram("serve.batch_size");
+  queue_wait_hist_ = reg.histogram("serve.queue_wait_ns");
+  e2e_hist_ = reg.histogram("serve.e2e_ns");
+  const std::string prefix = "serve.model." + entry_.name;
+  requests_ctr_ = reg.counter(prefix + ".requests");
+  rows_ctr_ = reg.counter(prefix + ".rows");
+  batches_ctr_ = reg.counter(prefix + ".batches");
+  thread_ = std::thread([this] { loop(); });
+}
+
+bool ModelWorker::submit(ClassifyJob&& job) {
+  if (job.rows == 0 || job.rows > opt_.batch_max_rows) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return false;
+    if (queued_rows_ + job.rows > opt_.queue_max_rows) return false;
+    job.enqueue_ns = steady_ns();
+    queued_rows_ += job.rows;
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void ModelWorker::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      // Already stopping; fall through to join in case the first caller
+      // has not finished it yet (stop() is idempotent, not concurrent).
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ModelWorker::loop() {
+  while (true) {
+    std::vector<ClassifyJob> batch;
+    std::size_t rows = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with nothing left to drain
+      // Coalescing window: from the FIRST waiting job, give the rest of
+      // the in-flight requests up to batch_window_us to arrive, unless the
+      // batch is already full.  On shutdown the window is skipped — drain
+      // at whatever batch sizes the queue holds.
+      if (opt_.batch_window_us > 0) {
+        const auto window_end =
+            std::chrono::steady_clock::time_point(
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::nanoseconds(queue_.front().enqueue_ns) +
+                    std::chrono::microseconds(opt_.batch_window_us)));
+        cv_.wait_until(lock, window_end, [this] {
+          return stop_ || queued_rows_ >= opt_.batch_max_rows;
+        });
+      }
+      while (!queue_.empty()) {
+        ClassifyJob& j = queue_.front();
+        if (!batch.empty() && rows + j.rows > opt_.batch_max_rows) break;
+        rows += j.rows;
+        batch.push_back(std::move(j));
+        queue_.pop_front();
+      }
+      queued_rows_ -= rows;
+    }
+    run_batch(batch, rows);
+  }
+}
+
+void ModelWorker::run_batch(std::vector<ClassifyJob>& batch,
+                            std::size_t rows) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  const std::uint64_t assembled_ns = steady_ns();
+  reg.observe(batch_size_hist_, rows);
+  reg.add(batches_ctr_);
+  for (const ClassifyJob& job : batch) {
+    reg.observe(queue_wait_hist_, assembled_ns - job.enqueue_ns);
+  }
+
+  // One batched forward for every coalesced request.  Row independence
+  // (nn/model.hpp predict contract) makes each row's probabilities
+  // bitwise identical to a batch-size-1 run, so coalescing is invisible
+  // to clients byte-for-byte.
+  nn::Mat x(rows, entry_.input_bits);
+  std::size_t r = 0;
+  for (const ClassifyJob& job : batch) {
+    std::memcpy(x.row(r), job.features.data(),
+                job.rows * entry_.input_bits * sizeof(float));
+    r += job.rows;
+  }
+  nn::Mat probs;
+  std::string failure;
+  try {
+    probs = entry_.model->predict_proba(x);
+  } catch (const std::exception& e) {
+    failure = e.what();
+    obs::log_error("serve.batcher", "batched predict failed")
+        .field("model", entry_.name)
+        .field("what", failure);
+  }
+
+  r = 0;
+  for (ClassifyJob& job : batch) {
+    std::string response;
+    if (!failure.empty()) {
+      response = obs::http_error(500, "Internal Server Error",
+                                 "inference failed: " + failure);
+    } else {
+      // Slice this job's rows back out of the batched result.
+      nn::Mat mine(job.rows, probs.cols());
+      std::memcpy(mine.data(), probs.row(r),
+                  job.rows * probs.cols() * sizeof(float));
+      response = obs::http_response(
+          200, "OK", "application/json",
+          render_classify_response(entry_, mine) + "\n");
+    }
+    r += job.rows;
+    if (job.fd >= 0) {
+      obs::send_all(job.fd, response);
+      ::close(job.fd);
+      job.fd = -1;
+    }
+    reg.add(requests_ctr_);
+    reg.add(rows_ctr_, job.rows);
+    reg.observe(e2e_hist_, steady_ns() - job.enqueue_ns);
+    answered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace mldist::serve

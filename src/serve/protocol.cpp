@@ -1,0 +1,188 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "serve/registry.hpp"
+#include "util/bits.hpp"
+#include "util/hex.hpp"
+#include "util/json.hpp"
+
+namespace mldist::serve {
+
+namespace {
+
+/// Scanner for the fixed request shape.  Not a general JSON DOM (the spec
+/// parser in src/campaign stays the repo's only one of those): it accepts
+/// {"model": string, "inputs": [string, ...]} with arbitrary whitespace and
+/// key order, and nothing else.
+class RequestScanner {
+ public:
+  explicit RequestScanner(const std::string& text) : text_(text) {}
+
+  bool parse(ClassifyRequest* out, std::string* error) {
+    skip_ws();
+    if (!consume('{')) return fail(error, "expected a JSON object");
+    bool have_model = false;
+    bool have_inputs = false;
+    skip_ws();
+    if (consume('}')) return fail(error, "empty request object");
+    while (true) {
+      std::string key;
+      if (!parse_string(&key)) return fail(error, "expected a string key");
+      skip_ws();
+      if (!consume(':')) return fail(error, "expected ':' after key");
+      skip_ws();
+      if (key == "model") {
+        if (have_model) return fail(error, "duplicate \"model\" key");
+        if (!parse_string(&out->model)) {
+          return fail(error, "\"model\" must be a string");
+        }
+        have_model = true;
+      } else if (key == "inputs") {
+        if (have_inputs) return fail(error, "duplicate \"inputs\" key");
+        if (!consume('[')) {
+          return fail(error, "\"inputs\" must be an array of hex strings");
+        }
+        skip_ws();
+        if (!consume(']')) {
+          while (true) {
+            std::string item;
+            if (!parse_string(&item)) {
+              return fail(error, "\"inputs\" must be an array of hex strings");
+            }
+            out->inputs_hex.push_back(std::move(item));
+            skip_ws();
+            if (consume(']')) break;
+            if (!consume(',')) return fail(error, "expected ',' or ']'");
+            skip_ws();
+          }
+        }
+        have_inputs = true;
+      } else {
+        return fail(error, "unknown key \"" + key +
+                               "\" (expected \"model\" and \"inputs\")");
+      }
+      skip_ws();
+      if (consume('}')) break;
+      if (!consume(',')) return fail(error, "expected ',' or '}'");
+      skip_ws();
+    }
+    skip_ws();
+    if (pos_ != text_.size()) return fail(error, "trailing content");
+    if (!have_model) return fail(error, "missing \"model\"");
+    if (!have_inputs || out->inputs_hex.empty()) {
+      return fail(error, "missing or empty \"inputs\"");
+    }
+    return true;
+  }
+
+ private:
+  static bool fail(std::string* error, std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string* out) {
+    skip_ws();
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') return false;  // model names / hex need none
+      *out += text_[pos_++];
+    }
+    return consume('"');
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse_classify_request(const std::string& body, ClassifyRequest* out,
+                            std::string* error) {
+  return RequestScanner(body).parse(out, error);
+}
+
+bool decode_inputs(const std::vector<std::string>& inputs_hex,
+                   std::size_t input_bits, nn::Mat* rows,
+                   std::string* error) {
+  const std::size_t bytes_needed = input_bits / 8;
+  *rows = nn::Mat(inputs_hex.size(), input_bits);
+  for (std::size_t i = 0; i < inputs_hex.size(); ++i) {
+    std::vector<std::uint8_t> bytes;
+    try {
+      bytes = util::from_hex(inputs_hex[i]);
+    } catch (const std::invalid_argument& e) {
+      if (error != nullptr) {
+        *error = "inputs[" + std::to_string(i) + "]: " + e.what();
+      }
+      return false;
+    }
+    if (bytes.size() != bytes_needed) {
+      if (error != nullptr) {
+        *error = "inputs[" + std::to_string(i) + "]: got " +
+                 std::to_string(bytes.size()) + " bytes, model expects " +
+                 std::to_string(bytes_needed);
+      }
+      return false;
+    }
+    util::bits_to_floats(bytes, rows->row(i));
+  }
+  return true;
+}
+
+std::string render_classify_response(const ModelEntry& entry,
+                                     const nn::Mat& probs) {
+  std::vector<std::string> predictions;
+  predictions.reserve(probs.rows());
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    const float* row = probs.row(r);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < probs.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    std::vector<std::string> prob_items;
+    prob_items.reserve(probs.cols());
+    for (std::size_t c = 0; c < probs.cols(); ++c) {
+      // Same "%.6g"-with-null-for-nonfinite rendering as JsonBuilder, so a
+      // probability prints identically wherever it appears in an artifact.
+      char buf[64];
+      if (std::isfinite(row[c])) {
+        std::snprintf(buf, sizeof(buf), "%.6g", static_cast<double>(row[c]));
+      } else {
+        std::snprintf(buf, sizeof(buf), "null");
+      }
+      prob_items.emplace_back(buf);
+    }
+    util::JsonBuilder pred;
+    pred.field("class", static_cast<std::uint64_t>(best))
+        .raw("probs", util::JsonBuilder::array(prob_items));
+    predictions.push_back(pred.str());
+  }
+  util::JsonBuilder j;
+  j.field("model", entry.name)
+      .field("config_hash", entry.config_hash)
+      .raw("predictions", util::JsonBuilder::array(predictions));
+  return j.str();
+}
+
+}  // namespace mldist::serve

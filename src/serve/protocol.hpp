@@ -1,0 +1,57 @@
+// The /v1/classify wire format.
+//
+// Request (POST body):
+//   {"model":"<registry name>","inputs":["<hex>","<hex>",...]}
+// Each input is the hex encoding of one observable — the output-difference
+// bytes an oracle answers with (t=2: one ciphertext pair's difference) —
+// and must be exactly input_bits/8 bytes for the named model.
+//
+// Response:
+//   {"model":"...","config_hash":"...",
+//    "predictions":[{"class":1,"probs":[0.31,0.69]},...]}
+// One prediction per input, in request order: the argmax class (the
+// difference index the distinguisher believes produced the observable, or
+// the "random" verdict for a 2-class real-vs-random model) plus the full
+// softmax distribution.  The body is a pure function of (model weights,
+// inputs): probabilities come from the batched predict contract under
+// which each row's output is independent of its batch, so batched and
+// batch-size-1 serving return byte-identical bodies (pinned by
+// bench/serving_saturation.cpp).
+//
+// The request parser is a purpose-built reader for exactly this shape —
+// the serving plane's input is machine-generated, so unknown keys are
+// rejected rather than skipped (fail loudly beats serving a request whose
+// options were silently ignored).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/mat.hpp"
+
+namespace mldist::serve {
+
+struct ModelEntry;
+
+struct ClassifyRequest {
+  std::string model;
+  std::vector<std::string> inputs_hex;
+};
+
+/// Parse a /v1/classify body.  Returns false with a client-facing message
+/// in `error` on malformed JSON, missing/unknown keys or empty inputs.
+bool parse_classify_request(const std::string& body, ClassifyRequest* out,
+                            std::string* error);
+
+/// Decode the hex inputs into one feature row per input (bit-unpacked, the
+/// encoding every classifier in the repo consumes).  Returns false with a
+/// message when an input is not valid hex of exactly input_bits/8 bytes.
+bool decode_inputs(const std::vector<std::string>& inputs_hex,
+                   std::size_t input_bits, nn::Mat* rows, std::string* error);
+
+/// Render the response body for `probs` (one row per input, `classes`
+/// softmax columns) as produced by Sequential::predict_proba.
+std::string render_classify_response(const ModelEntry& entry,
+                                     const nn::Mat& probs);
+
+}  // namespace mldist::serve

@@ -1,0 +1,107 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/model_io.hpp"
+#include "obs/log.hpp"
+#include "util/crc32.hpp"
+#include "util/json.hpp"
+
+namespace mldist::serve {
+
+namespace {
+
+std::string entry_json(const ModelEntry& e) {
+  util::JsonBuilder j;
+  j.field("name", e.name)
+      .field("arch", e.arch)
+      .field("input_bits", static_cast<std::uint64_t>(e.input_bits))
+      .field("classes", static_cast<std::uint64_t>(e.classes))
+      .field("params", static_cast<std::uint64_t>(e.params))
+      .field("config_hash", e.config_hash);
+  return j.str();
+}
+
+}  // namespace
+
+std::size_t ModelRegistry::load_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw std::runtime_error("model registry: not a directory: " + dir);
+  }
+  std::vector<fs::path> files;
+  for (const auto& de : fs::directory_iterator(dir, ec)) {
+    if (de.path().extension() == ".nnb") files.push_back(de.path());
+  }
+  if (ec) {
+    throw std::runtime_error("model registry: cannot read " + dir + ": " +
+                             ec.message());
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& path : files) {
+    // load_model rebuilds the named architecture and CRC-verifies the
+    // parameter payload; both failure modes throw with the path included.
+    core::LoadedModel loaded = core::load_model(path.string());
+    ModelEntry e;
+    e.name = path.stem().string();
+    if (find(e.name) != nullptr) {
+      throw std::runtime_error("model registry: duplicate model name '" +
+                               e.name + "' (from " + path.string() + ")");
+    }
+    e.arch = loaded.arch;
+    e.input_bits = loaded.input_bits;
+    e.classes = loaded.classes;
+    e.model = std::move(loaded.model);
+    e.params = e.model->param_count();
+    e.topology = e.model->topology_hash();
+    // Identity hash, RunManifest-style: CRC-32 over the entry's config
+    // JSON.  Includes the topology hash so two files that merely share an
+    // arch *name* but differ structurally cannot collide.
+    util::JsonBuilder cfg;
+    cfg.field("name", e.name)
+        .field("arch", e.arch)
+        .field("input_bits", static_cast<std::uint64_t>(e.input_bits))
+        .field("classes", static_cast<std::uint64_t>(e.classes))
+        .field("topology", static_cast<std::uint64_t>(e.topology));
+    const std::string cfg_json = cfg.str();
+    char hash[9];
+    std::snprintf(hash, sizeof(hash), "%08x",
+                  util::crc32(cfg_json.data(), cfg_json.size()));
+    e.config_hash = hash;
+    // Warm-compile through the IR pass pipeline: the first forward lowers
+    // the layer stack, runs the optimisation passes and sizes the executor
+    // arena, so request latency never includes compilation.
+    nn::Mat warm(1, e.input_bits);
+    (void)e.model->predict_proba(warm);
+    obs::log_info("serve.registry", "model loaded")
+        .field("name", e.name)
+        .field("arch", e.arch)
+        .field("params", static_cast<std::uint64_t>(e.params))
+        .field("config_hash", e.config_hash);
+    entries_.push_back(std::move(e));
+  }
+  return entries_.size();
+}
+
+const ModelEntry* ModelRegistry::find(std::string_view name) const {
+  for (const ModelEntry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::string ModelRegistry::to_json() const {
+  std::vector<std::string> items;
+  items.reserve(entries_.size());
+  for (const ModelEntry& e : entries_) items.push_back(entry_json(e));
+  util::JsonBuilder j;
+  j.raw("models", util::JsonBuilder::array(items));
+  return j.str();
+}
+
+}  // namespace mldist::serve

@@ -1,0 +1,73 @@
+// Model registry for the serving daemon (DESIGN.md §15).
+//
+// A registry directory is the deployment unit: every "*.nnb" file in it is
+// one servable distinguisher in the self-describing core::save_model format
+// (MLDM1 header naming the architecture + the CRC-32-checked
+// nn::save_params payload).  load_dir() rebuilds each architecture through
+// the arch zoo, loads and CRC-verifies the parameters, computes the
+// identity key (name + config_hash, where config_hash is the CRC-32 of the
+// entry's config JSON — the same hashing convention obs::RunManifest uses),
+// and warm-compiles the model through the IR pass pipeline so the first
+// request never pays graph lowering: Sequential pools ir::Executors
+// internally, which is exactly the per-model executor pool the serving
+// plane needs.
+//
+// The registry is immutable after load_dir(): the daemon and its batch
+// workers only ever read entries, so no locking is needed on the serving
+// path.  Model hot-swap is a restart (or a second daemon on another port).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace mldist::serve {
+
+struct ModelEntry {
+  std::string name;         ///< file stem, the key clients send
+  std::string arch;         ///< architecture name from the file header
+  std::size_t input_bits = 0;
+  std::size_t classes = 0;
+  std::size_t params = 0;   ///< trainable parameter count
+  /// CRC-32 (8 hex chars) of this entry's config JSON
+  /// ({name, arch, input_bits, classes, topology}) — the stable identity a
+  /// client can pin to detect a silently swapped model file.
+  std::string config_hash;
+  std::uint32_t topology = 0;  ///< Sequential::topology_hash()
+  std::unique_ptr<nn::Sequential> model;
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Load every "*.nnb" file in `dir`, sorted by name so the registry
+  /// order (and /v1/models) is deterministic.  Throws std::runtime_error
+  /// on an unreadable directory or a corrupt/truncated model file (the
+  /// CRC-32 footer check of nn::load_params) and std::invalid_argument on
+  /// malformed architecture headers.  Returns the number of models loaded.
+  std::size_t load_dir(const std::string& dir);
+
+  /// nullptr when no model of that name is registered.
+  const ModelEntry* find(std::string_view name) const;
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<ModelEntry>& entries() const { return entries_; }
+
+  /// The /v1/models response body:
+  /// {"models":[{"name":...,"arch":...,"input_bits":...,"classes":...,
+  ///             "params":...,"config_hash":...},...]}
+  std::string to_json() const;
+
+ private:
+  std::vector<ModelEntry> entries_;
+};
+
+}  // namespace mldist::serve

@@ -326,6 +326,57 @@ TEST(ModelIo, GohrNetNameEncodesDepth) {
   std::remove(path.c_str());
 }
 
+// Regression (satellite fix): the "gohr-net/<depth>" suffix was parsed
+// with a bare std::stoul at two sites (experiment config and the model-io
+// header), so "gohr-net/x" crashed with an uncaught exception whose
+// message ("stoul") named neither the architecture nor the expectation,
+// and "gohr-net/2junk" silently truncated to depth 2.  gohr_net_depth
+// validates and throws a typed config error instead.
+TEST(ArchZoo, GohrNetDepthParsingIsValidated) {
+  EXPECT_EQ(gohr_net_depth("gohr-net/1"), 1u);
+  EXPECT_EQ(gohr_net_depth("gohr-net/10"), 10u);
+  const auto expect_bad = [](const std::string& arch) {
+    try {
+      (void)gohr_net_depth(arch);
+      FAIL() << "expected invalid_argument for " << arch;
+    } catch (const std::invalid_argument& e) {
+      // The error must name the offending architecture, not "stoul".
+      EXPECT_NE(std::string(e.what()).find(arch), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_bad("gohr-net/x");
+  expect_bad("gohr-net/");
+  expect_bad("gohr-net/2junk");  // stoul would have accepted this as 2
+  expect_bad("gohr-net/-3");
+  expect_bad("gohr-net/0");
+  expect_bad("gohr-net/65");  // depth cap
+  expect_bad("gohr-net/99999999999999999999");  // stoul threw out_of_range
+}
+
+// Both call sites of the fix: building a model from an experiment config
+// and rebuilding the architecture named in a model-file header must reject
+// a malformed depth as std::invalid_argument (the CLI maps that to the
+// config exit code).
+TEST(ArchZoo, MalformedGohrDepthIsATypedConfigErrorAtBothSites) {
+  ExperimentConfig config;
+  config.target = "toy";
+  config.arch = "gohr-net/2junk";
+  const auto target = config.make_target();
+  EXPECT_THROW((void)config.make_model(*target), std::invalid_argument);
+
+  // Model-io site: a handcrafted header naming a malformed depth.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mldist_model_badarch.nnm")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "MLDM1\ngohr-net/2junk\n16 2\n";
+  }
+  EXPECT_THROW((void)load_model(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
 TEST(ModelIo, RejectsUnknownArchitectureOnSave) {
   Xoshiro256 rng(34);
   auto model = build_default_mlp(8, 2, rng);

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,8 +33,10 @@
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/http.hpp"
 #include "obs/server.hpp"
 #include "obs/trace.hpp"
+#include "util/process.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -896,6 +901,188 @@ TEST(Server, LiveMetricsDuringTrainingAreGrammaticalAndMonotone) {
   }
   EXPECT_LT(epoch_counts[0], epoch_counts[1]);
   EXPECT_LT(epoch_counts[1], epoch_counts[2]);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plane hardening (ISSUE 9): incremental request reassembly, read
+// deadlines instead of indefinite blocking, close-on-exec listen/accept
+// sockets.  Each test here failed against the pre-hardening server.
+// ---------------------------------------------------------------------------
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Drain everything the server sends until it closes, return the status.
+int read_status(int fd) {
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  return raw.rfind("HTTP/1.1 ", 0) == 0 ? std::atoi(raw.c_str() + 9) : 0;
+}
+
+TEST(HttpReader, ReassemblesTrickledRequestAcrossFeeds) {
+  obs::HttpRequestReader reader;
+  const std::string req =
+      "POST /v1/x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+  // One byte at a time: headers and body may arrive in any fragmentation.
+  for (char c : req) {
+    ASSERT_FALSE(reader.complete());
+    ASSERT_TRUE(reader.feed(&c, 1));
+  }
+  ASSERT_TRUE(reader.complete());
+  EXPECT_EQ(reader.method(), "POST");
+  EXPECT_EQ(reader.path(), "/v1/x");
+  EXPECT_EQ(reader.body(), "hello");
+}
+
+TEST(HttpReader, StripsQueryAndHandlesNoBody) {
+  obs::HttpRequestReader reader;
+  const std::string req = "GET /metrics?name=x HTTP/1.1\r\nHost: h\r\n\r\n";
+  ASSERT_TRUE(reader.feed(req.data(), req.size()));
+  ASSERT_TRUE(reader.complete());
+  EXPECT_EQ(reader.path(), "/metrics");
+  EXPECT_EQ(reader.body(), "");
+}
+
+TEST(HttpReader, RejectsMalformedOversizedAndExcessInput) {
+  {  // not HTTP at all
+    obs::HttpRequestReader reader;
+    const std::string req = "garbage\r\n\r\n";
+    reader.feed(req.data(), req.size());
+    ASSERT_TRUE(reader.failed());
+    EXPECT_EQ(reader.error_status(), 400);
+  }
+  {  // headers beyond the cap -> 431
+    obs::HttpRequestReader reader(/*max_header=*/64, /*max_body=*/64);
+    const std::string req =
+        "GET /x HTTP/1.1\r\nX-Pad: " + std::string(128, 'a') + "\r\n\r\n";
+    reader.feed(req.data(), req.size());
+    ASSERT_TRUE(reader.failed());
+    EXPECT_EQ(reader.error_status(), 431);
+  }
+  {  // declared body beyond the cap -> 413
+    obs::HttpRequestReader reader(/*max_header=*/1024, /*max_body=*/8);
+    const std::string req = "POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
+    reader.feed(req.data(), req.size());
+    ASSERT_TRUE(reader.failed());
+    EXPECT_EQ(reader.error_status(), 413);
+  }
+  {  // bytes past the declared Content-Length -> 400
+    obs::HttpRequestReader reader;
+    const std::string req =
+        "POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nabEXTRA";
+    reader.feed(req.data(), req.size());
+    ASSERT_TRUE(reader.failed());
+    EXPECT_EQ(reader.error_status(), 400);
+  }
+}
+
+// Regression (satellite fix): the pre-fix server did one blocking recv and
+// parsed whatever arrived, so a request split across two send(2) calls got
+// truncated.  Now the connection loop reassembles until complete.
+TEST(Server, ReassemblesRequestSplitAcrossTwoSends) {
+  obs::MetricsServer server;
+  ASSERT_TRUE(server.start(0));
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string part1 = "GET /met";
+  const std::string part2 = "rics HTTP/1.1\r\nHost: h\r\n\r\n";
+  ASSERT_EQ(::send(fd, part1.data(), part1.size(), 0),
+            static_cast<ssize_t>(part1.size()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(::send(fd, part2.data(), part2.size(), 0),
+            static_cast<ssize_t>(part2.size()));
+  EXPECT_EQ(read_status(fd), 200);
+  ::close(fd);
+  server.stop();
+}
+
+// Regression (satellite fix): a client that connects and sends nothing used
+// to park the single server thread in a timeout-less recv, starving every
+// other scraper until the idle client went away.  Now the read deadline
+// answers 408 and the server moves on; a concurrent scrape must succeed
+// while the idle connection is still open.
+TEST(Server, IdleClientGets408AndDoesNotStarveScrapes) {
+  obs::MetricsServer server;
+  ASSERT_TRUE(server.start(0));
+
+  const int idle_fd = connect_loopback(server.port());
+  ASSERT_GE(idle_fd, 0);
+  // Give the server time to accept the idle connection and enter its read
+  // loop before scraping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  int scrape_status = 0;
+  std::thread scraper([&] {
+    scrape_status = http_get(server.port(), "/healthz").status;
+  });
+  // The idle connection is answered 408 once its read budget expires...
+  EXPECT_EQ(read_status(idle_fd), 408);
+  ::close(idle_fd);
+  scraper.join();
+  // ...and the concurrent scrape was served rather than queued behind it.
+  EXPECT_EQ(scrape_status, 200);
+  server.stop();
+}
+
+TEST(Server, OversizedHeadersAreRejectedWith431) {
+  obs::MetricsServer server;
+  ASSERT_TRUE(server.start(0));
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string req =
+      "GET /metrics HTTP/1.1\r\nX-Pad: " + std::string(16 * 1024, 'a') +
+      "\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), 0);
+  EXPECT_EQ(read_status(fd), 431);
+  ::close(fd);
+  server.stop();
+}
+
+// Regression (satellite fix): the listen socket used to be created without
+// FD_CLOEXEC, so a worker fork+exec'd while the server ran inherited the
+// bound fd and kept the port alive after stop().  With close-on-exec
+// sockets the port is immediately re-bindable (no SO_REUSEADDR here — the
+// raw bind only succeeds when nothing holds the address).
+TEST(Server, ListenSocketIsNotInheritedBySpawnedChildren) {
+  obs::MetricsServer server;
+  ASSERT_TRUE(server.start(0));
+  const std::uint16_t port = server.port();
+
+  // Child spawned while the server is live: before the fix it inherited
+  // the listen fd across exec.
+  const pid_t child = util::spawn_process({"/bin/sleep", "30"});
+  server.stop();
+
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  const int rc = ::bind(probe, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr));
+  const int bind_errno = errno;
+  ::close(probe);
+  util::kill_process(child, SIGKILL);
+  (void)util::wait_child(child);
+  EXPECT_EQ(rc, 0) << "port " << port << " still held after stop() "
+                   << "(errno " << bind_errno
+                   << ") — listen fd leaked into the child";
 }
 
 TEST(Metrics, HotPathCounterIsCheap) {

@@ -156,6 +156,45 @@ TEST(SpecFile, BadValuesReportLineAndExpectation) {
   expect_error("{\n \"grid\": 3\n}", 2, "must be an array");
 }
 
+// Regression (satellite fix): the numeric converters used strtol/strtod
+// with a null end pointer, so an out-of-range literal was silently
+// truncated (or wrapped) into the config instead of failing the parse.
+// Every malformed numeric must now surface as a SpecError naming the key
+// and the spec file:line.
+TEST(SpecFile, MalformedNumericsAreSpecErrorsNotSilentTruncation) {
+  const auto with_grid = [](const std::string& defaults_line) {
+    return "{\n \"defaults\": {\n  " + defaults_line +
+           "\n },\n \"grid\": [ {\"targets\": [\"toy\"], \"rounds\": [1]} "
+           "]\n}";
+  };
+  expect_error(with_grid("\"epochs\": 99999999999"), 3,
+               "out of integer range");
+  expect_error(with_grid("\"epochs\": -99999999999"), 3,
+               "out of integer range");
+  expect_error(with_grid("\"z_threshold\": 1e999"), 3, "out of range");
+  expect_error(with_grid("\"learning_rate\": 1e999"), 3, "out of range");
+  // In range still parses exactly.
+  const CampaignSpec ok = campaign::parse_spec_text(
+      with_grid("\"z_threshold\": 2.5"), "spec.json");
+  EXPECT_DOUBLE_EQ(ok.base.z_threshold, 2.5);
+}
+
+// Regression (satellite fix): cell_cost ranked "gohr-net/<depth>" with an
+// unchecked strtod of the suffix; a malformed depth now falls back to the
+// generic heavy-architecture weight instead of feeding garbage into the
+// schedule.
+TEST(SpecFile, CellCostHandlesMalformedGohrDepth) {
+  core::ExperimentConfig deep;
+  deep.target = "toy";
+  deep.arch = "gohr-net/3";
+  core::ExperimentConfig shallow = deep;
+  shallow.arch = "gohr-net/1";
+  EXPECT_GT(campaign::cell_cost(deep), campaign::cell_cost(shallow));
+  core::ExperimentConfig bogus = deep;
+  bogus.arch = "gohr-net/x";
+  EXPECT_GT(campaign::cell_cost(bogus), 0.0);  // fallback weight, no throw
+}
+
 TEST(SpecFile, SyntaxErrorsReportLine) {
   expect_error("{\n \"name\": \"x\",\n}", 3, "expected a quoted object key");
   expect_error("{\n \"name\": \"x\"\n} trailing", 3, "trailing content");

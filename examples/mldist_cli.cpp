@@ -108,6 +108,16 @@ bool parse(int argc, char** argv, Args& out) {
       out.json = true;
       continue;
     }
+    if (flag == "--trace-workers") {
+      // Per-worker trace lanes under DIR/obs, merged into
+      // DIR/obs/campaign.trace.json at campaign end; implied by --trace.
+      out.sup.trace_workers = true;
+      continue;
+    }
+    if (flag == "--no-ship-telemetry") {
+      out.sup.ship_telemetry = false;
+      continue;
+    }
     const char* v = next();
     if (!v) return false;
     if (flag == "--target") {
@@ -182,6 +192,10 @@ bool parse(int argc, char** argv, Args& out) {
       out.serve_opt.batch.queue_max_rows = std::strtoull(v, nullptr, 10);
     } else if (flag == "--read-timeout-ms") {
       out.serve_opt.read_timeout_ms = std::atoi(v);
+    } else if (flag == "--slow-request-ms") {
+      out.serve_opt.batch.slow_request_ms = std::atoi(v);
+    } else if (flag == "--request-id-seed") {
+      out.serve_opt.request_id_seed = std::strtoull(v, nullptr, 0);
     } else if (flag == "--model") {
       out.model_path = v;
     } else if (flag == "--oracle") {
@@ -248,6 +262,7 @@ int usage() {
                "[--workers N]\n"
                "             [--cell-timeout S] [--max-cell-retries N] "
                "[--json]\n"
+               "             [--trace-workers] [--no-ship-telemetry]\n"
                "  mldist_cli campaign --state-dir DIR [--targets a,b] "
                "[--rounds-list 5,6,7]\n"
                "             [--archs a,b] [--workers N] [--cell-timeout S] "
@@ -257,6 +272,7 @@ int usage() {
                "[--batch-window-us N]\n"
                "             [--batch-max-rows N] [--queue-max-rows N] "
                "[--read-timeout-ms N]\n"
+               "             [--slow-request-ms N] [--request-id-seed S]\n"
                "  mldist_cli list\n"
                "train/test also accept --passes to override the IR "
                "optimisation pipeline,\n"

@@ -24,7 +24,10 @@
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/ship.hpp"
 #include "obs/signal.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
 #include "util/process.hpp"
 
 namespace mldist::campaign {
@@ -121,6 +124,7 @@ class Runner {
     return options_.state_dir + "/campaign.state.jsonl";
   }
   std::string cells_dir() const { return options_.state_dir + "/cells"; }
+  std::string obs_dir() const { return options_.state_dir + "/obs"; }
   std::string snapshot_path(const CellState& cs) const {
     return cells_dir() + "/" + cs.cell.id + ".model";
   }
@@ -217,6 +221,7 @@ class Runner {
   std::size_t finished_ = 0;  ///< cells in a terminal phase
   bool stop_requested_ = false;
   double reclaim_latency_ns_sum_ = 0.0;
+  std::string worker_trace_dir_;  ///< "" = worker tracing off
 };
 
 CampaignReport Runner::run() {
@@ -231,6 +236,12 @@ CampaignReport Runner::run() {
     options_.worker_exe = util::self_exe_path();
   }
   options_.max_cell_retries = std::max(0, options_.max_cell_retries);
+  if (options_.trace_workers || !obs::Tracer::global().path().empty()) {
+    // A traced campaign traces its workers too: one lane per process,
+    // merged below once the campaign ends.
+    worker_trace_dir_ = obs_dir();
+    std::filesystem::create_directories(worker_trace_dir_);
+  }
 
   util::FileLock lock;
   std::string lock_error;
@@ -329,6 +340,27 @@ CampaignReport Runner::run() {
     run_sharded();
   }
   report_.seconds = mono_s() - t0;
+
+  if (!worker_trace_dir_.empty()) {
+    // Stitch the per-worker lanes (including the truncated lane a
+    // chaos-killed worker left behind) into one Perfetto-loadable timeline.
+    const std::vector<std::string> lanes =
+        obs::list_trace_files(worker_trace_dir_);
+    if (!lanes.empty()) {
+      obs::TraceMergeResult merged;
+      std::string error;
+      const std::string out = worker_trace_dir_ + "/campaign.trace.json";
+      if (obs::merge_trace_files(lanes, out, &merged, &error)) {
+        obs::log_info("campaign", "merged worker traces")
+            .field("path", out)
+            .field("lanes", static_cast<std::uint64_t>(merged.lanes))
+            .field("events", static_cast<std::uint64_t>(merged.events));
+      } else {
+        obs::log_warn("campaign", "trace merge failed").field("error", error);
+      }
+    }
+  }
+
   if (report_.reclaims > 0) {
     report_.reclaim_latency_ns_mean =
         reclaim_latency_ns_sum_ / static_cast<double>(report_.reclaims);
@@ -528,7 +560,21 @@ void Runner::run_serial() {
         return extra;
       }());
     };
+    obs::MetricsSnapshot before;
+    if (options_.ship_telemetry) {
+      before = obs::MetricsRegistry::global().snapshot();
+    }
     const CellOutcome outcome = run_cell(cs.cell, hooks);
+    if (options_.ship_telemetry) {
+      // Fold the cell's delta through the same encode/apply codec the
+      // sharded path uses: structurally the same arithmetic, so the
+      // campaign.worker.* totals of a completed campaign are bitwise
+      // identical for any worker count (run_cell itself never touches the
+      // campaign.worker.* names, so there is no double count).
+      const std::string delta = obs::encode_metrics_delta(
+          before, obs::MetricsRegistry::global().snapshot());
+      if (!delta.empty()) obs::apply_metrics_delta(delta, "campaign.worker.");
+    }
     live_->in_flight.store(0);
     if (outcome.ok) {
       complete_cell(cs, outcome.payload, outcome.telemetry);
@@ -549,8 +595,12 @@ void Runner::spawn_worker() {
   // status pipe: parent keeps the read end.
   const util::Pipe status = util::make_pipe(/*parent_keeps_read=*/true);
   const std::vector<std::string> argv = {
-      options_.worker_exe, kWorkerFlag, std::to_string(cmd.read_fd),
-      std::to_string(status.write_fd)};
+      options_.worker_exe,
+      kWorkerFlag,
+      std::to_string(cmd.read_fd),
+      std::to_string(status.write_fd),
+      options_.ship_telemetry ? "1" : "0",
+      worker_trace_dir_.empty() ? "-" : worker_trace_dir_};
   w.pid = util::spawn_process(argv);
   util::close_fd(cmd.read_fd);      // child's ends, parent copies
   util::close_fd(status.write_fd);
@@ -573,6 +623,10 @@ void Runner::shutdown_workers() {
   for (WorkerSlot& w : workers_) {
     if (w.pid < 0) continue;
     for (;;) {
+      // Keep draining while waiting: the quitting worker ships its final
+      // OBS delta, which could otherwise fill the pipe and block it from
+      // ever reaching exit.
+      pump_status(w, mono_s());
       const util::ChildStatus st = util::poll_child(w.pid);
       if (st.state != util::ChildState::kRunning) break;
       if (mono_s() > deadline) {
@@ -582,6 +636,10 @@ void Runner::shutdown_workers() {
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
+    // Final drain after exit: without it the tail OBS records die with the
+    // pipe and the merged totals miss the last cells (breaking the §16
+    // invariance contract).
+    pump_status(w, mono_s());
     util::close_fd(w.status_fd);
     w.status_fd = -1;
     w.pid = -1;
@@ -638,6 +696,13 @@ void Runner::handle_status_line(WorkerSlot& w, const std::string& line,
   w.last_heartbeat = now;
   if (f[0] == "READY") {
     w.ready = true;
+    return;
+  }
+  if (f[0] == "OBS" && f.size() >= 2) {
+    // Worker registry delta: fold into this process's registry under the
+    // campaign.worker.* namespace so /metrics and /runz aggregate live
+    // across workers.  Malformed payloads are dropped inside apply.
+    obs::apply_metrics_delta(f[1], "campaign.worker.");
     return;
   }
   std::uint64_t index = 0;

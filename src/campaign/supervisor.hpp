@@ -64,6 +64,18 @@ struct SupervisorOptions {
   /// Test knob simulating a supervisor crash: stop (gracefully, journaling
   /// "interrupted") once this many cells have finished.  0 = off.
   std::size_t stop_after_cells = 0;
+  /// Ship each worker's metrics-registry deltas over the status pipe and
+  /// fold them into this process's registry under "campaign.worker.*"
+  /// (DESIGN.md §16), so /metrics and /runz show live cross-worker totals.
+  /// Serial mode folds per-cell deltas through the identical codec, which
+  /// is what makes the merged totals bitwise identical for any worker
+  /// count on a completed campaign.
+  bool ship_telemetry = true;
+  /// Trace each worker into <state_dir>/obs/worker-<pid>.trace.json and
+  /// merge the lanes into <state_dir>/obs/campaign.trace.json at campaign
+  /// end.  Also implied by the supervisor process itself being traced
+  /// (--trace / MLDIST_TRACE).
+  bool trace_workers = false;
 };
 
 struct CampaignReport {

@@ -19,7 +19,9 @@
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/ship.hpp"
 #include "obs/signal.hpp"
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 #include "util/process.hpp"
 #include "util/rng.hpp"
@@ -252,15 +254,51 @@ int worker_entry(int argc, char** argv) {
   if (argc < 4 || std::strcmp(argv[1], kWorkerFlag) != 0) return -1;
   const int cmd_fd = std::atoi(argv[2]);
   const int status_fd = std::atoi(argv[3]);
+  // Optional trailing argv (absent when an old-style 4-arg worker is
+  // spawned): [4] telemetry shipping on/off, [5] trace directory or "-".
+  const bool ship_telemetry =
+      argc < 5 || std::strcmp(argv[4], "0") != 0;
+  const std::string trace_dir =
+      argc >= 6 && std::strcmp(argv[5], "-") != 0 ? argv[5] : "";
   // Immediate mode: a SIGTERM'd worker stamps "interrupted", drains the
   // logger ring and dies with the conventional signal wait status (which is
   // exactly what the supervisor's reclaim logic keys on).
   obs::install_interrupt_handlers(/*exit_immediately=*/true);
   const ChaosConfig chaos = read_chaos_env();
 
+  if (!trace_dir.empty()) {
+    // One lane per worker process; the supervisor merges the lanes into
+    // obs/campaign.trace.json at campaign end (obs/trace_merge.hpp).
+    obs::Tracer::global().enable(trace_dir + "/worker-" +
+                                 std::to_string(::getpid()) + ".trace.json");
+  }
+
   const auto send = [&](const std::string& line) {
     return util::write_all(status_fd, line + "\n");
   };
+
+  // Telemetry shipping state (DESIGN.md §16): the worker's registry is
+  // sampled against the previous sample and only the delta rides the
+  // status pipe, so a long campaign's OBS records stay O(changed metrics).
+  obs::MetricsSnapshot shipped;
+  const auto ship_obs = [&] {
+    if (!ship_telemetry) return;
+    obs::MetricsSnapshot cur = obs::MetricsRegistry::global().snapshot();
+    const std::string delta = obs::encode_metrics_delta(shipped, cur);
+    if (!delta.empty()) send("OBS\t" + delta);
+    shipped = std::move(cur);
+  };
+  auto last_ship = std::chrono::steady_clock::now();
+  const auto ship_obs_throttled = [&] {
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_ship < std::chrono::milliseconds(500)) return;
+    last_ship = now;
+    ship_obs();
+    // Same cadence for the trace lane: a SIGKILLed worker then leaves a
+    // truncated-but-valid file at most one throttle window stale.
+    if (!trace_dir.empty()) obs::Tracer::global().flush();
+  };
+
   if (!send("READY")) return 1;
 
   std::string buf;
@@ -315,9 +353,13 @@ int worker_entry(int argc, char** argv) {
     hooks.snapshot_path = f[5] == "-" ? "" : f[5];
     hooks.heartbeat = [&](const char* phase, int epoch) {
       send("HB\t" + index_text + "\t" + phase + "\t" + std::to_string(epoch));
+      ship_obs_throttled();
       if (kill_this_lease && std::strcmp(phase, "fit") == 0 &&
           epoch == kill_epoch) {
         obs::Logger::global().flush();
+        // Leave the last-flushed (valid) trace lane behind; the merged
+        // campaign trace then shows this worker's truncated timeline.
+        if (!trace_dir.empty()) obs::Tracer::global().flush();
         ::kill(::getpid(), SIGKILL);  // the chaos crash: no cleanup, no exit
       }
     };
@@ -327,6 +369,10 @@ int worker_entry(int argc, char** argv) {
 
     const CellOutcome outcome = run_cell(cell, hooks);
     obs::Logger::global().flush();
+    // Unthrottled: the cell's full delta must precede its DONE/FAIL so a
+    // completed campaign's merged totals never miss a tail (the bitwise
+    // invariance contract of DESIGN.md §16).
+    ship_obs();
     if (outcome.ok) {
       if (!send("DONE\t" + index_text + "\t" + outcome.payload + "\t" +
                 outcome.telemetry)) {
@@ -339,7 +385,9 @@ int worker_entry(int argc, char** argv) {
       }
     }
   }
+  ship_obs();
   obs::Logger::global().flush();
+  if (!trace_dir.empty()) obs::Tracer::global().flush();
   return 0;
 }
 

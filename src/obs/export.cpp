@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 
+#include "obs/log.hpp"
 #include "obs/manifest.hpp"
 
 namespace mldist::obs {
@@ -68,6 +69,14 @@ std::string render_prometheus(const MetricsSnapshot& snapshot) {
            label_escape(m.git_describe) + "\",kernel=\"" +
            label_escape(m.kernel) + "\",build=\"" +
            label_escape(m.build_flags) + "\"} 1\n";
+  }
+
+  {
+    // Logger ring overflow: scrape-visible so silently-shed diagnostics are
+    // never silent about having been shed.
+    const std::string name = "mldist_log_dropped_total";
+    append_help_type(out, name, "counter", "obs::Logger dropped records");
+    out += name + " " + u64(Logger::global().dropped()) + "\n";
   }
 
   for (const auto& [raw, value] : snapshot.counters) {

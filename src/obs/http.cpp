@@ -95,10 +95,17 @@ void send_all(int fd, const std::string& data) {
 std::string http_response(int status, const char* status_text,
                           const char* content_type,
                           const std::string& body) {
+  return http_response(status, status_text, content_type, body, std::string());
+}
+
+std::string http_response(int status, const char* status_text,
+                          const char* content_type, const std::string& body,
+                          const std::string& extra_headers) {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " + status_text +
                     "\r\nContent-Type: " + content_type +
                     "\r\nContent-Length: " + std::to_string(body.size()) +
-                    "\r\nConnection: close\r\n\r\n";
+                    "\r\nConnection: close\r\n" +
+                    extra_headers + "\r\n";
   out += body;
   return out;
 }
@@ -180,7 +187,8 @@ bool HttpRequestReader::parse_headers() {
     return false;
   }
 
-  // Headers: only Content-Length matters to this dialect.
+  // Headers: kept as (lowercased-name, trimmed-value) pairs for header();
+  // Content-Length additionally drives the body state machine.
   std::size_t pos = line_end + 2;
   const std::size_t block_end = buf_.find("\r\n\r\n");
   while (pos < block_end) {
@@ -192,9 +200,13 @@ bool HttpRequestReader::parse_headers() {
     std::string name = header.substr(0, colon);
     for (char& c : name) c = static_cast<char>(std::tolower(
         static_cast<unsigned char>(c)));
-    if (name != "content-length") continue;
     std::size_t v = colon + 1;
     while (v < header.size() && (header[v] == ' ' || header[v] == '\t')) ++v;
+    std::size_t e = header.size();
+    while (e > v && (header[e - 1] == ' ' || header[e - 1] == '\t')) --e;
+    const std::string value = header.substr(v, e - v);
+    headers_.emplace_back(name, value);
+    if (name != "content-length") continue;
     char* endp = nullptr;
     errno = 0;
     const unsigned long long len =
@@ -206,6 +218,14 @@ bool HttpRequestReader::parse_headers() {
     content_length_ = static_cast<std::size_t>(len);
   }
   return true;
+}
+
+std::string HttpRequestReader::header(std::string_view name) const {
+  std::string found;
+  for (const auto& [n, v] : headers_) {
+    if (n == name) found = v;
+  }
+  return found;
 }
 
 }  // namespace mldist::obs

@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace mldist::obs {
 
@@ -49,6 +51,14 @@ void send_all(int fd, const std::string& data);
 /// Connection: close, body.
 std::string http_response(int status, const char* status_text,
                           const char* content_type, const std::string& body);
+
+/// Same, with `extra_headers` (zero or more complete "Name: value\r\n"
+/// lines, already serialised) inserted before the blank line — how the
+/// serve plane echoes X-Request-Id without the formatter growing a header
+/// map.
+std::string http_response(int status, const char* status_text,
+                          const char* content_type, const std::string& body,
+                          const std::string& extra_headers);
 
 /// Convenience for the common error shapes ("text/plain" + message line).
 std::string http_error(int status, const char* status_text,
@@ -82,6 +92,10 @@ class HttpRequestReader {
   /// Path with any "?query" stripped.
   const std::string& path() const { return path_; }
   const std::string& body() const { return body_; }
+  /// The value of header `name` (ASCII case-insensitive, pass it
+  /// lowercase), leading/trailing whitespace trimmed; "" when absent.
+  /// Duplicate headers keep the last occurrence.
+  std::string header(std::string_view name) const;
 
  private:
   enum class State { kHeaders, kBody, kComplete, kError };
@@ -96,6 +110,8 @@ class HttpRequestReader {
   std::string method_;
   std::string path_;
   std::string body_;
+  /// (lowercased-name, trimmed-value) in wire order.
+  std::vector<std::pair<std::string, std::string>> headers_;
   std::size_t content_length_ = 0;
   int error_status_ = 0;
   std::string error_detail_;

@@ -129,6 +129,25 @@ void MetricsRegistry::observe(MetricId id, std::uint64_t value) {
   h.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
+void MetricsRegistry::merge_histogram(MetricId id,
+                                      const HistogramSnapshot& delta) {
+  if (delta.count == 0) return;
+  HistCells& h = local_shard().hists[id];
+  h.count.fetch_add(delta.count, std::memory_order_relaxed);
+  h.sum.fetch_add(delta.sum, std::memory_order_relaxed);
+  if (delta.min < h.min.load(std::memory_order_relaxed)) {
+    h.min.store(delta.min, std::memory_order_relaxed);
+  }
+  if (delta.max > h.max.load(std::memory_order_relaxed)) {
+    h.max.store(delta.max, std::memory_order_relaxed);
+  }
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (delta.buckets[b] != 0) {
+      h.buckets[b].fetch_add(delta.buckets[b], std::memory_order_relaxed);
+    }
+  }
+}
+
 void MetricsRegistry::set_gauge(MetricId id, std::uint64_t value) {
   std::lock_guard<std::mutex> lock(mutex_);
   gauges_[id].value = value;

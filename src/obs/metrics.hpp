@@ -102,6 +102,12 @@ class MetricsRegistry {
   // --- recording (hot; lock-free, relaxed atomics on this thread's shard) -
   void add(MetricId id, std::uint64_t delta = 1);
   void observe(MetricId id, std::uint64_t value);
+  /// Fold a pre-aggregated histogram delta (count/sum/buckets add, min/max
+  /// fold) into this thread's shard — the bulk form of observe() used when
+  /// merging a shipped cross-process delta (obs/ship.hpp).  `delta.min` and
+  /// `delta.max` are taken as observed values, so a zero-count delta is a
+  /// no-op.
+  void merge_histogram(MetricId id, const HistogramSnapshot& delta);
   /// Gauges are last-write-wins (not sharded): a gauge records a fact, not
   /// a sum, so it lives in the registry under the lock.  Cold path only.
   void set_gauge(MetricId id, std::uint64_t value);

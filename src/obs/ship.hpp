@@ -1,0 +1,63 @@
+// Cross-process metrics shipping (DESIGN.md §16): the wire codec that lets
+// a campaign worker's MetricsRegistry totals survive the process boundary.
+//
+// A worker periodically snapshots its registry, encodes the DELTA since the
+// previous ship as one framed line, and writes it to the supervisor over
+// the status pipe as an `OBS` record.  The supervisor decodes the record
+// and folds it into its own registry under a "campaign.worker." prefix, so
+// one /metrics scrape of the supervisor shows live training counters from
+// every worker.
+//
+// Determinism contract (the PR 4 rule, extended across processes): every
+// shipped quantity is an unsigned 64-bit integer and every merge is u64
+// addition (histogram min/max fold by min/max, which is equally order
+// independent), so the merged totals on a completed campaign are BITWISE
+// IDENTICAL for any worker count and any interleaving of OBS records —
+// exactly the property the in-process registry already has across thread
+// counts.  Deltas rather than absolutes make the ship idempotence-free but
+// loss-tolerant in the only way that matters: totals are correct as long as
+// the final delta of each worker lands (forced after every cell and on
+// QUIT), regardless of how the throttled mid-cell ships were timed.
+//
+// Wire format (one line, no '\t' or '\n', so it frames inside the
+// tab-separated worker status protocol): records separated by 0x1e (ASCII
+// record separator), fields within a record by 0x1f (unit separator — the
+// spec.hpp codec convention; neither byte can appear in a metric name).
+// All values are decimal u64 — integers round-trip exactly, so unlike the
+// config codec no hex-float rendering is needed.
+//
+//   C <name> <delta>                                  counter increment
+//   G <name> <value>                                  gauge (last-write-wins)
+//   H <name> <dcount> <dsum> <min> <max> <b:n;b:n...> histogram delta
+//
+// Histogram count/sum/buckets are deltas (mergeable by addition); min/max
+// are the worker's cumulative values (mergeable by min/max fold).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace mldist::obs {
+
+/// Encode the change from `prev` to `cur` as one wire record.  Returns an
+/// empty string when nothing changed.  `prev` may be a default-constructed
+/// snapshot (everything in `cur` ships as the delta from zero).  Counters
+/// and histogram counts are assumed monotone between the two snapshots (the
+/// registry guarantees this outside reset()).
+std::string encode_metrics_delta(const MetricsSnapshot& prev,
+                                 const MetricsSnapshot& cur);
+
+/// Decode `record` and fold it into `into` with every metric name prefixed
+/// by `prefix` (e.g. "campaign.worker.").  Returns false on a malformed
+/// record (nothing is applied for the malformed tail; records already
+/// consumed stay applied) or when registering a prefixed name exhausts the
+/// registry capacity.
+bool apply_metrics_delta(std::string_view record, const std::string& prefix,
+                         MetricsRegistry& into);
+
+/// Convenience overload targeting the process-global registry.
+bool apply_metrics_delta(std::string_view record, const std::string& prefix);
+
+}  // namespace mldist::obs

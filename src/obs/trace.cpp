@@ -168,7 +168,13 @@ bool Tracer::flush(std::string* error) {
   }
 
   util::JsonBuilder other;
+  // trace_epoch_ns: absolute CLOCK_MONOTONIC time of this tracer's ts=0.
+  // The steady clock's epoch is shared by every process on the host, so a
+  // trace merger (obs/trace_merge.hpp) can place several processes' lanes
+  // on one common timeline by offsetting each file's ts by the difference
+  // of the epochs.
   other.field("dropped_events", dropped())
+      .field("trace_epoch_ns", epoch_ns_)
       .raw("manifest", RunManifest::current().to_json());
   util::JsonBuilder doc;
   doc.raw("traceEvents", util::JsonBuilder::array(rows))

@@ -71,6 +71,11 @@ class Tracer {
   /// Nanoseconds since the tracer singleton was constructed (steady clock).
   std::uint64_t now_ns() const;
 
+  /// The absolute steady-clock time of this tracer's ts=0, as written into
+  /// the trace file's otherData.trace_epoch_ns (cross-process alignment key
+  /// for obs/trace_merge.hpp).
+  std::uint64_t epoch_ns() const { return epoch_ns_; }
+
   /// One finished span; used by Span's destructor, not call sites.
   struct Event {
     std::string name;

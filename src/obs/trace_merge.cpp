@@ -1,0 +1,282 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/manifest.hpp"
+#include "util/json.hpp"
+
+namespace mldist::obs {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return static_cast<bool>(in);
+}
+
+/// Index just past the closing quote of the string starting at `i` (which
+/// must point at the opening quote), honouring backslash escapes.  Returns
+/// npos on an unterminated string.
+std::size_t skip_string(const std::string& text, std::size_t i) {
+  for (++i; i < text.size(); ++i) {
+    if (text[i] == '\\') {
+      ++i;
+    } else if (text[i] == '"') {
+      return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Index of the bracket closing the one at `open` ('[' or '{'), skipping
+/// strings.  npos when unbalanced.
+std::size_t match_bracket(const std::string& text, std::size_t open) {
+  const char up = text[open];
+  const char down = up == '[' ? ']' : '}';
+  int depth = 0;
+  for (std::size_t i = open; i < text.size();) {
+    const char c = text[i];
+    if (c == '"') {
+      i = skip_string(text, i);
+      if (i == std::string::npos) return std::string::npos;
+      continue;
+    }
+    if (c == up) ++depth;
+    if (c == down && --depth == 0) return i;
+    ++i;
+  }
+  return std::string::npos;
+}
+
+/// Parse the decimal u64 at `i`, advancing it past the digits.  False when
+/// no digit is present.
+bool parse_u64_at(const std::string& text, std::size_t& i, std::uint64_t& out) {
+  if (i >= text.size() || text[i] < '0' || text[i] > '9') return false;
+  out = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    out = out * 10 + static_cast<std::uint64_t>(text[i] - '0');
+    ++i;
+  }
+  return true;
+}
+
+/// The u64 value of `"key":<digits>` inside `text` (first occurrence).
+/// Safe on trace files because obs/trace renders these keys with numeric
+/// values at the top level of their objects.  False when absent.
+bool find_u64_field(const std::string& text, const std::string& key,
+                    std::uint64_t& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  std::size_t i = pos + needle.size();
+  return parse_u64_at(text, i, out);
+}
+
+/// Microseconds with the sub-µs kept as three decimals — the same rendering
+/// obs/trace uses, so a merged file round-trips through another merge.
+std::string us_string(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+
+struct ParsedLane {
+  std::string label;                 ///< input file stem, lane display name
+  std::uint64_t epoch_ns = 0;        ///< otherData.trace_epoch_ns
+  std::uint64_t dropped = 0;         ///< otherData.dropped_events
+  std::vector<std::string> events;   ///< "X" rows, verbatim object text
+};
+
+/// Extract the event rows and otherData fields of one obs/trace file.
+bool parse_trace_file(const std::string& path, ParsedLane& lane,
+                      std::string* error) {
+  std::string text;
+  if (!read_file(path, text)) {
+    if (error != nullptr) *error = path + ": unreadable";
+    return false;
+  }
+  const std::size_t key = text.find("\"traceEvents\":");
+  const std::size_t open = key == std::string::npos
+                               ? std::string::npos
+                               : text.find('[', key);
+  if (open == std::string::npos) {
+    if (error != nullptr) *error = path + ": no traceEvents array";
+    return false;
+  }
+  const std::size_t close = match_bracket(text, open);
+  if (close == std::string::npos) {
+    if (error != nullptr) *error = path + ": unbalanced traceEvents array";
+    return false;
+  }
+  // Split the array into its top-level objects.
+  for (std::size_t i = open + 1; i < close;) {
+    if (text[i] != '{') {
+      ++i;
+      continue;
+    }
+    const std::size_t end = match_bracket(text, i);
+    if (end == std::string::npos || end > close) {
+      if (error != nullptr) *error = path + ": unbalanced event object";
+      return false;
+    }
+    std::string row = text.substr(i, end - i + 1);
+    // Metadata rows are re-authored per lane by the merger.
+    if (row.find("\"ph\":\"M\"") == std::string::npos) {
+      lane.events.push_back(std::move(row));
+    }
+    i = end + 1;
+  }
+  // otherData lives after the array in obs/trace output, so searching the
+  // tail cannot hit an event's args.
+  const std::string tail = text.substr(close);
+  if (!find_u64_field(tail, "trace_epoch_ns", lane.epoch_ns)) {
+    if (error != nullptr) *error = path + ": no otherData.trace_epoch_ns";
+    return false;
+  }
+  find_u64_field(tail, "dropped_events", lane.dropped);  // optional
+  std::string stem = fs::path(path).filename().string();
+  if (const std::size_t dot = stem.find(".trace.json");
+      dot != std::string::npos) {
+    stem.resize(dot);
+  }
+  lane.label = stem;
+  return true;
+}
+
+/// Rewrite one event row for its lane: "pid" becomes the lane number and
+/// "ts" is shifted from the file's local epoch onto the common one.
+std::string rebase_event(const std::string& row, std::size_t lane,
+                         std::uint64_t offset_ns) {
+  std::string out = row;
+  // "pid":<digits> -> "pid":<lane>
+  const std::string pid_key = "\"pid\":";
+  if (std::size_t pos = out.find(pid_key); pos != std::string::npos) {
+    std::size_t i = pos + pid_key.size();
+    std::uint64_t old_pid = 0;
+    if (parse_u64_at(out, i, old_pid)) {
+      out.replace(pos + pid_key.size(), i - (pos + pid_key.size()),
+                  std::to_string(lane));
+    }
+  }
+  if (offset_ns == 0) return out;
+  // "ts":<us>.<3 digits> -> same, shifted by offset_ns.
+  const std::string ts_key = "\"ts\":";
+  if (std::size_t pos = out.find(ts_key); pos != std::string::npos) {
+    std::size_t i = pos + ts_key.size();
+    std::uint64_t us = 0;
+    if (parse_u64_at(out, i, us)) {
+      std::uint64_t frac = 0;
+      std::size_t end = i;
+      if (end < out.size() && out[end] == '.') {
+        ++end;
+        parse_u64_at(out, end, frac);
+      }
+      const std::uint64_t ns = us * 1000 + frac + offset_ns;
+      out.replace(pos + ts_key.size(), end - (pos + ts_key.size()),
+                  us_string(ns));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> list_trace_files(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir, ec)) {
+    if (!de.is_regular_file(ec)) continue;
+    const std::string name = de.path().filename().string();
+    if (name.rfind("worker-", 0) == 0 &&
+        name.size() >= 11 && name.compare(name.size() - 11, 11,
+                                          ".trace.json") == 0) {
+      files.push_back(de.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool merge_trace_files(const std::vector<std::string>& inputs,
+                       const std::string& output, TraceMergeResult* result,
+                       std::string* error) {
+  std::vector<ParsedLane> lanes;
+  std::string first_error;
+  for (const std::string& path : inputs) {
+    ParsedLane lane;
+    std::string lane_error;
+    if (parse_trace_file(path, lane, &lane_error)) {
+      lanes.push_back(std::move(lane));
+    } else if (first_error.empty()) {
+      first_error = lane_error;
+    }
+  }
+  if (lanes.empty()) {
+    if (error != nullptr) {
+      *error = first_error.empty() ? "trace merge: no input files"
+                                   : first_error;
+    }
+    return false;
+  }
+
+  std::uint64_t epoch = lanes.front().epoch_ns;
+  for (const ParsedLane& lane : lanes) epoch = std::min(epoch, lane.epoch_ns);
+
+  std::vector<std::string> rows;
+  std::uint64_t dropped = 0;
+  std::size_t events = 0;
+  for (std::size_t n = 0; n < lanes.size(); ++n) {
+    const ParsedLane& lane = lanes[n];
+    const std::size_t pid = n + 1;
+    util::JsonBuilder meta;
+    meta.field("name", "process_name")
+        .field("ph", "M")
+        .field("pid", static_cast<std::uint64_t>(pid));
+    util::JsonBuilder meta_args;
+    meta_args.field("name", lane.label);
+    meta.raw("args", meta_args.str());
+    rows.push_back(meta.str());
+    const std::uint64_t offset = lane.epoch_ns - epoch;
+    for (const std::string& row : lane.events) {
+      rows.push_back(rebase_event(row, pid, offset));
+    }
+    dropped += lane.dropped;
+    events += lane.events.size();
+  }
+
+  util::JsonBuilder other;
+  other.field("dropped_events", dropped)
+      .field("lanes", static_cast<std::uint64_t>(lanes.size()))
+      .field("trace_epoch_ns", epoch)
+      .raw("manifest", RunManifest::current().to_json());
+  util::JsonBuilder doc;
+  doc.raw("traceEvents", util::JsonBuilder::array(rows))
+      .field("displayTimeUnit", "ms")
+      .raw("otherData", other.str());
+  const util::WriteResult written = util::write_json_file(output, doc.str());
+  if (!written) {
+    if (error != nullptr) *error = written.error;
+    return false;
+  }
+  if (result != nullptr) {
+    result->lanes = lanes.size();
+    result->events = events;
+    result->dropped = dropped;
+    result->epoch_ns = epoch;
+  }
+  return true;
+}
+
+}  // namespace mldist::obs

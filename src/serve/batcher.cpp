@@ -34,6 +34,8 @@ ModelWorker::ModelWorker(const ModelEntry& entry, const BatchOptions& options)
   requests_ctr_ = reg.counter(prefix + ".requests");
   rows_ctr_ = reg.counter(prefix + ".rows");
   batches_ctr_ = reg.counter(prefix + ".batches");
+  queue_depth_gauge_ = reg.gauge(prefix + ".queue_depth");
+  reg.set_gauge(queue_depth_gauge_, 0);
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -46,6 +48,9 @@ bool ModelWorker::submit(ClassifyJob&& job) {
     job.enqueue_ns = steady_ns();
     queued_rows_ += job.rows;
     queue_.push_back(std::move(job));
+    // Inside mu_ so depth updates are ordered; the registry's own lock
+    // never calls back into serve code, so no cycle.
+    obs::MetricsRegistry::global().set_gauge(queue_depth_gauge_, queued_rows_);
   }
   cv_.notify_one();
   return true;
@@ -94,6 +99,8 @@ void ModelWorker::loop() {
         queue_.pop_front();
       }
       queued_rows_ -= rows;
+      obs::MetricsRegistry::global().set_gauge(queue_depth_gauge_,
+                                               queued_rows_);
     }
     run_batch(batch, rows);
   }
@@ -133,10 +140,16 @@ void ModelWorker::run_batch(std::vector<ClassifyJob>& batch,
 
   r = 0;
   for (ClassifyJob& job : batch) {
+    const std::string rid_header =
+        job.request_id.empty() ? std::string()
+                               : "X-Request-Id: " + job.request_id + "\r\n";
     std::string response;
+    int status = 200;
     if (!failure.empty()) {
-      response = obs::http_error(500, "Internal Server Error",
-                                 "inference failed: " + failure);
+      status = 500;
+      response = obs::http_response(500, "Internal Server Error", "text/plain",
+                                    "inference failed: " + failure + "\n",
+                                    rid_header);
     } else {
       // Slice this job's rows back out of the batched result.
       nn::Mat mine(job.rows, probs.cols());
@@ -144,17 +157,29 @@ void ModelWorker::run_batch(std::vector<ClassifyJob>& batch,
                   job.rows * probs.cols() * sizeof(float));
       response = obs::http_response(
           200, "OK", "application/json",
-          render_classify_response(entry_, mine) + "\n");
+          render_classify_response(entry_, mine) + "\n", rid_header);
     }
     r += job.rows;
+    reg.add(requests_ctr_);
+    reg.add(rows_ctr_, job.rows);
+    const std::uint64_t e2e_ns = steady_ns() - job.enqueue_ns;
+    reg.observe(e2e_hist_, e2e_ns);
+    AccessRecord access;
+    access.model = entry_.name;
+    access.rows = job.rows;
+    access.batch_rows = rows;
+    access.queue_wait_ns = assembled_ns - job.enqueue_ns;
+    access.e2e_ns = e2e_ns;
+    access.status = status;
+    access.request_id = job.request_id;
+    // Log before the response leaves: a client holding its answer can rely
+    // on the access record existing (at worst still in the logger ring).
+    log_access(access, opt_.slow_request_ms);
     if (job.fd >= 0) {
       obs::send_all(job.fd, response);
       ::close(job.fd);
       job.fd = -1;
     }
-    reg.add(requests_ctr_);
-    reg.add(rows_ctr_, job.rows);
-    reg.observe(e2e_hist_, steady_ns() - job.enqueue_ns);
     answered_.fetch_add(1, std::memory_order_relaxed);
   }
   batches_.fetch_add(1, std::memory_order_relaxed);

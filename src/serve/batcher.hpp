@@ -28,6 +28,10 @@
 //   serve.model.<name>.requests counter   — answered requests
 //   serve.model.<name>.rows     counter   — classified rows
 //   serve.model.<name>.batches  counter   — batched predict calls
+//   serve.model.<name>.queue_depth gauge  — rows waiting right now (also
+//                                           surfaced in /runz detail)
+// plus one structured access-log line per answered request
+// (serve/protocol.hpp log_access, component "serve.access").
 #pragma once
 
 #include <condition_variable>
@@ -50,6 +54,10 @@ struct BatchOptions {
   int batch_window_us = 200;
   std::size_t batch_max_rows = 64;
   std::size_t queue_max_rows = 1024;
+  /// Requests whose e2e latency reaches this many milliseconds log their
+  /// access line at warn (force-draining the logger ring) instead of info.
+  /// 0 disables the threshold.
+  int slow_request_ms = 0;
 };
 
 struct ClassifyJob {
@@ -57,6 +65,7 @@ struct ClassifyJob {
   std::vector<float> features;  ///< rows * input_bits, bit-unpacked
   std::size_t rows = 0;
   std::uint64_t enqueue_ns = 0;  ///< stamped by submit()
+  std::string request_id;        ///< echoed in X-Request-Id + access log
 };
 
 class ModelWorker {
@@ -110,6 +119,7 @@ class ModelWorker {
   obs::MetricId requests_ctr_;
   obs::MetricId rows_ctr_;
   obs::MetricId batches_ctr_;
+  obs::MetricId queue_depth_gauge_;  ///< queued rows, set on enqueue/dequeue
 
   std::thread thread_;
 };

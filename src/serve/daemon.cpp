@@ -6,6 +6,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include "obs/export.hpp"
@@ -17,6 +18,7 @@
 #include "serve/registry.hpp"
 #include "util/json.hpp"
 #include "util/process.hpp"
+#include "util/rng.hpp"
 
 namespace mldist::serve {
 
@@ -29,6 +31,17 @@ std::uint64_t steady_ns() {
           .count());
 }
 
+/// A client-supplied X-Request-Id, made safe to echo into a header and a
+/// JSON log field: non-printable bytes, quotes and backslashes become '_',
+/// length capped at 64.  An absent header ("") means "generate one".
+std::string sanitize_request_id(std::string rid) {
+  if (rid.size() > 64) rid.resize(64);
+  for (char& c : rid) {
+    if (c < 0x21 || c > 0x7e || c == '"' || c == '\\') c = '_';
+  }
+  return rid;
+}
+
 }  // namespace
 
 /// One in-flight connection owned by the event loop.
@@ -36,12 +49,15 @@ struct ServeDaemon::Conn {
   int fd = -1;
   obs::HttpRequestReader reader;
   std::uint64_t deadline_ns = 0;
+  std::uint64_t accept_ns = 0;  ///< e2e clock for inline-answered requests
   std::string out;            ///< inline response being written
   std::size_t out_off = 0;
   bool writing = false;
 
-  Conn(int fd_, std::size_t max_body, std::uint64_t deadline)
-      : fd(fd_), reader(8 * 1024, max_body), deadline_ns(deadline) {}
+  Conn(int fd_, std::size_t max_body, std::uint64_t deadline,
+       std::uint64_t accepted)
+      : fd(fd_), reader(8 * 1024, max_body), deadline_ns(deadline),
+        accept_ns(accepted) {}
 };
 
 ServeDaemon::ServeDaemon(const ModelRegistry& registry)
@@ -61,7 +77,47 @@ bool ServeDaemon::start(const ServeOptions& options, std::string* error) {
     workers_.push_back(std::make_unique<ModelWorker>(e, opt_.batch));
   }
   stop_.store(false, std::memory_order_release);
+  rid_counter_.store(0, std::memory_order_relaxed);
   start_ns_ = steady_ns();
+
+  // /runz detail: per-model live queue depth and served totals, read from
+  // the global registry inside the provider (no `this` capture — the
+  // provider may be invoked on the metrics-server thread while the daemon
+  // is tearing down; it is cleared before the workers are).
+  {
+    std::vector<std::string> names;
+    names.reserve(registry_.size());
+    for (const ModelEntry& e : registry_.entries()) names.push_back(e.name);
+    obs::RunStatus::global().set_detail_provider([names] {
+      const obs::MetricsSnapshot snap =
+          obs::MetricsRegistry::global().snapshot();
+      const auto value =
+          [](const std::vector<std::pair<std::string, std::uint64_t>>& list,
+             const std::string& name) -> std::uint64_t {
+        for (const auto& [n, v] : list) {
+          if (n == name) return v;
+        }
+        return 0;
+      };
+      std::vector<std::string> models;
+      models.reserve(names.size());
+      for (const std::string& name : names) {
+        const std::string prefix = "serve.model." + name + ".";
+        util::JsonBuilder e;
+        e.field("model", name)
+            .field("queue_depth", value(snap.gauges, prefix + "queue_depth"))
+            .field("requests", value(snap.counters, prefix + "requests"))
+            .field("rows", value(snap.counters, prefix + "rows"))
+            .field("batches", value(snap.counters, prefix + "batches"));
+        models.push_back(e.str());
+      }
+      util::JsonBuilder j;
+      j.raw("models", util::JsonBuilder::array(models));
+      return j.str();
+    });
+  }
+  obs::RunStatus::global().set_phase("serve");
+
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { event_loop(); });
   obs::log_info("serve.daemon", "serving")
@@ -76,6 +132,8 @@ bool ServeDaemon::start(const ServeOptions& options, std::string* error) {
 
 void ServeDaemon::stop() {
   if (!running()) return;
+  obs::RunStatus::global().set_detail_provider(nullptr);
+  obs::RunStatus::global().set_phase("idle");
   stop_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
   // Workers drain their queues (every admitted request is answered), then
@@ -84,6 +142,9 @@ void ServeDaemon::stop() {
   workers_.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
+  // Info-level access lines drain opportunistically; force the tail out so
+  // a stopped daemon leaves a complete access log behind.
+  obs::Logger::global().flush();
   running_.store(false, std::memory_order_release);
   port_ = 0;
 }
@@ -113,7 +174,7 @@ void ServeDaemon::event_loop() {
         util::set_nonblocking(client, true);
         conns.push_back(std::make_unique<Conn>(
             client, opt_.max_body_bytes,
-            now + std::uint64_t(opt_.read_timeout_ms) * 1'000'000ull));
+            now + std::uint64_t(opt_.read_timeout_ms) * 1'000'000ull, now));
       }
     }
 
@@ -210,7 +271,7 @@ std::string ServeDaemon::route(Conn& conn) {
   const std::string& path = conn.reader.path();
 
   if (method == "POST" && path == "/v1/classify") {
-    return handle_classify(conn.reader.body(), &conn.fd);
+    return handle_classify(conn);
   }
   if (method != "GET") {
     return obs::http_error(405, "Method Not Allowed",
@@ -243,23 +304,54 @@ std::string ServeDaemon::route(Conn& conn) {
                          "/metrics /healthz /runz");
 }
 
-std::string ServeDaemon::handle_classify(const std::string& body, int* fd) {
+std::string ServeDaemon::handle_classify(Conn& conn) {
+  // Request id (DESIGN.md §16): honour the client's X-Request-Id, else
+  // derive one from the seeded per-daemon counter.  Every classify answer
+  // — inline rejection or batched response — carries the id in its
+  // X-Request-Id header and in exactly one access-log line.
+  std::string rid = sanitize_request_id(conn.reader.header("x-request-id"));
+  if (rid.empty()) {
+    const std::uint64_t n =
+        rid_counter_.fetch_add(1, std::memory_order_relaxed);
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      util::derive_stream_seed(opt_.request_id_seed, n)));
+    rid = buf;
+  }
+  const std::string rid_header = "X-Request-Id: " + rid + "\r\n";
+  const auto reject = [&](int status, const char* status_text,
+                          const std::string& message, const std::string& model,
+                          std::size_t rows) {
+    AccessRecord access;
+    access.model = model;
+    access.rows = rows;
+    access.e2e_ns = steady_ns() - conn.accept_ns;
+    access.status = status;
+    access.request_id = rid;
+    log_access(access, opt_.batch.slow_request_ms);
+    return obs::http_response(status, status_text, "text/plain", message + "\n",
+                              rid_header);
+  };
+
   ClassifyRequest req;
   std::string error;
-  if (!parse_classify_request(body, &req, &error)) {
-    return obs::http_error(400, "Bad Request", error);
+  if (!parse_classify_request(conn.reader.body(), &req, &error)) {
+    return reject(400, "Bad Request", error, "", 0);
   }
   const ModelEntry* entry = registry_.find(req.model);
   if (entry == nullptr) {
-    return obs::http_error(404, "Not Found",
-                           "unknown model \"" + req.model +
-                               "\"; GET /v1/models lists the registry");
+    return reject(404, "Not Found",
+                  "unknown model \"" + req.model +
+                      "\"; GET /v1/models lists the registry",
+                  req.model, req.inputs_hex.size());
   }
   ClassifyJob job;
   job.rows = req.inputs_hex.size();
+  job.request_id = rid;
   nn::Mat rows;
   if (!decode_inputs(req.inputs_hex, entry->input_bits, &rows, &error)) {
-    return obs::http_error(400, "Bad Request", error);
+    return reject(400, "Bad Request", error, req.model, job.rows);
   }
   job.features.assign(rows.data(), rows.data() + rows.rows() * rows.cols());
 
@@ -271,24 +363,24 @@ std::string ServeDaemon::handle_classify(const std::string& body, int* fd) {
     }
   }
   if (job.rows > opt_.batch.batch_max_rows) {
-    return obs::http_error(
-        400, "Bad Request",
-        "at most " + std::to_string(opt_.batch.batch_max_rows) +
-            " inputs per request (batch_max_rows)");
+    return reject(400, "Bad Request",
+                  "at most " + std::to_string(opt_.batch.batch_max_rows) +
+                      " inputs per request (batch_max_rows)",
+                  req.model, job.rows);
   }
   // Hand the connection to the worker: it answers after the batched
   // forward.  The fd must be blocking again — the worker's send_all is a
   // straight blocking write.
-  util::set_nonblocking(*fd, false);
-  job.fd = *fd;
+  util::set_nonblocking(conn.fd, false);
+  job.fd = conn.fd;
   if (worker == nullptr || !worker->submit(std::move(job))) {
-    util::set_nonblocking(*fd, true);
+    util::set_nonblocking(conn.fd, true);
     rejected_.fetch_add(1, std::memory_order_relaxed);
     obs::count("serve.rejected");
-    return obs::http_error(503, "Service Unavailable",
-                           "queue full; retry with backoff");
+    return reject(503, "Service Unavailable", "queue full; retry with backoff",
+                  req.model, req.inputs_hex.size());
   }
-  *fd = -1;  // ownership transferred
+  conn.fd = -1;  // ownership transferred
   return std::string();
 }
 

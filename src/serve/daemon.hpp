@@ -44,6 +44,11 @@ struct ServeOptions {
   int read_timeout_ms = 2000;  ///< per-connection deadline for a full request
   std::size_t max_body_bytes = 1024 * 1024;
   int backlog = 128;
+  /// Seed for generated request ids: request n gets the 16-hex rendering of
+  /// derive_stream_seed(seed, n), so ids are unique, well-spread and — by
+  /// design — free of time-based nondeterminism (tests replay sequences).
+  /// Clients that send X-Request-Id keep their own id instead.
+  std::uint64_t request_id_seed = 0x1d5eed;
 };
 
 class ServeDaemon {
@@ -84,7 +89,10 @@ class ServeDaemon {
   /// Route a completed request; returns the inline response, or "" when
   /// the connection was handed off to a worker.
   std::string route(Conn& conn);
-  std::string handle_classify(const std::string& body, int* fd);
+  /// Classify path: assigns/echoes the request id, logs the access line for
+  /// inline rejections, hands the fd to a worker on success (conn.fd
+  /// becomes -1).
+  std::string handle_classify(Conn& conn);
 
   const ModelRegistry& registry_;
   ServeOptions opt_;
@@ -94,6 +102,7 @@ class ServeDaemon {
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> rid_counter_{0};  ///< next generated request id
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
   std::uint64_t start_ns_ = 0;

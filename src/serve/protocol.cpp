@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/log.hpp"
 #include "serve/registry.hpp"
 #include "util/bits.hpp"
 #include "util/hex.hpp"
@@ -183,6 +184,24 @@ std::string render_classify_response(const ModelEntry& entry,
       .field("config_hash", entry.config_hash)
       .raw("predictions", util::JsonBuilder::array(predictions));
   return j.str();
+}
+
+void log_access(const AccessRecord& rec, int slow_request_ms) {
+  const bool slow =
+      slow_request_ms > 0 &&
+      rec.e2e_ns >=
+          static_cast<std::uint64_t>(slow_request_ms) * 1'000'000ull;
+  obs::LogRecord line = slow ? obs::log_warn("serve.access", "slow request")
+                             : obs::log_info("serve.access", "request");
+  line.field("method", "POST")
+      .field("path", "/v1/classify")
+      .field("model", rec.model)
+      .field("rows", static_cast<std::uint64_t>(rec.rows))
+      .field("batch", static_cast<std::uint64_t>(rec.batch_rows))
+      .field("queue_wait_ns", rec.queue_wait_ns)
+      .field("e2e_ns", rec.e2e_ns)
+      .field("status", rec.status)
+      .field("request_id", rec.request_id);
 }
 
 }  // namespace mldist::serve

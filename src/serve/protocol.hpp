@@ -54,4 +54,23 @@ bool decode_inputs(const std::vector<std::string>& inputs_hex,
 std::string render_classify_response(const ModelEntry& entry,
                                      const nn::Mat& probs);
 
+/// Everything one /v1/classify access-log line carries (DESIGN.md §16).
+/// Inline rejections (400/404/503) log with batch_rows/queue_wait_ns = 0;
+/// batched answers log after the forward with the real queue/batch shape.
+struct AccessRecord {
+  std::string model;              ///< "" when the body never parsed
+  std::size_t rows = 0;           ///< inputs in the request
+  std::size_t batch_rows = 0;     ///< rows of the batch that answered it
+  std::uint64_t queue_wait_ns = 0;
+  std::uint64_t e2e_ns = 0;
+  int status = 0;                 ///< HTTP status answered
+  std::string request_id;
+};
+
+/// Emit exactly one structured JSONL line for a /v1/classify request via
+/// obs::Logger (component "serve.access").  A request slower than
+/// `slow_request_ms` (0 = off) logs at warn, which force-drains the logger
+/// ring — the slow request is on the sink before anything else happens.
+void log_access(const AccessRecord& rec, int slow_request_ms);
+
 }  // namespace mldist::serve

@@ -29,6 +29,8 @@
 #include "core/checkpoint.hpp"
 #include "core/experiment.hpp"
 #include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_merge.hpp"
 #include "util/json.hpp"
 #include "util/process.hpp"
 #include "util/rng.hpp"
@@ -582,6 +584,103 @@ TEST(CheckpointGc, KeepsNewestRemovesRestAndTmpSiblings) {
   EXPECT_TRUE(std::filesystem::exists(dir.path() + "/keep.other"));
   // The tmp sibling of a *removed* checkpoint goes with it.
   EXPECT_FALSE(std::filesystem::exists(dir.path() + "/a.model.tmp"));
+}
+
+// --- telemetry shipping: merged totals are worker-count invariant ----------
+
+/// The merged campaign.worker.* counters, minus the wall-clock names whose
+/// values legitimately vary run to run (the DESIGN.md §10 suffix rule).
+std::map<std::string, std::uint64_t> merged_worker_counters() {
+  std::map<std::string, std::uint64_t> out;
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    // reset() keeps registered names at value 0; only live totals count.
+    if (value == 0 || name.rfind("campaign.worker.", 0) != 0) continue;
+    const auto ends_with = [&](const char* s) {
+      const std::size_t n = std::char_traits<char>::length(s);
+      return name.size() >= n && name.compare(name.size() - n, n, s) == 0;
+    };
+    if (ends_with("_ns") || ends_with("_us")) continue;
+    out[name] = value;
+  }
+  return out;
+}
+
+TEST(CampaignTelemetry, MergedCountersBitwiseIdenticalAcrossWorkerCounts) {
+  const campaign::CampaignSpec spec = tiny_spec(3);
+  std::map<std::string, std::uint64_t> reference;
+  for (const std::size_t workers : {0u, 1u, 2u, 3u}) {
+    TempDir dir("obs-invariance");
+    obs::MetricsRegistry::global().reset();
+    campaign::Supervisor sup(spec, options_for(dir, workers));
+    const campaign::CampaignReport rep = sup.run();
+    ASSERT_TRUE(rep.complete());
+    ASSERT_EQ(rep.cells_failed, 0u);
+    const std::map<std::string, std::uint64_t> merged =
+        merged_worker_counters();
+    ASSERT_FALSE(merged.empty())
+        << "no campaign.worker.* counters were merged at workers=" << workers;
+    if (workers == 0) {
+      reference = merged;  // serial fold through the same ship codec
+      continue;
+    }
+    EXPECT_EQ(merged, reference)
+        << "merged worker counters must be bitwise identical for any worker "
+           "count (workers="
+        << workers << ")";
+  }
+}
+
+TEST(CampaignTelemetry, ShipTelemetryOffLeavesRegistryClean) {
+  const campaign::CampaignSpec spec = tiny_spec(1);
+  TempDir dir("obs-off");
+  obs::MetricsRegistry::global().reset();
+  campaign::SupervisorOptions opt = options_for(dir, /*workers=*/1);
+  opt.ship_telemetry = false;
+  campaign::Supervisor sup(spec, opt);
+  const campaign::CampaignReport rep = sup.run();
+  ASSERT_TRUE(rep.complete());
+  EXPECT_TRUE(merged_worker_counters().empty())
+      << "ship_telemetry=false must not fold any campaign.worker.* counters";
+}
+
+// --- worker tracing: chaos-killed lanes still merge into a valid trace -----
+
+TEST(CampaignTelemetry, ChaosKilledWorkersLeaveValidMergedTrace) {
+  const campaign::CampaignSpec spec = tiny_spec(3);
+  TempDir dir("obs-trace");
+  campaign::CampaignReport rep;
+  {
+    // Every cell's first lease dies mid-train; the chaos path flushes the
+    // worker tracer before the SIGKILL, so each killed worker leaves a
+    // truncated-but-valid lane behind.
+    ScopedEnv chaos("MLDIST_CHAOS_KILL", "p=100,seed=7,max=1");
+    campaign::SupervisorOptions opt = options_for(dir, /*workers=*/2);
+    opt.trace_workers = true;
+    campaign::Supervisor sup(spec, opt);
+    rep = sup.run();
+  }
+  ASSERT_TRUE(rep.complete());
+  ASSERT_EQ(rep.cells_failed, 0u);
+  ASSERT_GE(rep.worker_restarts, 1u);
+
+  const std::string obs_dir = dir.path() + "/obs";
+  EXPECT_GE(obs::list_trace_files(obs_dir).size(), 2u)
+      << "each worker process must leave its own trace lane";
+  const std::string merged_path = obs_dir + "/campaign.trace.json";
+  ASSERT_TRUE(std::filesystem::exists(merged_path))
+      << "the supervisor must merge worker lanes after the campaign";
+  std::ifstream in(merged_path);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  std::string error;
+  EXPECT_TRUE(util::json_validate(text, &error)) << error;
+  EXPECT_NE(text.find("\"process_name\""), std::string::npos)
+      << "merged trace must name its per-worker lanes";
+  std::uint64_t lanes = 0;
+  ASSERT_TRUE(campaign::extract_json_u64(text, "lanes", lanes));
+  EXPECT_GE(lanes, 2u)
+      << "killed workers' lanes must survive into the merged trace";
 }
 
 // --- /runz detail provider -------------------------------------------------

@@ -35,7 +35,9 @@
 #include "obs/metrics.hpp"
 #include "obs/http.hpp"
 #include "obs/server.hpp"
+#include "obs/ship.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
 #include "util/process.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -1083,6 +1085,196 @@ TEST(Server, ListenSocketIsNotInheritedBySpawnedChildren) {
   EXPECT_EQ(rc, 0) << "port " << port << " still held after stop() "
                    << "(errno " << bind_errno
                    << ") — listen fd leaked into the child";
+}
+
+// ---------------------------------------------------------------------------
+// cross-process metrics shipping (obs/ship.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(Ship, EncodeApplyRoundTripWithPrefix) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const obs::MetricsSnapshot prev = reg.snapshot();
+  reg.add(reg.counter("obs_test.ship.cells"), 5);
+  reg.set_gauge(reg.gauge("obs_test.ship.depth"), 9);
+  const obs::MetricId h = reg.histogram("obs_test.ship.wait");
+  reg.observe(h, 3);    // bit_width 2
+  reg.observe(h, 300);  // bit_width 9
+  const std::string record = obs::encode_metrics_delta(prev, reg.snapshot());
+  ASSERT_FALSE(record.empty());
+  // The record rides the tab-framed worker status pipe as one line.
+  EXPECT_EQ(record.find('\t'), std::string::npos);
+  EXPECT_EQ(record.find('\n'), std::string::npos);
+
+  ASSERT_TRUE(obs::apply_metrics_delta(record, "obs_test.shipped."));
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("obs_test.shipped.obs_test.ship.cells"), 5u);
+  const auto g = std::find_if(
+      snap.gauges.begin(), snap.gauges.end(), [](const auto& p) {
+        return p.first == "obs_test.shipped.obs_test.ship.depth";
+      });
+  ASSERT_NE(g, snap.gauges.end());
+  EXPECT_EQ(g->second, 9u);
+  const auto hist = std::find_if(
+      snap.histograms.begin(), snap.histograms.end(), [](const auto& p) {
+        return p.first == "obs_test.shipped.obs_test.ship.wait";
+      });
+  ASSERT_NE(hist, snap.histograms.end());
+  EXPECT_EQ(hist->second.count, 2u);
+  EXPECT_EQ(hist->second.sum, 303u);
+  EXPECT_EQ(hist->second.min, 3u);
+  EXPECT_EQ(hist->second.max, 300u);
+  EXPECT_EQ(hist->second.buckets[2], 1u);
+  EXPECT_EQ(hist->second.buckets[9], 1u);
+}
+
+TEST(Ship, UnchangedSnapshotEncodesEmpty) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.add(reg.counter("obs_test.ship.idle"), 1);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(obs::encode_metrics_delta(snap, snap), "");
+}
+
+TEST(Ship, DeltasAccumulateAcrossRecords) {
+  // Loss-tolerance shape: two ships of the same delta fold to the sum, the
+  // same way two workers' records (or one worker's two cells) do.
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const obs::MetricsSnapshot prev = reg.snapshot();
+  reg.add(reg.counter("obs_test.ship.twice"), 7);
+  const std::string record = obs::encode_metrics_delta(prev, reg.snapshot());
+  ASSERT_TRUE(obs::apply_metrics_delta(record, "obs_test.shipped2."));
+  ASSERT_TRUE(obs::apply_metrics_delta(record, "obs_test.shipped2."));
+  EXPECT_EQ(reg.counter_value("obs_test.shipped2.obs_test.ship.twice"), 14u);
+}
+
+TEST(Ship, MalformedRecordsAreDroppedNotThrown) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const obs::MetricsSnapshot before = reg.snapshot();
+  EXPECT_FALSE(obs::apply_metrics_delta("garbage", "obs_test.bad."));
+  EXPECT_FALSE(obs::apply_metrics_delta("C\x1f" "only_two_fields",
+                                        "obs_test.bad."));
+  EXPECT_FALSE(obs::apply_metrics_delta("C\x1fname\x1fnot_a_number",
+                                        "obs_test.bad."));
+  EXPECT_FALSE(obs::apply_metrics_delta("Z\x1fname\x1f" "1", "obs_test.bad."));
+  // Nothing from a rejected record lands in the registry.
+  const obs::MetricsSnapshot after = reg.snapshot();
+  EXPECT_EQ(before.counters.size(), after.counters.size());
+  EXPECT_EQ(reg.counter_value("obs_test.bad.name"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// campaign trace merging (obs/trace_merge.hpp)
+// ---------------------------------------------------------------------------
+
+/// One synthetic obs/trace-shaped file: a complete "X" event plus the
+/// otherData tail the merger keys on.
+void write_trace_file(const std::filesystem::path& path, const char* name,
+                      std::uint64_t epoch_ns, const char* ts_us,
+                      std::uint64_t dropped) {
+  std::ofstream out(path);
+  out << "{\"traceEvents\":[\n"
+      << "{\"name\":\"" << name << "\",\"cat\":\"test\",\"ph\":\"X\",\"ts\":"
+      << ts_us << ",\"dur\":1.000,\"pid\":4242,\"tid\":1}\n"
+      << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+      << dropped << ",\"trace_epoch_ns\":" << epoch_ns << "}}\n";
+}
+
+TEST(TraceMerge, LanesAreRebasedOntoTheEarliestEpoch) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "mldist_obs_test_merge";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  // Lane 2's clock started 1 ms after lane 1's, so its events shift right
+  // by 1000 µs on the common timeline.
+  write_trace_file(dir / "worker-a.trace.json", "ev_a", 1'000'000, "12.345",
+                   3);
+  write_trace_file(dir / "worker-b.trace.json", "ev_b", 2'000'000, "0.500",
+                   4);
+  const std::vector<std::string> inputs = obs::list_trace_files(dir.string());
+  ASSERT_EQ(inputs.size(), 2u);
+
+  const std::string merged_path = (dir / "campaign.trace.json").string();
+  obs::TraceMergeResult result;
+  std::string error;
+  ASSERT_TRUE(obs::merge_trace_files(inputs, merged_path, &result, &error))
+      << error;
+  EXPECT_EQ(result.lanes, 2u);
+  EXPECT_EQ(result.events, 2u);
+  EXPECT_EQ(result.dropped, 7u);
+  EXPECT_EQ(result.epoch_ns, 1'000'000u);
+
+  std::ifstream in(merged_path);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_TRUE(util::json_validate(text, &error)) << error;
+  // Perfetto lane naming: one process_name metadata row per input file.
+  EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"worker-a\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"worker-b\""), std::string::npos);
+  // pids became lane numbers; the source pid 4242 must be gone.
+  EXPECT_EQ(text.find("\"pid\":4242"), std::string::npos);
+  EXPECT_NE(text.find("\"ts\":12.345"), std::string::npos);  // lane 1 keeps ts
+  EXPECT_NE(text.find("\"ts\":1000.500"), std::string::npos);  // lane 2 shifted
+  EXPECT_NE(text.find("\"dropped_events\":7"), std::string::npos);
+  EXPECT_NE(text.find("\"lanes\":2"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceMerge, InvalidInputsAreSkippedNotFatal) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "mldist_obs_test_merge_bad";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  write_trace_file(dir / "worker-ok.trace.json", "ev", 5'000, "1.000", 0);
+  // A lane whose process died before its first flush: not valid JSON, no
+  // epoch — the merge keeps going on the lanes that did land.
+  std::ofstream(dir / "worker-dead.trace.json") << "{\"traceEvents\":[{\"na";
+  obs::TraceMergeResult result;
+  std::string error;
+  const std::string merged = (dir / "campaign.trace.json").string();
+  ASSERT_TRUE(obs::merge_trace_files(obs::list_trace_files(dir.string()),
+                                     merged, &result, &error))
+      << error;
+  EXPECT_EQ(result.lanes, 1u);
+  std::ifstream in(merged);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_TRUE(util::json_validate(text, &error)) << error;
+
+  // All inputs unusable -> failure with a reason, and no output written.
+  const std::string none = (dir / "none.trace.json").string();
+  EXPECT_FALSE(obs::merge_trace_files(
+      {(dir / "worker-dead.trace.json").string()}, none, nullptr, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(std::filesystem::exists(none));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceMerge, ListTraceFilesMatchesOnlyWorkerLanes) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "mldist_obs_test_merge_list";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir / "worker-2.trace.json") << "{}";
+  std::ofstream(dir / "worker-1.trace.json") << "{}";
+  std::ofstream(dir / "campaign.trace.json") << "{}";  // a previous merge
+  std::ofstream(dir / "notes.txt") << "x";
+  const std::vector<std::string> files = obs::list_trace_files(dir.string());
+  ASSERT_EQ(files.size(), 2u);  // the merged output is never re-consumed
+  EXPECT_NE(files[0].find("worker-1"), std::string::npos);
+  EXPECT_NE(files[1].find("worker-2"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// /metrics carries the logger drop counter
+// ---------------------------------------------------------------------------
+
+TEST(Export, RenderCarriesLogDroppedTotal) {
+  const std::string text =
+      obs::render_prometheus(MetricsRegistry::global().snapshot());
+  EXPECT_NE(text.find("# TYPE mldist_log_dropped_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("\nmldist_log_dropped_total "), std::string::npos);
 }
 
 TEST(Metrics, HotPathCounterIsCheap) {

@@ -25,6 +25,7 @@
 
 #include "core/arch_zoo.hpp"
 #include "core/model_io.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "serve/batcher.hpp"
 #include "serve/daemon.hpp"
@@ -564,6 +565,246 @@ TEST_F(DaemonTest, OverloadedQueueAnswers503) {
       classify_body("mlp",
                     {hex_input(1, 4), hex_input(2, 4), hex_input(3, 4)}));
   EXPECT_EQ(too_wide.status, 400);
+}
+
+// ---------------------------------------------------------------------------
+// per-request tracing: request ids + the structured access log (ISSUE 10)
+// ---------------------------------------------------------------------------
+
+/// Raw HTTP exchange keeping the response headers (read_response discards
+/// them, and the request-id contract lives in a header).
+std::string http_request_raw(std::uint16_t port, const std::string& path,
+                             const std::string& body,
+                             const std::string& extra_headers) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) return {};
+  const std::string req = "POST " + path + " HTTP/1.1\r\nHost: localhost\r\n" +
+                          extra_headers +
+                          "Content-Length: " + std::to_string(body.size()) +
+                          "\r\nConnection: close\r\n\r\n" + body;
+  (void)::send(fd, req.data(), req.size(), 0);
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return raw;
+}
+
+/// The value of `name` in a raw response's header block ("" when absent).
+std::string response_header(const std::string& raw, const std::string& name) {
+  const std::string needle = "\r\n" + name + ": ";
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  const std::size_t pos = raw.find(needle);
+  if (pos == std::string::npos || pos > head_end) return {};
+  const std::size_t start = pos + needle.size();
+  return raw.substr(start, raw.find("\r\n", start) - start);
+}
+
+/// Redirect the global logger to a fresh temp file for one test, restoring
+/// the stderr sink afterwards (the obs_test ScopedLogFile idiom).
+class ScopedAccessLog {
+ public:
+  explicit ScopedAccessLog(const char* tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            (std::string("mldist_serve_access_") + tag + ".jsonl");
+    std::filesystem::remove(path_);
+    std::string error;
+    EXPECT_TRUE(obs::Logger::global().set_file(path_.string(), &error))
+        << error;
+  }
+  ~ScopedAccessLog() {
+    obs::Logger::global().flush();
+    obs::Logger::global().set_file("");
+    std::filesystem::remove(path_);
+  }
+
+  std::vector<std::string> lines() const {
+    obs::Logger::global().flush();
+    std::vector<std::string> out;
+    std::ifstream in(path_);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) out.push_back(line);
+    }
+    return out;
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// The expected generated id for the n-th header-less request of a daemon
+/// seeded with `seed` — the documented ServeOptions contract.
+std::string expected_rid(std::uint64_t seed, std::uint64_t n) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(
+                    util::derive_stream_seed(seed, n)));
+  return buf;
+}
+
+TEST_F(DaemonTest, RequestIdIsEchoedVerbatim) {
+  StartDaemon(serve::ServeOptions{});
+  const std::string raw =
+      http_request_raw(daemon_->port(), "/v1/classify",
+                       classify_body("mlp", {hex_input(500, 4)}),
+                       "X-Request-Id: client-chose-this-42\r\n");
+  EXPECT_EQ(raw.rfind("HTTP/1.1 200", 0), 0u) << raw;
+  EXPECT_EQ(response_header(raw, "X-Request-Id"), "client-chose-this-42");
+}
+
+TEST_F(DaemonTest, GeneratedRequestIdsAreSeededAndDeterministic) {
+  serve::ServeOptions opt;
+  opt.request_id_seed = 0xfeedbeef;
+  StartDaemon(opt);
+  // No X-Request-Id from the client: the daemon assigns ids from its seeded
+  // counter stream — no clocks, so the sequence replays exactly.
+  const std::string first =
+      http_request_raw(daemon_->port(), "/v1/classify",
+                       classify_body("mlp", {hex_input(501, 4)}), "");
+  const std::string second =
+      http_request_raw(daemon_->port(), "/v1/classify",
+                       classify_body("mlp", {hex_input(502, 4)}), "");
+  EXPECT_EQ(response_header(first, "X-Request-Id"),
+            expected_rid(0xfeedbeef, 0));
+  EXPECT_EQ(response_header(second, "X-Request-Id"),
+            expected_rid(0xfeedbeef, 1));
+}
+
+TEST_F(DaemonTest, HostileRequestIdsAreSanitizedAndCapped) {
+  StartDaemon(serve::ServeOptions{});
+  // Quotes and backslashes would break the JSONL access line and header
+  // framing; they come back as underscores.
+  const std::string raw =
+      http_request_raw(daemon_->port(), "/v1/classify",
+                       classify_body("mlp", {hex_input(503, 4)}),
+                       "X-Request-Id: evil\"id\\x\r\n");
+  EXPECT_EQ(response_header(raw, "X-Request-Id"), "evil_id_x");
+
+  const std::string long_id(80, 'a');
+  const std::string capped =
+      http_request_raw(daemon_->port(), "/v1/classify",
+                       classify_body("mlp", {hex_input(504, 4)}),
+                       "X-Request-Id: " + long_id + "\r\n");
+  EXPECT_EQ(response_header(capped, "X-Request-Id"), std::string(64, 'a'));
+}
+
+TEST_F(DaemonTest, ErrorResponsesCarryTheRequestIdAndLogTheStatus) {
+  StartDaemon(serve::ServeOptions{});
+  ScopedAccessLog log("errors");
+  const std::string raw =
+      http_request_raw(daemon_->port(), "/v1/classify",
+                       classify_body("no-such-model", {hex_input(505, 4)}),
+                       "X-Request-Id: err-trace-1\r\n");
+  EXPECT_EQ(raw.rfind("HTTP/1.1 404", 0), 0u) << raw;
+  EXPECT_EQ(response_header(raw, "X-Request-Id"), "err-trace-1");
+  // Inline rejections get an access line too — the trace has no holes.
+  std::size_t hits = 0;
+  for (const std::string& line : log.lines()) {
+    if (line.find("\"request_id\":\"err-trace-1\"") == std::string::npos) {
+      continue;
+    }
+    ++hits;
+    std::string error;
+    EXPECT_TRUE(util::json_validate(line, &error)) << error << "\n" << line;
+    EXPECT_NE(line.find("\"component\":\"serve.access\""), std::string::npos);
+    EXPECT_NE(line.find("\"status\":404"), std::string::npos);
+  }
+  EXPECT_EQ(hits, 1u);
+}
+
+TEST_F(DaemonTest, SlowRequestsForceWarnLevelAccessLines) {
+  serve::ServeOptions opt;
+  opt.batch.slow_request_ms = 1;      // every request is "slow" next to...
+  opt.batch.batch_window_us = 5'000;  // ...a 5 ms coalescing window
+  StartDaemon(opt);
+  ScopedAccessLog log("slow");
+  const std::string raw =
+      http_request_raw(daemon_->port(), "/v1/classify",
+                       classify_body("mlp", {hex_input(506, 4)}),
+                       "X-Request-Id: slow-1\r\n");
+  EXPECT_EQ(raw.rfind("HTTP/1.1 200", 0), 0u) << raw;
+  std::size_t hits = 0;
+  for (const std::string& line : log.lines()) {
+    if (line.find("\"request_id\":\"slow-1\"") == std::string::npos) continue;
+    ++hits;
+    EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"msg\":\"slow request\""), std::string::npos)
+        << line;
+  }
+  EXPECT_EQ(hits, 1u);
+}
+
+TEST_F(DaemonTest, AccessLogBurstStaysWellFormedOnePerRequest) {
+  serve::ServeOptions opt;
+  opt.batch.batch_window_us = 10'000;  // coalesce the burst across clients
+  StartDaemon(opt);
+  ScopedAccessLog log("burst");
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      const std::string rid = "burst-" + std::to_string(i);
+      const std::string raw = http_request_raw(
+          daemon_->port(), "/v1/classify",
+          classify_body("mlp", {hex_input(600 + i, 4)}),
+          "X-Request-Id: " + rid + "\r\n");
+      if (raw.rfind("HTTP/1.1 200", 0) == 0 &&
+          response_header(raw, "X-Request-Id") == rid) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+
+  // Concurrent batched answering must still yield one whole JSONL line per
+  // request: every line valid JSON, every id exactly once.
+  const std::vector<std::string> lines = log.lines();
+  std::string error;
+  for (const std::string& line : lines) {
+    ASSERT_TRUE(util::json_validate(line, &error)) << error << "\n" << line;
+  }
+  for (int i = 0; i < kClients; ++i) {
+    const std::string needle =
+        "\"request_id\":\"burst-" + std::to_string(i) + "\"";
+    std::size_t hits = 0;
+    for (const std::string& line : lines) {
+      if (line.find(needle) != std::string::npos) ++hits;
+    }
+    EXPECT_EQ(hits, 1u) << needle;
+  }
+}
+
+TEST_F(DaemonTest, QueueDepthGaugeIsExportedAndInRunzDetail) {
+  StartDaemon(serve::ServeOptions{});
+  const std::uint16_t port = daemon_->port();
+  // Registered at worker construction, so it is scrape-visible (value 0)
+  // before any request arrives.
+  const HttpResult metrics = http_get(port, "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("mldist_serve_model_mlp_queue_depth"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("mldist_serve_model_gohr_queue_depth"),
+            std::string::npos);
+
+  EXPECT_EQ(http_post(port, "/v1/classify",
+                      classify_body("mlp", {hex_input(700, 4)}))
+                .status,
+            200);
+  const HttpResult runz = http_get(port, "/runz");
+  ASSERT_EQ(runz.status, 200);
+  std::string error;
+  EXPECT_TRUE(util::json_validate(runz.body, &error)) << error;
+  EXPECT_NE(runz.body.find("\"phase\":\"serve\""), std::string::npos);
+  // Per-model serving detail: both models listed with their live gauges.
+  EXPECT_NE(runz.body.find("\"model\":\"mlp\""), std::string::npos);
+  EXPECT_NE(runz.body.find("\"model\":\"gohr\""), std::string::npos);
+  EXPECT_NE(runz.body.find("\"queue_depth\":"), std::string::npos);
 }
 
 TEST_F(DaemonTest, StopDrainsAndIsIdempotent) {

@@ -1,0 +1,59 @@
+// trace_merge: stitch per-worker Chrome trace files into one timeline.
+//
+//   trace_merge --out merged.json worker-1.trace.json worker-2.trace.json
+//   trace_merge --out merged.json --dir state/obs
+//
+// Each input becomes one pid lane (numbered in argument order; --dir lists
+// worker-*.trace.json sorted by name), aligned on the shared steady-clock
+// epoch each file records in otherData.trace_epoch_ns.  Load the output at
+// https://ui.perfetto.dev or chrome://tracing.  The same pass runs
+// automatically at the end of a traced sharded campaign; this binary exists
+// to re-merge after the fact (for example when a chaos-killed worker's lane
+// was collected later).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/trace_merge.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --out <merged.json> (<trace.json>... | --dir <d>)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      for (std::string& f : mldist::obs::list_trace_files(argv[++i])) {
+        inputs.push_back(std::move(f));
+      }
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+  if (out.empty() || inputs.empty()) return usage(argv[0]);
+
+  mldist::obs::TraceMergeResult result;
+  std::string error;
+  if (!mldist::obs::merge_trace_files(inputs, out, &result, &error)) {
+    std::fprintf(stderr, "trace_merge: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("trace_merge: %zu lanes, %zu events, %llu dropped -> %s\n",
+              result.lanes, result.events,
+              static_cast<unsigned long long>(result.dropped), out.c_str());
+  return 0;
+}
